@@ -1,0 +1,701 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Sec. VII) plus the ablations listed in DESIGN.md.
+
+   Environment knobs (defaults in brackets):
+     RESCHED_SEED                [42]    suite seed
+     RESCHED_GRAPHS_PER_GROUP    [4]     instances per task-count group
+     RESCHED_GROUPS              [10,20,...,100] comma-separated task counts
+     RESCHED_ISK_NODE_CAP        [50000] IS-k branch&bound nodes per chunk
+     RESCHED_PAR_BUDGET_CAP_MS   [1500]  cap on the PA-R budget (otherwise
+                                         the measured IS-5 time, as in the
+                                         paper)
+     RESCHED_FIG6_BUDGET_MS      [4000]  PA-R budget for the Fig. 6 traces
+     RESCHED_OUT_DIR             [bench_out] where CSV series are written
+     RESCHED_BECHAMEL            [unset] set to 1 to also run the Bechamel
+                                         micro-benchmarks
+*)
+
+module Rng = Resched_util.Rng
+module Stats = Resched_util.Stats
+module Table = Resched_util.Table
+module Csv = Resched_util.Csv
+module Resource = Resched_fabric.Resource
+module Cpm = Resched_taskgraph.Cpm
+module Generator = Resched_taskgraph.Generator
+module Instance = Resched_platform.Instance
+module Suite = Resched_platform.Suite
+module Arch = Resched_platform.Arch
+module Lp = Resched_milp.Lp
+module Simplex = Resched_milp.Simplex
+module Floorplanner = Resched_floorplan.Floorplanner
+module Pa = Resched_core.Pa
+module Pa_random = Resched_core.Pa_random
+module Schedule = Resched_core.Schedule
+module Validate = Resched_core.Validate
+module Regions_define = Resched_core.Regions_define
+module Isk = Resched_baseline.Isk
+module List_sched = Resched_baseline.List_sched
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (match int_of_string_opt s with Some v -> v | None -> default)
+  | None -> default
+
+let env_set name = Sys.getenv_opt name = Some "1"
+
+let seed = env_int "RESCHED_SEED" 42
+let graphs_per_group = env_int "RESCHED_GRAPHS_PER_GROUP" 4
+let isk_node_cap = env_int "RESCHED_ISK_NODE_CAP" 50_000
+let par_budget_cap = float_of_int (env_int "RESCHED_PAR_BUDGET_CAP_MS" 1500) /. 1000.
+let fig6_budget = float_of_int (env_int "RESCHED_FIG6_BUDGET_MS" 4000) /. 1000.
+let out_dir =
+  match Sys.getenv_opt "RESCHED_OUT_DIR" with Some d -> d | None -> "bench_out"
+
+let groups =
+  match Sys.getenv_opt "RESCHED_GROUPS" with
+  | None -> [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ]
+  | Some s ->
+    String.split_on_char ',' s
+    |> List.filter_map int_of_string_opt
+    |> List.filter (fun v -> v > 0)
+
+let ensure_out_dir () =
+  if not (Sys.file_exists out_dir) then Unix.mkdir out_dir 0o755
+
+let write_csv name rows =
+  ensure_out_dir ();
+  let path = Filename.concat out_dir name in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Csv.write oc rows);
+  Printf.printf "  [csv] %s\n%!" path
+
+let must_validate label sched =
+  match Validate.check sched with
+  | Ok () -> ()
+  | Error vs ->
+    List.iter
+      (fun (v : Validate.violation) ->
+        Printf.eprintf "VALIDATION [%s] %s\n" label v.Validate.message)
+      vs;
+    failwith (label ^ ": invalid schedule")
+
+(* ------------------------------------------------------------------ *)
+(* Per-instance measurements                                           *)
+
+type run = {
+  tasks : int;
+  pa_makespan : float;
+  pa_sched_s : float;
+  pa_plan_s : float;
+  par_makespan : float;
+  par_budget_s : float;
+  is1_makespan : float;
+  is1_s : float;
+  is5_makespan : float;
+  is5_s : float;
+  heft_makespan : float;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let evaluate_instance ~tasks ~idx inst =
+  let pa, pa_stats = Pa.run inst in
+  must_validate "PA" pa;
+  let (is1, _), is1_s =
+    timed (fun () ->
+        Isk.run
+          ~config:{ (Isk.config ~k:1) with Isk.chunk_node_limit = isk_node_cap }
+          inst)
+  in
+  must_validate "IS-1" is1;
+  let (is5, _), is5_s =
+    timed (fun () ->
+        Isk.run
+          ~config:{ (Isk.config ~k:5) with Isk.chunk_node_limit = isk_node_cap }
+          inst)
+  in
+  must_validate "IS-5" is5;
+  (* As in the paper, PA-R gets the same budget as IS-5 (here capped so a
+     full sweep stays laptop-sized). *)
+  let par_budget_s = Float.min par_budget_cap is5_s in
+  let outcome =
+    Pa_random.run ~seed:(seed + (1000 * tasks) + idx)
+      ~budget_seconds:par_budget_s inst
+  in
+  let par_makespan =
+    match outcome.Pa_random.schedule with
+    | Some sched ->
+      must_validate "PA-R" sched;
+      float_of_int (Schedule.makespan sched)
+    | None ->
+      (* No floorplannable candidate within the budget: the designer
+         would fall back to PA's result. *)
+      float_of_int (Schedule.makespan pa)
+  in
+  let heft = List_sched.run inst in
+  must_validate "HEFT" heft;
+  {
+    tasks;
+    pa_makespan = float_of_int (Schedule.makespan pa);
+    pa_sched_s = pa_stats.Pa.scheduling_seconds;
+    pa_plan_s = pa_stats.Pa.floorplanning_seconds;
+    par_makespan;
+    par_budget_s;
+    is1_makespan = float_of_int (Schedule.makespan is1);
+    is1_s;
+    is5_makespan = float_of_int (Schedule.makespan is5);
+    is5_s;
+    heft_makespan = float_of_int (Schedule.makespan heft);
+  }
+
+let collect_group tasks =
+  let insts = Suite.group ~seed ~tasks ~count:graphs_per_group () in
+  List.mapi (fun idx inst -> evaluate_instance ~tasks ~idx inst) insts
+
+(* ------------------------------------------------------------------ *)
+(* Table I and Figures 2-5                                             *)
+
+let arr f runs = Array.of_list (List.map f runs)
+
+let print_table1 all =
+  print_endline "";
+  print_endline
+    "== Table I: algorithm execution times [s] (means per group) ==";
+  print_endline
+    "   (PA split into scheduling and floorplanning; the PA-R column is";
+  print_endline
+    "    its time budget, i.e. the capped IS-5 time, as in the paper)";
+  let t =
+    Table.create
+      [ "# Tasks"; "PA sched"; "PA floorplan"; "PA total"; "IS-1"; "PA-R / IS-5" ]
+  in
+  let csv = ref [ [ "tasks"; "pa_sched"; "pa_floorplan"; "pa_total"; "is1"; "is5" ] ] in
+  List.iter
+    (fun (tasks, runs) ->
+      let sched = Stats.mean (arr (fun r -> r.pa_sched_s) runs) in
+      let plan = Stats.mean (arr (fun r -> r.pa_plan_s) runs) in
+      let is1 = Stats.mean (arr (fun r -> r.is1_s) runs) in
+      let is5 = Stats.mean (arr (fun r -> r.is5_s) runs) in
+      let cells =
+        [
+          string_of_int tasks;
+          Table.cell_f sched;
+          Table.cell_f plan;
+          Table.cell_f (sched +. plan);
+          Table.cell_f is1;
+          Table.cell_f is5;
+        ]
+      in
+      Table.add_row t cells;
+      csv := cells :: !csv)
+    all;
+  Table.print t;
+  write_csv "table1.csv" (List.rev !csv)
+
+let print_fig2 all =
+  print_endline "";
+  print_endline
+    "== Figure 2: average schedule execution time [ticks] per group ==";
+  let t =
+    Table.create [ "# Tasks"; "PA"; "PA-R"; "IS-1"; "IS-5"; "HEFT (extra)" ]
+  in
+  let csv = ref [ [ "tasks"; "pa"; "par"; "is1"; "is5"; "heft" ] ] in
+  List.iter
+    (fun (tasks, runs) ->
+      let m f = Stats.mean (arr f runs) in
+      let cells =
+        [
+          string_of_int tasks;
+          Table.cell_f ~decimals:0 (m (fun r -> r.pa_makespan));
+          Table.cell_f ~decimals:0 (m (fun r -> r.par_makespan));
+          Table.cell_f ~decimals:0 (m (fun r -> r.is1_makespan));
+          Table.cell_f ~decimals:0 (m (fun r -> r.is5_makespan));
+          Table.cell_f ~decimals:0 (m (fun r -> r.heft_makespan));
+        ]
+      in
+      Table.add_row t cells;
+      csv := cells :: !csv)
+    all;
+  Table.print t;
+  write_csv "fig2.csv" (List.rev !csv)
+
+let improvement_figure ~title ~csv_name ~baseline ~value all =
+  print_endline "";
+  Printf.printf "== %s ==\n" title;
+  let t = Table.create [ "# Tasks"; "improvement"; "stddev" ] in
+  let csv = ref [ [ "tasks"; "improvement_pct"; "stddev_pct" ] ] in
+  let overall = ref [] in
+  List.iter
+    (fun (tasks, runs) ->
+      let per_instance =
+        Array.of_list
+          (List.map
+             (fun r ->
+               Stats.improvement_pct ~baseline:(baseline r) ~value:(value r))
+             runs)
+      in
+      overall := Array.to_list per_instance @ !overall;
+      let cells =
+        [
+          string_of_int tasks;
+          Table.cell_pct (Stats.mean per_instance);
+          Table.cell_f ~decimals:1 (Stats.stddev per_instance);
+        ]
+      in
+      Table.add_row t cells;
+      csv := cells :: !csv)
+    all;
+  Table.print t;
+  let overall_arr = Array.of_list !overall in
+  (* The paper reports its Fig. 5 headline over graphs with >= 20 tasks. *)
+  let ge20 =
+    List.concat_map
+      (fun (tasks, runs) ->
+        if tasks < 20 then []
+        else
+          List.map
+            (fun r ->
+              Stats.improvement_pct ~baseline:(baseline r) ~value:(value r))
+            runs)
+      all
+  in
+  let ge20_arr = Array.of_list ge20 in
+  Printf.printf
+    "  overall average: %s; for >=20 tasks: %s (paper reference in \
+     EXPERIMENTS.md)\n"
+    (Table.cell_pct (Stats.mean overall_arr))
+    (Table.cell_pct (Stats.mean ge20_arr));
+  write_csv csv_name (List.rev !csv);
+  Stats.mean ge20_arr
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: PA-R convergence traces                                   *)
+
+let print_fig6 () =
+  print_endline "";
+  Printf.printf
+    "== Figure 6: PA-R best makespan over time (budget %.1fs per graph) ==\n"
+    fig6_budget;
+  let csv = ref [ [ "tasks"; "elapsed_s"; "iteration"; "best_makespan" ] ] in
+  List.iter
+    (fun tasks ->
+      match Suite.group ~seed ~tasks ~count:1 () with
+      | [ inst ] ->
+        let outcome =
+          Pa_random.run ~seed:(seed + tasks) ~budget_seconds:fig6_budget inst
+        in
+        let points = outcome.Pa_random.trace in
+        Printf.printf "  %3d tasks (%d iterations): " tasks
+          outcome.Pa_random.iterations;
+        List.iter
+          (fun (p : Pa_random.trace_point) ->
+            Printf.printf "%.2fs->%d  " p.Pa_random.elapsed p.Pa_random.makespan;
+            csv :=
+              [
+                string_of_int tasks;
+                Printf.sprintf "%.3f" p.Pa_random.elapsed;
+                string_of_int p.Pa_random.iteration;
+                string_of_int p.Pa_random.makespan;
+              ]
+              :: !csv)
+          points;
+        print_newline ()
+      | _ -> assert false)
+    [ 20; 40; 60; 80; 100 ];
+  write_csv "fig6.csv" (List.rev !csv)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+let ablation_ordering () =
+  print_endline "";
+  print_endline
+    "== Ablation: non-critical task ordering in regions definition ==";
+  let t =
+    Table.create [ "# Tasks"; "efficiency (PA)"; "cost"; "topological"; "random(1)" ]
+  in
+  List.iter
+    (fun tasks ->
+      let insts = Suite.group ~seed ~tasks ~count:graphs_per_group () in
+      let mean_for ordering =
+        let ms =
+          List.map
+            (fun inst ->
+              let config = { Pa.default_config with Pa.ordering } in
+              let sched, _ = Pa.run ~config inst in
+              must_validate "PA(ordering)" sched;
+              float_of_int (Schedule.makespan sched))
+            insts
+        in
+        Stats.mean (Array.of_list ms)
+      in
+      Table.add_row t
+        [
+          string_of_int tasks;
+          Table.cell_f ~decimals:0 (mean_for Regions_define.By_efficiency);
+          Table.cell_f ~decimals:0 (mean_for Regions_define.By_cost);
+          Table.cell_f ~decimals:0 (mean_for Regions_define.Topological);
+          Table.cell_f ~decimals:0
+            (mean_for (Regions_define.Random (Rng.create seed)));
+        ])
+    [ 30; 60 ];
+  Table.print t
+
+let ablation_module_reuse () =
+  print_endline "";
+  print_endline "== Ablation: module reuse (paper future work) ==";
+  let t = Table.create [ "algorithm"; "reuse off"; "reuse on"; "delta" ] in
+  let insts = Suite.group ~seed ~tasks:40 ~count:graphs_per_group () in
+  let mean ms = Stats.mean (Array.of_list ms) in
+  let pa_off =
+    mean
+      (List.map
+         (fun i -> float_of_int (Schedule.makespan (fst (Pa.run i))))
+         insts)
+  in
+  let pa_on =
+    mean
+      (List.map
+         (fun i ->
+           let config = { Pa.default_config with Pa.module_reuse = true } in
+           float_of_int (Schedule.makespan (fst (Pa.run ~config i))))
+         insts)
+  in
+  let is5 reuse =
+    mean
+      (List.map
+         (fun i ->
+           let config =
+             { (Isk.config ~k:5) with
+               Isk.chunk_node_limit = isk_node_cap;
+               Isk.module_reuse = reuse }
+           in
+           float_of_int (Schedule.makespan (fst (Isk.run ~config i))))
+         insts)
+  in
+  let is5_off = is5 false and is5_on = is5 true in
+  let row name off on =
+    Table.add_row t
+      [
+        name;
+        Table.cell_f ~decimals:0 off;
+        Table.cell_f ~decimals:0 on;
+        Table.cell_pct (Stats.improvement_pct ~baseline:off ~value:on);
+      ]
+  in
+  row "PA (40 tasks)" pa_off pa_on;
+  row "IS-5 (40 tasks)" is5_off is5_on;
+  Table.print t
+
+let ablation_floorplan_engines () =
+  print_endline "";
+  print_endline
+    "== Ablation: floorplan engines (random region sets on minifab, where \
+     both engines can decide) ==";
+  let t =
+    Table.create
+      [ "engine"; "feasible"; "infeasible"; "unknown"; "avg time [ms]" ]
+  in
+  let rng = Rng.create (seed lxor 0xF100) in
+  let needs_sets =
+    List.init 24 (fun _ ->
+        let count = 1 + Rng.int rng 4 in
+        Array.init count (fun _ ->
+            Resource.make
+              ~clb:(50 + Rng.int rng 220)
+              ~bram:(Rng.int rng 9)
+              ~dsp:(Rng.int rng 14)))
+  in
+  let agreement = ref 0 and comparable = ref 0 in
+  let verdicts engine =
+    List.map
+      (fun needs ->
+        let device = Resched_fabric.Device.minifab in
+        let report = Floorplanner.check ~engine device needs in
+        (report.Floorplanner.verdict, report.Floorplanner.elapsed))
+      needs_sets
+  in
+  let back = verdicts Floorplanner.Backtracking in
+  let milp = verdicts Floorplanner.Milp in
+  List.iter2
+    (fun (vb, _) (vm, _) ->
+      match (vb, vm) with
+      | Floorplanner.Feasible _, Floorplanner.Feasible _
+      | Floorplanner.Infeasible, Floorplanner.Infeasible ->
+        incr comparable;
+        incr agreement
+      | Floorplanner.Unknown, _ | _, Floorplanner.Unknown -> ()
+      | _ -> incr comparable)
+    back milp;
+  let summarize name results =
+    let feas = ref 0 and infeas = ref 0 and unk = ref 0 and time = ref 0. in
+    List.iter
+      (fun (v, s) ->
+        time := !time +. s;
+        match v with
+        | Floorplanner.Feasible _ -> incr feas
+        | Floorplanner.Infeasible -> incr infeas
+        | Floorplanner.Unknown -> incr unk)
+      results;
+    Table.add_row t
+      [
+        name;
+        string_of_int !feas;
+        string_of_int !infeas;
+        string_of_int !unk;
+        Table.cell_f ~decimals:2
+          (1000. *. !time /. float_of_int (List.length results));
+      ]
+  in
+  summarize "backtracking" back;
+  summarize "milp" milp;
+  Table.print t;
+  Printf.printf "  decided-verdict agreement: %d/%d\n" !agreement !comparable
+
+let related_work_ilp_viability () =
+  print_endline "";
+  print_endline
+    "== Related work: monolithic ILP [8] viability (time limit 5s/size) ==";
+  print_endline
+    "   (the paper dismisses the exact ILP as 'not viable even for small\n\
+    \    problem instances'; this section reproduces that observation)";
+  let t =
+    Table.create
+      [ "# Tasks"; "vars"; "rows"; "outcome"; "ILP time [s]"; "PA time [s]";
+        "makespan vs exhaustive" ]
+  in
+  let tiny_params =
+    { Suite.default_params with
+      Suite.clb_min = 100;
+      clb_max = 260;
+      p_bram_heavy = 0.;
+      p_dsp_heavy = 0.;
+      width_of_tasks = (fun _ -> 2) }
+  in
+  List.iter
+    (fun tasks ->
+      let inst =
+        Suite.instance ~params:tiny_params ~arch:Arch.mini
+          (Rng.create (seed + tasks)) ~tasks
+      in
+      let vars, rows = Resched_baseline.Ilp_exact.model_size inst in
+      let (ilp, ilp_s) =
+        timed (fun () ->
+            Resched_baseline.Ilp_exact.solve ~node_limit:500_000
+              ~time_limit:5. inst)
+      in
+      let (_, pa_s) = timed (fun () -> Pa.run inst) in
+      let opt = Resched_baseline.Optimal.schedule inst in
+      let outcome, gap =
+        match ilp with
+        | Some r when r.Resched_baseline.Ilp_exact.proved_optimal ->
+          must_validate "ILP" r.Resched_baseline.Ilp_exact.schedule;
+          ( "proved optimal",
+            Printf.sprintf "%d vs %d"
+              (Schedule.makespan r.Resched_baseline.Ilp_exact.schedule)
+              (Schedule.makespan opt.Resched_baseline.Optimal.schedule) )
+        | Some r ->
+          must_validate "ILP" r.Resched_baseline.Ilp_exact.schedule;
+          ( "feasible only",
+            Printf.sprintf "%d vs %d"
+              (Schedule.makespan r.Resched_baseline.Ilp_exact.schedule)
+              (Schedule.makespan opt.Resched_baseline.Optimal.schedule) )
+        | None -> ("no solution", "-")
+      in
+      Table.add_row t
+        [
+          string_of_int tasks;
+          string_of_int vars;
+          string_of_int rows;
+          outcome;
+          Table.cell_f ilp_s;
+          Table.cell_f pa_s;
+          gap;
+        ])
+    [ 2; 3; 4; 5; 6 ];
+  Table.print t
+
+let ablation_robustness () =
+  print_endline "";
+  print_endline
+    "== Ablation: schedule robustness under runtime jitter (resched_sim) ==";
+  let insts = Suite.group ~seed ~tasks:30 ~count:graphs_per_group () in
+  let t =
+    Table.create
+      [ "scheduler"; "mean slowdown (±20%)"; "mean slowdown (+40% delays)" ]
+  in
+  let schedules =
+    List.map
+      (fun inst ->
+        let pa, _ = Pa.run inst in
+        let is5, _ =
+          Isk.run
+            ~config:{ (Isk.config ~k:5) with Isk.chunk_node_limit = isk_node_cap }
+            inst
+        in
+        let heft = List_sched.run inst in
+        [ ("PA", pa); ("IS-5", is5); ("HEFT", heft) ])
+      insts
+  in
+  List.iter
+    (fun name ->
+      let slowdown jitter =
+        let samples =
+          List.map
+            (fun per_inst ->
+              let sched = List.assoc name per_inst in
+              let rng = Rng.create (seed lxor 0x51) in
+              (Resched_sim.Executor.robustness ~rng ~trials:60 ~jitter sched)
+                .Resched_sim.Executor.mean_slowdown)
+            schedules
+        in
+        Stats.mean (Array.of_list samples)
+      in
+      Table.add_row t
+        [
+          name;
+          Printf.sprintf "x%.3f" (slowdown (Resched_sim.Executor.Uniform 0.2));
+          Printf.sprintf "x%.3f" (slowdown (Resched_sim.Executor.Delay_only 0.4));
+        ])
+    [ "PA"; "IS-5"; "HEFT" ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks (one kernel per table/figure)             *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let rng = Rng.create seed in
+  let inst30 = Suite.instance rng ~tasks:30 in
+  let inst100 = Suite.instance rng ~tasks:100 in
+  let pa_needs =
+    let sched = Pa.schedule_once ~resource_scale:0.9 inst30 in
+    Array.map (fun (r : Schedule.region) -> r.Schedule.res)
+      sched.Schedule.regions
+  in
+  let durations =
+    Array.init (Instance.size inst100) (fun u -> Instance.min_time inst100 u)
+  in
+  let tests =
+    [
+      Test.make ~name:"table1/pa_schedule_once_30"
+        (Staged.stage (fun () -> ignore (Pa.schedule_once inst30)));
+      Test.make ~name:"table1/is1_schedule_once_30"
+        (Staged.stage (fun () ->
+             ignore (Isk.schedule_once ~config:(Isk.config ~k:1) inst30)));
+      Test.make ~name:"table1/floorplan_backtracking_30"
+        (Staged.stage (fun () ->
+             ignore (Floorplanner.check Arch.zedboard.Arch.device pa_needs)));
+      Test.make ~name:"fig2/heft_30"
+        (Staged.stage (fun () -> ignore (List_sched.schedule_once inst30)));
+      Test.make ~name:"fig6/par_iteration_30"
+        (Staged.stage (fun () ->
+             let config =
+               { Pa.default_config with
+                 Pa.ordering = Regions_define.Random (Rng.create 1) }
+             in
+             ignore (Pa.schedule_once ~config inst30)));
+      Test.make ~name:"substrate/cpm_100"
+        (Staged.stage (fun () ->
+             ignore (Cpm.compute inst100.Instance.graph ~durations)));
+      Test.make ~name:"substrate/simplex_textbook"
+        (Staged.stage (fun () ->
+             let m = Lp.create ~objective:Lp.Maximize () in
+             let x = Lp.add_var m ~obj:3. () in
+             let y = Lp.add_var m ~obj:5. () in
+             Lp.add_constraint m [ (x, 1.) ] Lp.Le 4.;
+             Lp.add_constraint m [ (y, 2.) ] Lp.Le 12.;
+             Lp.add_constraint m [ (x, 3.); (y, 2.) ] Lp.Le 18.;
+             ignore (Simplex.solve m)));
+    ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    List.map (fun i -> Analyze.all ols i raw) instances
+  in
+  print_endline "";
+  print_endline "== Bechamel micro-benchmarks (ns per run) ==";
+  let results = benchmark (Test.make_grouped ~name:"resched" tests) in
+  List.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-45s %14.0f ns/run\n" name est
+          | Some _ | None -> Printf.printf "  %-45s (no estimate)\n" name)
+        tbl)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf
+    "resched benchmark harness: seed=%d, %d graphs/group, groups=[%s],\n\
+     IS-k node cap=%d, PA-R budget cap=%.1fs\n%!"
+    seed graphs_per_group
+    (String.concat "," (List.map string_of_int groups))
+    isk_node_cap par_budget_cap;
+  let t0 = Unix.gettimeofday () in
+  let all =
+    List.map
+      (fun tasks ->
+        Printf.printf "running group %d...\n%!" tasks;
+        (tasks, collect_group tasks))
+      groups
+  in
+  print_table1 all;
+  print_fig2 all;
+  let fig3 =
+    improvement_figure
+      ~title:"Figure 3: average improvement of PA vs IS-1 (paper: ~14.8% avg)"
+      ~csv_name:"fig3.csv"
+      ~baseline:(fun r -> r.is1_makespan)
+      ~value:(fun r -> r.pa_makespan)
+      all
+  in
+  let fig4 =
+    improvement_figure
+      ~title:
+        "Figure 4: average improvement of PA vs IS-5 (paper: smaller than Fig. 3)"
+      ~csv_name:"fig4.csv"
+      ~baseline:(fun r -> r.is5_makespan)
+      ~value:(fun r -> r.pa_makespan)
+      all
+  in
+  let fig5 =
+    improvement_figure
+      ~title:
+        "Figure 5: average improvement of PA-R vs IS-5 at equal budget (paper: ~22.3% for >=20 tasks)"
+      ~csv_name:"fig5.csv"
+      ~baseline:(fun r -> r.is5_makespan)
+      ~value:(fun r -> r.par_makespan)
+      all
+  in
+  print_fig6 ();
+  ablation_ordering ();
+  ablation_module_reuse ();
+  ablation_floorplan_engines ();
+  ablation_robustness ();
+  related_work_ilp_viability ();
+  if env_set "RESCHED_BECHAMEL" then bechamel_suite ()
+  else
+    print_endline
+      "\n(set RESCHED_BECHAMEL=1 to also run the Bechamel micro-benchmarks)";
+  Printf.printf
+    "\nsummary: PA-vs-IS1 %+.1f%%, PA-vs-IS5 %+.1f%%, PAR-vs-IS5 %+.1f%% \
+     (total %.1fs)\n"
+    fig3 fig4 fig5
+    (Unix.gettimeofday () -. t0)

@@ -1,0 +1,372 @@
+(* fpga_sched — command-line front end for the resched library.
+
+   Subcommands:
+     generate   write a pseudo-random problem instance to a file
+     show       print an instance summary (optionally DOT)
+     schedule   schedule an instance with a chosen algorithm
+     compare    run every algorithm on an instance and tabulate
+     suite      materialize the paper's benchmark suite into a directory
+*)
+
+module Rng = Resched_util.Rng
+module Table = Resched_util.Table
+module Graph = Resched_taskgraph.Graph
+module Dot = Resched_taskgraph.Dot
+module Arch = Resched_platform.Arch
+module Instance = Resched_platform.Instance
+module Suite = Resched_platform.Suite
+module Io = Resched_platform.Io
+module Pa = Resched_core.Pa
+module Pa_random = Resched_core.Pa_random
+module Schedule = Resched_core.Schedule
+module Validate = Resched_core.Validate
+module Gantt = Resched_core.Gantt
+module Metrics = Resched_core.Metrics
+module Isk = Resched_baseline.Isk
+module List_sched = Resched_baseline.List_sched
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_arg =
+  let doc = "Enable debug logging of the scheduler pipeline." in
+  Term.(
+    const setup_logs
+    $ Arg.(value & flag & info [ "v"; "verbose" ] ~doc))
+
+let seed_arg =
+  let doc = "Seed for pseudo-random generation." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let tasks_arg =
+  let doc = "Number of application tasks." in
+  Arg.(value & opt int 20 & info [ "tasks"; "n" ] ~docv:"N" ~doc)
+
+let load_instance path =
+  match Io.load path with
+  | Ok inst -> inst
+  | Error msg ->
+    Printf.eprintf "error: cannot load %s: %s\n" path msg;
+    exit 1
+
+let instance_arg =
+  let doc = "Problem instance file (see lib/platform/io.mli for the format)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+
+let generate seed tasks out =
+  let rng = Rng.create seed in
+  let inst = Suite.instance rng ~tasks in
+  (match out with
+  | Some path ->
+    Io.save path inst;
+    Printf.printf "wrote %s (%d tasks, %d edges)\n" path tasks
+      (Graph.edge_count inst.Instance.graph)
+  | None -> print_string (Io.to_string inst));
+  0
+
+let generate_cmd =
+  let out =
+    let doc = "Output file (stdout when omitted)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let doc = "generate a pseudo-random problem instance" in
+  Cmd.v (Cmd.info "generate" ~doc)
+    Term.(const generate $ seed_arg $ tasks_arg $ out)
+
+(* ------------------------------------------------------------------ *)
+(* show                                                                *)
+
+let show path dot =
+  let inst = load_instance path in
+  Format.printf "%a@." Instance.pp_summary inst;
+  if dot then
+    Dot.to_channel stdout ~label:(Instance.task_name inst) inst.Instance.graph
+  else begin
+    let n = Instance.size inst in
+    for u = 0 to n - 1 do
+      Format.printf "  %s:" (Instance.task_name inst u);
+      Array.iter
+        (fun i -> Format.printf " %a" Resched_platform.Impl.pp i)
+        inst.Instance.impls.(u);
+      Format.printf "@."
+    done
+  end;
+  0
+
+let show_cmd =
+  let dot =
+    let doc = "Emit the task graph in Graphviz DOT syntax." in
+    Arg.(value & flag & info [ "dot" ] ~doc)
+  in
+  let doc = "print an instance summary" in
+  Cmd.v (Cmd.info "show" ~doc) Term.(const show $ instance_arg $ dot)
+
+(* ------------------------------------------------------------------ *)
+(* schedule                                                            *)
+
+type algo = A_pa | A_par | A_is1 | A_is5 | A_heft | A_sw
+
+let algo_conv =
+  let parse = function
+    | "pa" -> Ok A_pa
+    | "pa-r" | "par" -> Ok A_par
+    | "is1" | "is-1" -> Ok A_is1
+    | "is5" | "is-5" -> Ok A_is5
+    | "heft" -> Ok A_heft
+    | "sw" -> Ok A_sw
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+  in
+  Arg.conv (parse, fun ppf _ -> Format.fprintf ppf "<algo>")
+
+let run_algo algo ~budget_s ~reuse ~seed inst =
+  match algo with
+  | A_pa ->
+    let config = { Pa.default_config with Pa.module_reuse = reuse } in
+    fst (Pa.run ~config inst)
+  | A_par -> (
+    let config = { Pa.default_config with Pa.module_reuse = reuse } in
+    let outcome = Pa_random.run ~config ~seed ~budget_seconds:budget_s inst in
+    match outcome.Pa_random.schedule with
+    | Some sched -> sched
+    | None ->
+      Printf.eprintf
+        "note: PA-R found no floorplannable schedule in %.1fs; falling back \
+         to PA\n"
+        budget_s;
+      fst (Pa.run inst))
+  | A_is1 ->
+    fst (Isk.run ~config:{ (Isk.config ~k:1) with Isk.module_reuse = reuse } inst)
+  | A_is5 ->
+    fst (Isk.run ~config:{ (Isk.config ~k:5) with Isk.module_reuse = reuse } inst)
+  | A_heft -> List_sched.run ~module_reuse:reuse inst
+  | A_sw -> Pa.all_software_schedule inst
+
+let schedule path algo budget_ms reuse seed gantt save svg_gantt
+    svg_floorplan =
+  let inst = load_instance path in
+  let t0 = Unix.gettimeofday () in
+  let sched =
+    run_algo algo ~budget_s:(float_of_int budget_ms /. 1000.) ~reuse ~seed inst
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Validate.check_exn sched;
+  Format.printf "%a@." Schedule.pp_summary sched;
+  Format.printf "%a@." Metrics.pp (Metrics.compute sched);
+  Printf.printf "scheduler wall-clock: %.3fs\n" elapsed;
+  if gantt then begin
+    print_newline ();
+    Gantt.print sched
+  end;
+  (match save with
+  | Some out ->
+    Resched_core.Schedule_io.save out sched;
+    Printf.printf "schedule written to %s\n" out
+  | None -> ());
+  (match svg_gantt with
+  | Some out ->
+    Resched_viz.Render.save out (Resched_viz.Render.gantt sched);
+    Printf.printf "gantt SVG written to %s\n" out
+  | None -> ());
+  (match svg_floorplan with
+  | Some out -> (
+    match sched.Schedule.floorplan with
+    | Some placements when Array.length placements > 0 ->
+      let needs =
+        Array.map (fun (r : Schedule.region) -> r.Schedule.res)
+          sched.Schedule.regions
+      in
+      Resched_viz.Render.save out
+        (Resched_viz.Render.floorplan
+           inst.Instance.arch.Resched_platform.Arch.device ~needs placements);
+      Printf.printf "floorplan SVG written to %s\n" out
+    | Some _ | None ->
+      Printf.eprintf "note: no floorplanned regions to draw\n")
+  | None -> ());
+  0
+
+let schedule_cmd =
+  let algo =
+    let doc = "Algorithm: pa, pa-r, is1, is5, heft or sw." in
+    Arg.(value & opt algo_conv A_pa & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let budget =
+    let doc = "Time budget for pa-r, in milliseconds." in
+    Arg.(value & opt int 1000 & info [ "budget-ms" ] ~docv:"MS" ~doc)
+  in
+  let reuse =
+    let doc = "Enable module reuse." in
+    Arg.(value & flag & info [ "module-reuse" ] ~doc)
+  in
+  let gantt =
+    let doc = "Print an ASCII Gantt chart." in
+    Arg.(value & flag & info [ "gantt" ] ~doc)
+  in
+  let save =
+    let doc = "Write the full schedule (instance + decisions) to FILE." in
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+  in
+  let svg_gantt =
+    let doc = "Render the schedule as an SVG Gantt chart to FILE." in
+    Arg.(value & opt (some string) None & info [ "svg-gantt" ] ~docv:"FILE" ~doc)
+  in
+  let svg_floorplan =
+    let doc = "Render the floorplan as SVG to FILE." in
+    Arg.(
+      value & opt (some string) None & info [ "svg-floorplan" ] ~docv:"FILE" ~doc)
+  in
+  let doc = "schedule an instance" in
+  Cmd.v (Cmd.info "schedule" ~doc)
+    Term.(
+      const (fun () -> schedule)
+      $ verbose_arg $ instance_arg $ algo $ budget $ reuse $ seed_arg $ gantt
+      $ save $ svg_gantt $ svg_floorplan)
+
+(* ------------------------------------------------------------------ *)
+(* replay                                                              *)
+
+let replay path trials jitter_pct delays_only seed =
+  match Resched_core.Schedule_io.load path with
+  | Error msg ->
+    Printf.eprintf "error: cannot load %s: %s\n" path msg;
+    1
+  | Ok sched ->
+    Validate.check_exn sched;
+    Format.printf "loaded: %a@." Schedule.pp_summary sched;
+    let module Executor = Resched_sim.Executor in
+    let f = float_of_int jitter_pct /. 100. in
+    let jitter =
+      if jitter_pct = 0 then Executor.Deterministic
+      else if delays_only then Executor.Delay_only f
+      else Executor.Uniform f
+    in
+    let rng = Rng.create seed in
+    if trials <= 1 then begin
+      let t = Executor.execute ~rng ~jitter sched in
+      Printf.printf "realized makespan: %d (static %d)\n" t.Executor.makespan
+        (Schedule.makespan sched)
+    end
+    else begin
+      let r = Executor.robustness ~rng ~trials ~jitter sched in
+      Format.printf "%a@." Executor.pp_robustness r
+    end;
+    0
+
+let replay_cmd =
+  let file =
+    let doc = "Schedule file produced by 'schedule --save'." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCHEDULE" ~doc)
+  in
+  let trials =
+    let doc = "Monte-Carlo trials (1 = single replay)." in
+    Arg.(value & opt int 100 & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let jitter =
+    let doc = "Task duration jitter in percent (0 = deterministic)." in
+    Arg.(value & opt int 20 & info [ "jitter-pct" ] ~docv:"PCT" ~doc)
+  in
+  let delays_only =
+    let doc = "Jitter can only delay tasks, never shorten them." in
+    Arg.(value & flag & info [ "delays-only" ] ~doc)
+  in
+  let doc = "replay a saved schedule under runtime jitter (resched_sim)" in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(const replay $ file $ trials $ jitter $ delays_only $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                             *)
+
+let compare_ path budget_ms seed =
+  let inst = load_instance path in
+  let table =
+    Table.create
+      [ "algorithm"; "makespan"; "HW/SW"; "regions"; "reconf %"; "time [s]" ]
+  in
+  List.iter
+    (fun (name, algo) ->
+      let t0 = Unix.gettimeofday () in
+      let sched =
+        run_algo algo
+          ~budget_s:(float_of_int budget_ms /. 1000.)
+          ~reuse:(algo = A_is1 || algo = A_is5)
+          ~seed inst
+      in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Validate.check_exn sched;
+      let m = Metrics.compute sched in
+      Table.add_row table
+        [
+          name;
+          string_of_int (Schedule.makespan sched);
+          Printf.sprintf "%d/%d" m.Metrics.hw_tasks m.Metrics.sw_tasks;
+          string_of_int m.Metrics.regions;
+          Printf.sprintf "%.1f" (100. *. m.Metrics.reconfiguration_overhead);
+          Printf.sprintf "%.3f" elapsed;
+        ])
+    [
+      ("PA", A_pa); ("PA-R", A_par); ("IS-1", A_is1); ("IS-5", A_is5);
+      ("HEFT", A_heft); ("SW-only", A_sw);
+    ];
+  Table.print table;
+  0
+
+let compare_cmd =
+  let budget =
+    let doc = "Time budget for pa-r, in milliseconds." in
+    Arg.(value & opt int 1000 & info [ "budget-ms" ] ~docv:"MS" ~doc)
+  in
+  let doc = "run every algorithm on an instance and tabulate" in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(
+      const (fun () -> compare_) $ verbose_arg $ instance_arg $ budget
+      $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* suite                                                               *)
+
+let suite seed dir count =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  List.iter
+    (fun (tasks, insts) ->
+      List.iteri
+        (fun i inst ->
+          let path = Filename.concat dir (Printf.sprintf "t%03d_%02d.inst" tasks i) in
+          Io.save path inst)
+        insts)
+    (Suite.full ~graphs_per_group:count ~seed ());
+  Printf.printf "wrote %d instances under %s/\n" (10 * count) dir;
+  0
+
+let suite_cmd =
+  let dir =
+    let doc = "Output directory." in
+    Arg.(value & opt string "suite" & info [ "d"; "dir" ] ~docv:"DIR" ~doc)
+  in
+  let count =
+    let doc = "Instances per task-count group (paper: 10)." in
+    Arg.(value & opt int 10 & info [ "per-group" ] ~docv:"N" ~doc)
+  in
+  let doc = "materialize the paper's benchmark suite" in
+  Cmd.v (Cmd.info "suite" ~doc) Term.(const suite $ seed_arg $ dir $ count)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc =
+    "resource-efficient scheduling for partially-reconfigurable FPGA-based \
+     systems"
+  in
+  let info = Cmd.info "fpga_sched" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ generate_cmd; show_cmd; schedule_cmd; replay_cmd; compare_cmd;
+            suite_cmd ]))

@@ -1,0 +1,1 @@
+examples/design_space.ml: List Printf Resched_core Resched_fabric Resched_platform Resched_util Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf Resched_core Resched_fabric Resched_platform Resched_taskgraph

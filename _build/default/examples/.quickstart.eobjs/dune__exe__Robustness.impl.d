@@ -1,0 +1,1 @@
+examples/robustness.ml: List Printf Resched_baseline Resched_core Resched_platform Resched_sim Resched_util

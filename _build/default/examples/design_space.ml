@@ -1,0 +1,80 @@
+(* Design-space exploration: the use case the paper's conclusions call
+   out — PA is fast enough to evaluate many candidate architectures for a
+   fixed application before committing to one.
+
+   A 30-task synthetic application is scheduled on every combination of
+   core count and reconfiguration throughput, plus both fabric presets;
+   the table shows how makespan and the HW/SW split react.
+
+   Run with:  dune exec examples/design_space.exe *)
+
+module Rng = Resched_util.Rng
+module Table = Resched_util.Table
+module Device = Resched_fabric.Device
+module Arch = Resched_platform.Arch
+module Instance = Resched_platform.Instance
+module Suite = Resched_platform.Suite
+module Pa = Resched_core.Pa
+module Schedule = Resched_core.Schedule
+module Validate = Resched_core.Validate
+module Metrics = Resched_core.Metrics
+
+let () =
+  (* One fixed application; only the architecture varies. The instance
+     is regenerated per architecture from the same seed so that the task
+     graph stays identical; implementation areas are sized relative to
+     each device so the same application "ported" to a smaller or larger
+     part keeps a comparable footprint share. *)
+  let application arch =
+    let clb = (Resched_platform.Arch.max_res arch).Resched_fabric.Resource.clb in
+    let params =
+      { Suite.default_params with
+        Suite.clb_min = clb * 15 / 100;
+        clb_max = clb * 37 / 100 }
+    in
+    Suite.instance ~params (Rng.create 2024) ~tasks:30 ~arch
+  in
+  let icap_full = Device.icap_default_bits_per_us in
+  let table =
+    Table.create
+      [ "device"; "cores"; "ICAP"; "makespan [us]"; "HW/SW"; "regions";
+        "reconf %"; "PA time [ms]" ]
+  in
+  List.iter
+    (fun device ->
+      List.iter
+        (fun processors ->
+          List.iter
+            (fun (icap_label, bits_per_tick) ->
+              let arch = Arch.make ~processors ~device ~bits_per_tick () in
+              let inst = application arch in
+              let t0 = Unix.gettimeofday () in
+              let sched, _ = Pa.run inst in
+              let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+              Validate.check_exn sched;
+              let m = Metrics.compute sched in
+              Table.add_row table
+                [
+                  device.Device.name;
+                  string_of_int processors;
+                  icap_label;
+                  string_of_int (Schedule.makespan sched);
+                  Printf.sprintf "%d/%d" m.Metrics.hw_tasks m.Metrics.sw_tasks;
+                  string_of_int m.Metrics.regions;
+                  Printf.sprintf "%.1f" (100. *. m.Metrics.reconfiguration_overhead);
+                  Printf.sprintf "%.1f" ms;
+                ])
+            [ ("400MB/s", icap_full); ("100MB/s", icap_full /. 4.) ])
+        [ 1; 2; 4 ])
+    [ Device.xc7z010; Device.xc7z020; Device.xc7z045 ];
+  print_endline
+    "PA as a design-space-exploration engine (fixed 30-task application):";
+  Table.print table;
+  print_endline
+    "Reading guide: more cores absorb the software overflow; a slower\n\
+     ICAP inflates reconfiguration overhead and pushes PA toward fewer,\n\
+     longer-lived regions. The xc7z045 rows illustrate a real PDR pitfall\n\
+     the bitstream model captures: porting the same fractional footprint\n\
+     to a 4x larger part quadruples every partial bitstream, so unless\n\
+     the configuration port gets faster too, the design becomes\n\
+     reconfiguration-bound and the extra fabric buys nothing."

@@ -1,0 +1,59 @@
+(* Quickstart: build a small application by hand, schedule it with PA on
+   the ZedBoard model, and inspect the result.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Resource = Resched_fabric.Resource
+module Graph = Resched_taskgraph.Graph
+module Impl = Resched_platform.Impl
+module Arch = Resched_platform.Arch
+module Instance = Resched_platform.Instance
+module Pa = Resched_core.Pa
+module Schedule = Resched_core.Schedule
+module Validate = Resched_core.Validate
+module Gantt = Resched_core.Gantt
+module Metrics = Resched_core.Metrics
+
+let () =
+  (* A five-task application:   decode -> {filter_a, filter_b} -> merge
+     -> encode. Times are microseconds on the modelled platform. *)
+  let graph = Graph.create 5 in
+  List.iter
+    (fun (u, v) -> Graph.add_edge graph u v)
+    [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4) ];
+  let names = [| "decode"; "filter_a"; "filter_b"; "merge"; "encode" |] in
+  (* Every task: one software implementation, plus hardware variants
+     trading area for speed (as HLS unrolling factors would). *)
+  let hw ~time ~clb ~bram ~dsp =
+    Impl.hw ~time ~res:(Resource.make ~clb ~bram ~dsp) ()
+  in
+  let impls =
+    [|
+      [| Impl.sw ~time:4200; hw ~time:700 ~clb:2400 ~bram:8 ~dsp:4;
+         hw ~time:1600 ~clb:800 ~bram:4 ~dsp:2 |];
+      [| Impl.sw ~time:6000; hw ~time:900 ~clb:3000 ~bram:12 ~dsp:24;
+         hw ~time:2100 ~clb:900 ~bram:4 ~dsp:8 |];
+      [| Impl.sw ~time:5600; hw ~time:850 ~clb:2800 ~bram:10 ~dsp:20;
+         hw ~time:2000 ~clb:850 ~bram:4 ~dsp:6 |];
+      [| Impl.sw ~time:2500; hw ~time:500 ~clb:1200 ~bram:2 ~dsp:0 |];
+      [| Impl.sw ~time:3800; hw ~time:650 ~clb:2000 ~bram:16 ~dsp:0 |];
+    |]
+  in
+  let inst = Instance.make ~arch:Arch.zedboard ~graph ~names ~impls () in
+  Format.printf "%a@." Instance.pp_summary inst;
+
+  (* Schedule with the deterministic heuristic (PA). *)
+  let sched, stats = Pa.run inst in
+  Validate.check_exn sched;
+  Format.printf "PA finished in %d attempt(s): %a@." stats.Pa.attempts
+    Schedule.pp_summary sched;
+  Format.printf "%a@." Metrics.pp (Metrics.compute sched);
+  print_newline ();
+  Gantt.print ~width:96 sched;
+
+  (* Software-only reference, to see what the FPGA buys us. *)
+  let sw_only = Pa.all_software_schedule inst in
+  Printf.printf "\nall-software makespan: %d ticks -> PA speedup: %.2fx\n"
+    (Schedule.makespan sw_only)
+    (float_of_int (Schedule.makespan sw_only)
+    /. float_of_int (Schedule.makespan sched))

@@ -1,0 +1,70 @@
+(* Robustness study: how do the schedulers' plans survive runtime
+   execution-time variation?
+
+   Offline schedules bake in nominal task times; at runtime, durations
+   jitter. The resched_sim executor replays a finished schedule
+   self-timed (same decisions and per-resource orders, sampled durations)
+   and reports realized makespans. Schedules with more slack between
+   dependent activities absorb jitter better; tightly-packed plans
+   degrade more. PA's resource-efficient style — more regions, fewer
+   reconfigurations in series — tends to leave more independent slack
+   than IS-k's few-big-regions style.
+
+   Run with:  dune exec examples/robustness.exe *)
+
+module Rng = Resched_util.Rng
+module Table = Resched_util.Table
+module Suite = Resched_platform.Suite
+module Pa = Resched_core.Pa
+module Pa_random = Resched_core.Pa_random
+module Schedule = Resched_core.Schedule
+module Executor = Resched_sim.Executor
+module Isk = Resched_baseline.Isk
+module List_sched = Resched_baseline.List_sched
+
+let () =
+  let inst = Suite.instance (Rng.create 77) ~tasks:30 in
+  let schedules =
+    let pa, _ = Pa.run inst in
+    let par =
+      match
+        (Pa_random.run ~seed:3 ~budget_seconds:0.5 inst).Pa_random.schedule
+      with
+      | Some s -> s
+      | None -> pa
+    in
+    let is5, _ = Isk.run ~config:(Isk.config ~k:5) inst in
+    [ ("PA", pa); ("PA-R", par); ("IS-5", is5); ("HEFT", List_sched.run inst) ]
+  in
+  List.iter
+    (fun (jitter_name, jitter) ->
+      Printf.printf "\n-- jitter: %s --\n" jitter_name;
+      let table =
+        Table.create
+          [ "scheduler"; "static"; "mean"; "p95"; "worst"; "slowdown" ]
+      in
+      List.iter
+        (fun (name, sched) ->
+          let rng = Rng.create 1234 in
+          let r = Executor.robustness ~rng ~trials:200 ~jitter sched in
+          Table.add_row table
+            [
+              name;
+              string_of_int r.Executor.static_makespan;
+              Printf.sprintf "%.0f" r.Executor.mean_makespan;
+              Printf.sprintf "%.0f" r.Executor.p95_makespan;
+              string_of_int r.Executor.worst_makespan;
+              Printf.sprintf "x%.3f" r.Executor.mean_slowdown;
+            ])
+        schedules;
+      Table.print table)
+    [
+      ("uniform ±10%", Executor.Uniform 0.10);
+      ("uniform ±30%", Executor.Uniform 0.30);
+      ("delays only, up to +50%", Executor.Delay_only 0.50);
+    ];
+  print_newline ();
+  print_endline
+    "slowdown < 1.0 under symmetric jitter means the plan contains slack\n\
+     that early-finishing tasks expose; the gap between mean and worst is\n\
+     the price of committing to an offline schedule."

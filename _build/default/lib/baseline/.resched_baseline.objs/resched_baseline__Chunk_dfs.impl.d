@@ -1,0 +1,1 @@
+lib/baseline/chunk_dfs.ml: Array List Partial Resched_platform Resched_taskgraph

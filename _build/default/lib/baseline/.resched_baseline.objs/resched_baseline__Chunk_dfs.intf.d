@@ -1,0 +1,1 @@
+lib/baseline/chunk_dfs.mli: Partial

@@ -1,0 +1,1 @@
+lib/baseline/ilp_exact.ml: Array List Printf Resched_core Resched_fabric Resched_milp Resched_platform Resched_taskgraph Stdlib

@@ -1,0 +1,1 @@
+lib/baseline/ilp_exact.mli: Resched_core Resched_platform

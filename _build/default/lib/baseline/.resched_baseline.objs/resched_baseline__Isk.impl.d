@@ -1,0 +1,1 @@
+lib/baseline/isk.ml: Array Chunk_dfs List Partial Resched_core Resched_floorplan Resched_platform Resched_taskgraph Unix

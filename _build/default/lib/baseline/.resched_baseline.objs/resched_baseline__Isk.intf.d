@@ -1,0 +1,1 @@
+lib/baseline/isk.mli: Resched_core Resched_floorplan Resched_platform

@@ -1,0 +1,1 @@
+lib/baseline/list_sched.ml: Array List Partial Resched_core Resched_floorplan Resched_platform Resched_taskgraph Stdlib

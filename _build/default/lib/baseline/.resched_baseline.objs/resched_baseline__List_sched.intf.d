@@ -1,0 +1,1 @@
+lib/baseline/list_sched.mli: Resched_core Resched_platform

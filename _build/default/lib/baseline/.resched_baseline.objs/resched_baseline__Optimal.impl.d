@@ -1,0 +1,1 @@
+lib/baseline/optimal.ml: Array Chunk_dfs List Partial Resched_core Resched_platform Resched_taskgraph

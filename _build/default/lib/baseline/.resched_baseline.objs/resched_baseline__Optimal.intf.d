@@ -1,0 +1,1 @@
+lib/baseline/optimal.mli: Resched_core Resched_platform

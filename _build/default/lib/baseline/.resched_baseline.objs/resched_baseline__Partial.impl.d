@@ -1,0 +1,1 @@
+lib/baseline/partial.ml: Array List Printf Resched_core Resched_fabric Resched_platform Resched_taskgraph Stdlib

@@ -1,0 +1,1 @@
+lib/baseline/partial.mli: Resched_core Resched_fabric Resched_platform

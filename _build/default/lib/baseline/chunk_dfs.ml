@@ -1,0 +1,89 @@
+module Graph = Resched_taskgraph.Graph
+module Instance = Resched_platform.Instance
+
+type result = {
+  state : Partial.t;
+  nodes : int;
+  optimal : bool;
+}
+
+exception Budget
+
+let sum_finish state chunk =
+  List.fold_left (fun acc u -> acc + state.Partial.finish.(u)) 0 chunk
+
+let solve ?(node_limit = 200_000) state ~chunk =
+  let graph = state.Partial.inst.Instance.graph in
+  let best = ref None in
+  let best_key = ref (max_int, max_int) in
+  let nodes = ref 0 in
+  let rec go state remaining =
+    if remaining = [] then begin
+      let key = (state.Partial.makespan, sum_finish state chunk) in
+      if key < !best_key then begin
+        best_key := key;
+        best := Some state
+      end
+    end
+    else begin
+      (* A chunk task is ready once all its predecessors are committed
+         (out-of-chunk predecessors always are, by the chunk invariant). *)
+      let ready =
+        List.filter
+          (fun u ->
+            List.for_all
+              (fun p -> state.Partial.finish.(p) >= 0)
+              (Graph.preds graph u))
+          remaining
+      in
+      List.iter
+        (fun task ->
+          List.iter
+            (fun option ->
+              incr nodes;
+              if !nodes > node_limit then raise Budget;
+              let state' = Partial.apply state ~task option in
+              (* The makespan only grows along a branch: prune against
+                 the incumbent. *)
+              if state'.Partial.makespan < fst !best_key then
+                go state' (List.filter (fun u -> u <> task) remaining))
+            (Partial.options state task))
+        ready
+    end
+  in
+  let optimal =
+    match go state chunk with () -> true | exception Budget -> false
+  in
+  match !best with
+  | Some state -> { state; nodes = !nodes; optimal }
+  | None ->
+    (* Budget hit before any leaf: commit greedily, first-ready task,
+       best single option each time. *)
+    let rec greedy state remaining =
+      match remaining with
+      | [] -> state
+      | _ ->
+        let task =
+          List.find
+            (fun u ->
+              List.for_all
+                (fun p -> state.Partial.finish.(p) >= 0)
+                (Graph.preds graph u))
+            remaining
+        in
+        let best_state =
+          List.fold_left
+            (fun acc option ->
+              let s = Partial.apply state ~task option in
+              match acc with
+              | None -> Some s
+              | Some b ->
+                if s.Partial.makespan < b.Partial.makespan then Some s else acc)
+            None (Partial.options state task)
+        in
+        let state =
+          match best_state with Some s -> s | None -> assert false
+        in
+        greedy state (List.filter (fun u -> u <> task) remaining)
+    in
+    { state = greedy state chunk; nodes = !nodes; optimal = false }

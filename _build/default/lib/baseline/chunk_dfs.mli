@@ -1,0 +1,20 @@
+(** Exact combinatorial solver for one IS-k chunk.
+
+    Replaces the per-iteration Gurobi MILP of [6]: branch-and-bound over
+    every interleaving of the chunk's tasks (respecting in-chunk
+    dependencies) and every option of every task, with earliest-start
+    timing. Within the node budget the returned extension minimizes the
+    partial-schedule makespan over that decision space — i.e. it is
+    chunk-optimal exactly like the MILP; past the budget it is the best
+    extension found (anytime behaviour). *)
+
+type result = {
+  state : Partial.t;  (** the committed state after the chunk *)
+  nodes : int;
+  optimal : bool;  (** false when the node budget was exhausted *)
+}
+
+val solve : ?node_limit:int -> Partial.t -> chunk:int list -> result
+(** [chunk] must be closed under in-chunk dependencies (a predecessor of
+    a chunk task is either committed or in the chunk). [node_limit]
+    defaults to 200_000. *)

@@ -1,0 +1,256 @@
+module Resource = Resched_fabric.Resource
+module Graph = Resched_taskgraph.Graph
+module Instance = Resched_platform.Instance
+module Arch = Resched_platform.Arch
+module Impl = Resched_platform.Impl
+module Schedule = Resched_core.Schedule
+
+type region = {
+  rid : int;
+  res : Resource.t;
+  reconf : int;
+  free_at : int;
+  loaded_module : int option;
+  hosted_rev : (int * int * int) list;
+  recs_rev : (int * int * int * int) list;
+}
+
+type t = {
+  inst : Instance.t;
+  max_res : Resource.t;
+  module_reuse : bool;
+  regions : region list;
+  nregions : int;
+  used : Resource.t;
+  proc_free : int array;
+  proc_tasks_rev : (int * int * int) list array;
+  ctrl_free : int;
+  finish : int array;
+  impl_sel : int array;
+  place : int array;
+  makespan : int;
+}
+
+type option_ =
+  | Opt_sw of { impl_idx : int; proc : int }
+  | Opt_existing of { impl_idx : int; rid : int }
+  | Opt_new of { impl_idx : int }
+
+let create ?(module_reuse = false) ?(resource_scale = 1.0) inst =
+  let n = Instance.size inst in
+  let arch = inst.Instance.arch in
+  {
+    inst;
+    max_res = Resource.scale (Arch.max_res arch) resource_scale;
+    module_reuse;
+    regions = [];
+    nregions = 0;
+    used = Resource.zero;
+    proc_free = Array.make arch.Arch.processors 0;
+    proc_tasks_rev = Array.make arch.Arch.processors [];
+    ctrl_free = 0;
+    finish = Array.make n (-1);
+    impl_sel = Array.make n (-1);
+    place = Array.make n min_int;
+    makespan = 0;
+  }
+
+let copy t =
+  {
+    t with
+    proc_free = Array.copy t.proc_free;
+    proc_tasks_rev = Array.copy t.proc_tasks_rev;
+    finish = Array.copy t.finish;
+    impl_sel = Array.copy t.impl_sel;
+    place = Array.copy t.place;
+  }
+
+let ready_time t task =
+  List.fold_left
+    (fun acc p ->
+      if t.finish.(p) < 0 then
+        failwith
+          (Printf.sprintf "Partial.ready_time: predecessor %d of %d uncommitted"
+             p task)
+      else Stdlib.max acc t.finish.(p))
+    0
+    (Graph.preds t.inst.Instance.graph task)
+
+let options t task =
+  let procs = Array.length t.proc_free in
+  let sw_idx = Instance.fastest_sw t.inst task in
+  let sw = List.init procs (fun proc -> Opt_sw { impl_idx = sw_idx; proc }) in
+  let hw =
+    List.concat_map
+      (fun (impl_idx, (i : Impl.t)) ->
+        let on_regions =
+          List.filter_map
+            (fun r ->
+              if Resource.fits i.Impl.res ~within:r.res then
+                Some (Opt_existing { impl_idx; rid = r.rid })
+              else None)
+            t.regions
+        in
+        let fresh =
+          if Resource.fits (Resource.add t.used i.Impl.res) ~within:t.max_res
+          then [ Opt_new { impl_idx } ]
+          else []
+        in
+        fresh @ on_regions)
+      (Instance.hw_impls t.inst task)
+  in
+  sw @ hw
+
+let bump_makespan t end_ = { t with makespan = Stdlib.max t.makespan end_ }
+
+let apply t ~task option =
+  let t = copy t in
+  let ready = ready_time t task in
+  match option with
+  | Opt_sw { impl_idx; proc } ->
+    let dur = (Instance.impl t.inst ~task ~idx:impl_idx).Impl.time in
+    let start = Stdlib.max ready t.proc_free.(proc) in
+    let end_ = start + dur in
+    t.proc_free.(proc) <- end_;
+    t.proc_tasks_rev.(proc) <- (task, start, end_) :: t.proc_tasks_rev.(proc);
+    t.finish.(task) <- end_;
+    t.impl_sel.(task) <- impl_idx;
+    t.place.(task) <- -(proc + 1);
+    bump_makespan t end_
+  | Opt_new { impl_idx } ->
+    let i = Instance.impl t.inst ~task ~idx:impl_idx in
+    let dur = i.Impl.time in
+    let start = ready in
+    let end_ = start + dur in
+    let region =
+      {
+        rid = t.nregions;
+        res = i.Impl.res;
+        reconf = Arch.reconf_ticks t.inst.Instance.arch i.Impl.res;
+        free_at = end_;
+        loaded_module = i.Impl.module_id;
+        hosted_rev = [ (task, start, end_) ];
+        recs_rev = [];
+      }
+    in
+    t.finish.(task) <- end_;
+    t.impl_sel.(task) <- impl_idx;
+    t.place.(task) <- region.rid;
+    bump_makespan
+      {
+        t with
+        regions = region :: t.regions;
+        nregions = t.nregions + 1;
+        used = Resource.add t.used i.Impl.res;
+      }
+      end_
+  | Opt_existing { impl_idx; rid } ->
+    let region = List.find (fun r -> r.rid = rid) t.regions in
+    let i = Instance.impl t.inst ~task ~idx:impl_idx in
+    let dur = i.Impl.time in
+    let prev_task =
+      match region.hosted_rev with
+      | (p, _, _) :: _ -> Some p
+      | [] -> None
+    in
+    let reuse =
+      t.module_reuse
+      && (match (region.loaded_module, i.Impl.module_id) with
+         | Some a, Some b -> a = b
+         | _ -> false)
+    in
+    let start, end_, ctrl_free, recs_rev =
+      if reuse || prev_task = None then begin
+        let start = Stdlib.max ready region.free_at in
+        (start, start + dur, t.ctrl_free, region.recs_rev)
+      end
+      else begin
+        let rec_start = Stdlib.max t.ctrl_free region.free_at in
+        let rec_end = rec_start + region.reconf in
+        let start = Stdlib.max ready rec_end in
+        let t_in = match prev_task with Some p -> p | None -> assert false in
+        ( start,
+          start + dur,
+          rec_end,
+          (t_in, task, rec_start, rec_end) :: region.recs_rev )
+      end
+    in
+    let region' =
+      {
+        region with
+        free_at = end_;
+        loaded_module = i.Impl.module_id;
+        hosted_rev = (task, start, end_) :: region.hosted_rev;
+        recs_rev;
+      }
+    in
+    let regions =
+      List.map (fun r -> if r.rid = rid then region' else r) t.regions
+    in
+    t.finish.(task) <- end_;
+    t.impl_sel.(task) <- impl_idx;
+    t.place.(task) <- rid;
+    bump_makespan { t with regions; ctrl_free } end_
+
+let to_schedule t =
+  let n = Instance.size t.inst in
+  for u = 0 to n - 1 do
+    if t.finish.(u) < 0 then
+      invalid_arg "Partial.to_schedule: some task is not committed"
+  done;
+  let regions_in_order =
+    List.sort (fun a b -> compare a.rid b.rid) t.regions
+  in
+  let regions =
+    Array.of_list
+      (List.map
+         (fun r ->
+           {
+             Schedule.res = r.res;
+             reconf_ticks = r.reconf;
+             tasks =
+               List.rev_map (fun (task, _, _) -> task) r.hosted_rev;
+           })
+         regions_in_order)
+  in
+  let slots =
+    Array.init n (fun u ->
+        let impl_idx = t.impl_sel.(u) in
+        let dur = (Instance.impl t.inst ~task:u ~idx:impl_idx).Impl.time in
+        let placement =
+          if t.place.(u) >= 0 then Schedule.On_region t.place.(u)
+          else Schedule.On_processor (-t.place.(u) - 1)
+        in
+        {
+          Schedule.impl_idx;
+          placement;
+          start_ = t.finish.(u) - dur;
+          end_ = t.finish.(u);
+        })
+  in
+  let reconfigurations =
+    List.concat_map
+      (fun r ->
+        List.rev_map
+          (fun (t_in, t_out, s, e) ->
+            {
+              Schedule.region = r.rid;
+              t_in;
+              t_out;
+              r_start = s;
+              r_end = e;
+            })
+          r.recs_rev)
+      regions_in_order
+    |> List.sort (fun a b -> compare a.Schedule.r_start b.Schedule.r_start)
+  in
+  {
+    Schedule.instance = t.inst;
+    regions;
+    slots;
+    reconfigurations;
+    makespan = t.makespan;
+    floorplan = None;
+    module_reuse = t.module_reuse;
+    resource_scale = 1.0;
+  }

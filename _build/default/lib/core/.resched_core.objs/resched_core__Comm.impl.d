@@ -1,0 +1,1 @@
+lib/core/comm.ml: Array Float List Resched_platform Resched_taskgraph

@@ -1,0 +1,1 @@
+lib/core/cost.ml: List Resched_fabric Resched_platform

@@ -1,0 +1,1 @@
+lib/core/cost.mli: Resched_fabric Resched_platform

@@ -1,0 +1,1 @@
+lib/core/gantt.ml: Array Buffer Bytes List Printf Resched_platform Schedule Stdlib String

@@ -1,0 +1,1 @@
+lib/core/impl_select.ml: Array Cost Resched_platform

@@ -1,0 +1,1 @@
+lib/core/impl_select.mli: Resched_fabric Resched_platform

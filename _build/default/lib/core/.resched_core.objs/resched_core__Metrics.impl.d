@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Array Format List Resched_fabric Resched_platform Resched_taskgraph Schedule Stdlib

@@ -1,0 +1,1 @@
+lib/core/pa.ml: Array Impl_select List Logs Reconf_sched Regions_define Resched_fabric Resched_floorplan Resched_platform Resched_taskgraph Schedule State Stdlib Sw_balance Sw_map Timing Unix

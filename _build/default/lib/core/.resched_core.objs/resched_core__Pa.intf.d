@@ -1,0 +1,1 @@
+lib/core/pa.mli: Regions_define Resched_floorplan Resched_platform Schedule

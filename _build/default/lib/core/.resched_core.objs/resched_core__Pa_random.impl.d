@@ -1,0 +1,1 @@
+lib/core/pa_random.ml: Array List Pa Regions_define Resched_floorplan Resched_platform Resched_util Schedule Stdlib Unix

@@ -1,0 +1,1 @@
+lib/core/pa_random.mli: Pa Resched_platform Schedule

@@ -1,0 +1,1 @@
+lib/core/reconf_sched.ml: Array List Stdlib Timing

@@ -1,0 +1,1 @@
+lib/core/reconf_sched.mli: State Timing

@@ -1,0 +1,1 @@
+lib/core/regions_define.ml: Array Cost List Resched_fabric Resched_platform Resched_taskgraph Resched_util State

@@ -1,0 +1,1 @@
+lib/core/regions_define.mli: Resched_util State

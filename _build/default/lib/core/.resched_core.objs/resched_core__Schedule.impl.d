@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Format List Resched_fabric Resched_floorplan Resched_platform

@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Format Resched_fabric Resched_floorplan Resched_platform

@@ -1,0 +1,1 @@
+lib/core/schedule_io.ml: Array Buffer Fun Hashtbl In_channel List Printf Resched_fabric Resched_floorplan Resched_platform Schedule String

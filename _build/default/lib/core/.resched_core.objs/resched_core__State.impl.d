@@ -1,0 +1,1 @@
+lib/core/state.ml: Array Cost List Resched_fabric Resched_platform Resched_taskgraph

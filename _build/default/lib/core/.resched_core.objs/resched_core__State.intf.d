@@ -1,0 +1,1 @@
+lib/core/state.mli: Cost Resched_fabric Resched_platform Resched_taskgraph

@@ -1,0 +1,1 @@
+lib/core/sw_balance.ml: Array Cost List Regions_define Resched_fabric Resched_platform State Stdlib

@@ -1,0 +1,1 @@
+lib/core/sw_balance.mli: State

@@ -1,0 +1,1 @@
+lib/core/sw_map.ml: Array List Resched_platform Resched_taskgraph State Stdlib

@@ -1,0 +1,1 @@
+lib/core/sw_map.mli: State

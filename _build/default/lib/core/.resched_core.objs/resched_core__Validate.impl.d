@@ -1,0 +1,1 @@
+lib/core/validate.ml: Array Format List Printf Resched_fabric Resched_floorplan Resched_platform Resched_taskgraph Schedule Stdlib String

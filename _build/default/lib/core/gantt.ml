@@ -1,0 +1,76 @@
+module Instance = Resched_platform.Instance
+module Arch = Resched_platform.Arch
+
+(* Draw [label] inside [lane] between columns scaled from the slot. *)
+let draw lane ~scale ~start_ ~end_ label =
+  let width = Bytes.length lane in
+  let a = Stdlib.min (width - 1) (int_of_float (float_of_int start_ *. scale)) in
+  let b =
+    Stdlib.max (a + 1)
+      (Stdlib.min width (int_of_float (float_of_int end_ *. scale)))
+  in
+  for i = a to b - 1 do
+    Bytes.set lane i '='
+  done;
+  Bytes.set lane a '|';
+  if b - 1 > a then Bytes.set lane (b - 1) '|';
+  let label = if String.length label > b - a - 1 then "" else label in
+  String.iteri
+    (fun i c -> if a + 1 + i < b - 1 then Bytes.set lane (a + 1 + i) c)
+    label
+
+let render ?(width = 100) (sched : Schedule.t) =
+  let inst = sched.Schedule.instance in
+  let makespan = Stdlib.max 1 sched.Schedule.makespan in
+  let scale = float_of_int width /. float_of_int makespan in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "makespan: %d ticks (1 column ~ %.1f ticks)\n" makespan
+       (1. /. scale));
+  let lane_for label fill =
+    let lane = Bytes.make width '.' in
+    fill lane;
+    Buffer.add_string buf (Printf.sprintf "%-12s %s\n" label (Bytes.to_string lane))
+  in
+  let slot u = sched.Schedule.slots.(u) in
+  for p = 0 to inst.Instance.arch.Arch.processors - 1 do
+    lane_for
+      (Printf.sprintf "cpu%d" p)
+      (fun lane ->
+        Array.iteri
+          (fun u (s : Schedule.task_slot) ->
+            match s.Schedule.placement with
+            | Schedule.On_processor q when q = p ->
+              draw lane ~scale ~start_:s.Schedule.start_ ~end_:s.Schedule.end_
+                (Instance.task_name inst u)
+            | _ -> ())
+          sched.Schedule.slots)
+  done;
+  Array.iteri
+    (fun ridx (r : Schedule.region) ->
+      lane_for
+        (Printf.sprintf "region%d" ridx)
+        (fun lane ->
+          List.iter
+            (fun u ->
+              let s = slot u in
+              draw lane ~scale ~start_:s.Schedule.start_ ~end_:s.Schedule.end_
+                (Instance.task_name inst u))
+            r.Schedule.tasks;
+          List.iter
+            (fun (rc : Schedule.reconfiguration) ->
+              if rc.Schedule.region = ridx then
+                draw lane ~scale ~start_:rc.Schedule.r_start
+                  ~end_:rc.Schedule.r_end "r")
+            sched.Schedule.reconfigurations))
+    sched.Schedule.regions;
+  if sched.Schedule.reconfigurations <> [] then
+    lane_for "icap" (fun lane ->
+        List.iter
+          (fun (rc : Schedule.reconfiguration) ->
+            draw lane ~scale ~start_:rc.Schedule.r_start ~end_:rc.Schedule.r_end
+              (Printf.sprintf "R%d" rc.Schedule.region))
+          sched.Schedule.reconfigurations);
+  Buffer.contents buf
+
+let print ?width sched = print_string (render ?width sched)

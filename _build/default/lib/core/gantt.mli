@@ -1,0 +1,9 @@
+(** ASCII Gantt rendering of a schedule: one lane per processor, per
+    reconfigurable region and one for the reconfiguration controller —
+    the same picture as the paper's Fig. 1. *)
+
+val render : ?width:int -> Schedule.t -> string
+(** [width] (default 100) is the number of character columns the time
+    axis is scaled onto. *)
+
+val print : ?width:int -> Schedule.t -> unit

@@ -1,0 +1,12 @@
+module Instance = Resched_platform.Instance
+module Impl = Resched_platform.Impl
+
+let run inst ~max_res =
+  let cost = Cost.make inst ~max_res in
+  Array.init (Instance.size inst) (fun task ->
+      let sw_idx = Instance.fastest_sw inst task in
+      let sw_time = (Instance.impl inst ~task ~idx:sw_idx).Impl.time in
+      match Cost.best_hw cost inst task with
+      | None -> sw_idx
+      | Some (hw_idx, hw_impl) ->
+        if hw_impl.Impl.time < sw_time then hw_idx else sw_idx)

@@ -1,0 +1,10 @@
+(** Step 1 — implementation selection (Sec. V-A).
+
+    For every task: score each hardware implementation with the cost
+    metric (eq. 3), pick the cheapest hardware implementation and the
+    fastest software one, then select whichever of the two executes
+    faster. *)
+
+val run : Resched_platform.Instance.t -> max_res:Resched_fabric.Resource.t ->
+  int array
+(** Initial implementation index per task. *)

@@ -1,0 +1,69 @@
+module Resource = Resched_fabric.Resource
+module Cpm = Resched_taskgraph.Cpm
+module Instance = Resched_platform.Instance
+module Arch = Resched_platform.Arch
+
+type t = {
+  makespan : int;
+  hw_tasks : int;
+  sw_tasks : int;
+  regions : int;
+  reconfigurations : int;
+  reconfiguration_ticks : int;
+  reconfiguration_overhead : float;
+  fpga_utilization : float;
+  processor_utilization : float;
+  critical_path_lower_bound : int;
+}
+
+let compute (sched : Schedule.t) =
+  let inst = sched.Schedule.instance in
+  let n = Instance.size inst in
+  let makespan = Stdlib.max 1 sched.Schedule.makespan in
+  let device_units =
+    Resource.total_units (Arch.max_res inst.Instance.arch)
+  in
+  let fpga_busy = ref 0 in
+  let cpu_busy = ref 0 in
+  Array.iteri
+    (fun u (s : Schedule.task_slot) ->
+      let ticks = s.Schedule.end_ - s.Schedule.start_ in
+      match s.Schedule.placement with
+      | Schedule.On_region r ->
+        let units =
+          Resource.total_units sched.Schedule.regions.(r).Schedule.res
+        in
+        fpga_busy := !fpga_busy + (ticks * units);
+        ignore u
+      | Schedule.On_processor _ -> cpu_busy := !cpu_busy + ticks)
+    sched.Schedule.slots;
+  let lower_bound =
+    let durations = Array.init n (Instance.min_time inst) in
+    (Cpm.compute inst.Instance.graph ~durations).Cpm.makespan
+  in
+  let rec_ticks = Schedule.reconfiguration_time sched in
+  {
+    makespan = sched.Schedule.makespan;
+    hw_tasks = Schedule.hw_task_count sched;
+    sw_tasks = Schedule.sw_task_count sched;
+    regions = Array.length sched.Schedule.regions;
+    reconfigurations = List.length sched.Schedule.reconfigurations;
+    reconfiguration_ticks = rec_ticks;
+    reconfiguration_overhead = float_of_int rec_ticks /. float_of_int makespan;
+    fpga_utilization =
+      float_of_int !fpga_busy /. float_of_int (device_units * makespan);
+    processor_utilization =
+      float_of_int !cpu_busy
+      /. float_of_int (inst.Instance.arch.Arch.processors * makespan);
+    critical_path_lower_bound = lower_bound;
+  }
+
+let pp ppf m =
+  Format.fprintf ppf
+    "makespan=%d (lb %d), hw=%d sw=%d, regions=%d, reconfs=%d (%d ticks, \
+     %.1f%%), fpga-util=%.1f%%, cpu-util=%.1f%%"
+    m.makespan m.critical_path_lower_bound m.hw_tasks m.sw_tasks m.regions
+    m.reconfigurations m.reconfiguration_ticks
+    (100. *. m.reconfiguration_overhead)
+    (100. *. m.fpga_utilization)
+    (100. *. m.processor_utilization)

@@ -1,0 +1,22 @@
+(** Schedule quality metrics used by the evaluation harness. *)
+
+type t = {
+  makespan : int;
+  hw_tasks : int;
+  sw_tasks : int;
+  regions : int;
+  reconfigurations : int;
+  reconfiguration_ticks : int;
+  reconfiguration_overhead : float;
+      (** reconfiguration ticks / makespan *)
+  fpga_utilization : float;
+      (** busy region-resource-ticks / (device resources * makespan),
+          weighted by total resource units *)
+  processor_utilization : float;
+  critical_path_lower_bound : int;
+      (** CPM makespan with every task on its fastest implementation and
+          no resource limits: no schedule can beat this *)
+}
+
+val compute : Schedule.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,188 @@
+module Instance = Resched_platform.Instance
+module Arch = Resched_platform.Arch
+module Floorplanner = Resched_floorplan.Floorplanner
+
+let src = Logs.Src.create "resched.pa" ~doc:"PA scheduler pipeline"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  ordering : Regions_define.ordering;
+  module_reuse : bool;
+  floorplan_engine : Floorplanner.engine;
+  floorplan_node_limit : int option;
+  max_attempts : int;
+  shrink_factor : float;
+}
+
+let default_config =
+  {
+    ordering = Regions_define.By_efficiency;
+    module_reuse = false;
+    floorplan_engine = Floorplanner.Backtracking;
+    floorplan_node_limit = None;
+    max_attempts = 8;
+    shrink_factor = 0.9;
+  }
+
+type stats = {
+  attempts : int;
+  scheduling_seconds : float;
+  floorplanning_seconds : float;
+}
+
+let schedule_of_state ?(module_reuse = false) ?(resource_scale = 1.0) state
+    specs sequence =
+  let resolved = Timing.resolve state ~reconfigs:specs ~sequence in
+  let n = Instance.size state.State.inst in
+  let slots =
+    Array.init n (fun u ->
+        let placement =
+          if state.State.region_of.(u) >= 0 then
+            Schedule.On_region state.State.region_of.(u)
+          else Schedule.On_processor (Stdlib.max 0 state.State.processor_of.(u))
+        in
+        {
+          Schedule.impl_idx = state.State.impl_of.(u);
+          placement;
+          start_ = resolved.Timing.task_start.(u);
+          end_ = resolved.Timing.task_end.(u);
+        })
+  in
+  let regions =
+    Array.map
+      (fun (r : State.region) ->
+        let ordered =
+          List.sort
+            (fun a b ->
+              compare resolved.Timing.task_start.(a)
+                resolved.Timing.task_start.(b))
+            r.State.tasks
+        in
+        {
+          Schedule.res = r.State.res;
+          reconf_ticks = r.State.reconf;
+          tasks = ordered;
+        })
+      (State.region_list state)
+  in
+  let reconfigurations =
+    List.map
+      (fun k ->
+        let spec = specs.(k) in
+        {
+          Schedule.region = spec.Timing.region_id;
+          t_in = spec.Timing.t_in;
+          t_out = spec.Timing.t_out;
+          r_start = resolved.Timing.rec_start.(k);
+          r_end = resolved.Timing.rec_end.(k);
+        })
+      sequence
+  in
+  {
+    Schedule.instance = state.State.inst;
+    regions;
+    slots;
+    reconfigurations;
+    makespan = resolved.Timing.makespan;
+    floorplan = None;
+    module_reuse;
+    resource_scale;
+  }
+
+let count_hw state =
+  let n = Instance.size state.State.inst in
+  let acc = ref 0 in
+  for u = 0 to n - 1 do
+    if State.is_hw state u then incr acc
+  done;
+  !acc
+
+let schedule_once ?(config = default_config) ?(resource_scale = 1.0) inst =
+  let max_res = Resched_fabric.Resource.scale (Arch.max_res inst.Instance.arch)
+      resource_scale
+  in
+  let impl_of = Impl_select.run inst ~max_res in
+  let state = State.create inst ~resource_scale ~impl_of () in
+  Log.debug (fun m ->
+      m "step 1-2: %d/%d tasks start on hardware, unconstrained makespan %d"
+        (count_hw state) (Instance.size inst)
+        state.State.cpm.Resched_taskgraph.Cpm.makespan);
+  Regions_define.run ~module_reuse:config.module_reuse
+    ~ordering:config.ordering state;
+  Log.debug (fun m ->
+      m "step 3: %d regions defined, %d tasks still on hardware"
+        (List.length state.State.regions)
+        (count_hw state));
+  Sw_balance.run state;
+  Log.debug (fun m -> m "step 4: %d hardware tasks after balancing" (count_hw state));
+  Sw_map.run state;
+  let specs, sequence = Reconf_sched.run ~module_reuse:config.module_reuse state in
+  Log.debug (fun m ->
+      m "step 7: %d reconfigurations sequenced on the controller"
+        (Array.length specs));
+  schedule_of_state ~module_reuse:config.module_reuse ~resource_scale state
+    specs sequence
+
+let all_software_schedule inst =
+  let impl_of =
+    Array.init (Instance.size inst) (fun u -> Instance.fastest_sw inst u)
+  in
+  let state = State.create inst ~impl_of () in
+  Sw_map.run state;
+  let sched = schedule_of_state state [||] [] in
+  { sched with Schedule.floorplan = Some [||] }
+
+let region_needs (sched : Schedule.t) =
+  Array.map (fun (r : Schedule.region) -> r.Schedule.res) sched.Schedule.regions
+
+let run ?(config = default_config) inst =
+  let device = inst.Instance.arch.Arch.device in
+  let sched_time = ref 0. and plan_time = ref 0. in
+  let rec attempt k scale =
+    if k > config.max_attempts then begin
+      Log.warn (fun m ->
+          m "no floorplannable schedule after %d attempts; all-software \
+             fallback"
+            config.max_attempts);
+      let t0 = Unix.gettimeofday () in
+      let fallback = all_software_schedule inst in
+      sched_time := !sched_time +. (Unix.gettimeofday () -. t0);
+      (fallback, k - 1)
+    end
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let sched = schedule_once ~config ~resource_scale:scale inst in
+      sched_time := !sched_time +. (Unix.gettimeofday () -. t0);
+      let needs = region_needs sched in
+      if Array.length needs = 0 then
+        ({ sched with Schedule.floorplan = Some [||] }, k)
+      else begin
+        let report =
+          Floorplanner.check ~engine:config.floorplan_engine
+            ?node_limit:config.floorplan_node_limit device needs
+        in
+        plan_time := !plan_time +. report.Floorplanner.elapsed;
+        match report.Floorplanner.verdict with
+        | Floorplanner.Feasible placements ->
+          Log.info (fun m ->
+              m "attempt %d (scale %.2f): makespan %d, %d regions, \
+                 floorplan found"
+                k scale sched.Schedule.makespan (Array.length needs));
+          ({ sched with Schedule.floorplan = Some placements }, k)
+        | Floorplanner.Infeasible | Floorplanner.Unknown ->
+          Log.debug (fun m ->
+              m "attempt %d (scale %.2f): %d regions not floorplannable; \
+                 shrinking"
+                k scale (Array.length needs));
+          attempt (k + 1) (scale *. config.shrink_factor)
+      end
+    end
+  in
+  let sched, attempts = attempt 1 1.0 in
+  ( sched,
+    {
+      attempts;
+      scheduling_seconds = !sched_time;
+      floorplanning_seconds = !plan_time;
+    } )

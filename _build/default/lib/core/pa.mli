@@ -1,0 +1,47 @@
+(** PA — the deterministic scheduling heuristic (Secs. IV-V).
+
+    Runs the eight-step pipeline: implementation selection, critical-path
+    extraction, regions definition, software task balancing, start/end
+    computation, software task mapping, reconfigurations scheduling and
+    the floorplan feasibility check — restarting with virtually reduced
+    FPGA resources when no feasible floorplan exists. *)
+
+type config = {
+  ordering : Regions_define.ordering;
+      (** non-critical hardware task order in regions definition;
+          {!Regions_define.By_efficiency} gives the paper's PA *)
+  module_reuse : bool;
+      (** allow consecutive same-module tasks in a region to skip the
+          reconfiguration (paper's future work; default false) *)
+  floorplan_engine : Resched_floorplan.Floorplanner.engine;
+  floorplan_node_limit : int option;
+  max_attempts : int;
+      (** floorplan retries before falling back to all-software *)
+  shrink_factor : float;
+      (** virtual [maxRes] multiplier applied per retry (Sec. V-H) *)
+}
+
+val default_config : config
+(** Efficiency ordering, no module reuse, backtracking floorplanner,
+    8 attempts, shrink 0.9. *)
+
+type stats = {
+  attempts : int;  (** scheduling attempts (>= 1) *)
+  scheduling_seconds : float;  (** time in steps 1-7 *)
+  floorplanning_seconds : float;  (** time in step 8 *)
+}
+
+val schedule_once : ?config:config -> ?resource_scale:float ->
+  Resched_platform.Instance.t -> Schedule.t
+(** Steps 1-7 only (no floorplan check); [resource_scale] (default 1.0)
+    virtually scales the FPGA resources. The result's [floorplan] is
+    [None]. Used by the randomized variant's inner loop and by tests. *)
+
+val all_software_schedule : Resched_platform.Instance.t -> Schedule.t
+(** Every task on its fastest software implementation, mapped on the
+    processors; trivially floorplan-feasible. The terminal fallback. *)
+
+val run : ?config:config -> Resched_platform.Instance.t ->
+  Schedule.t * stats
+(** The full PA algorithm. The returned schedule always validates
+    ({!Validate.check}) and carries a floorplan when it uses regions. *)

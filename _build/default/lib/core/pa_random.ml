@@ -1,0 +1,73 @@
+module Rng = Resched_util.Rng
+module Floorplanner = Resched_floorplan.Floorplanner
+module Instance = Resched_platform.Instance
+module Arch = Resched_platform.Arch
+
+type trace_point = { elapsed : float; iteration : int; makespan : int }
+
+type outcome = {
+  schedule : Schedule.t option;
+  iterations : int;
+  trace : trace_point list;
+}
+
+let run ?(config = Pa.default_config) ?(seed = 1) ?(min_iterations = 1)
+    ~budget_seconds inst =
+  let rng = Rng.create seed in
+  let device = inst.Instance.arch.Arch.device in
+  let start = Unix.gettimeofday () in
+  let deadline = start +. budget_seconds in
+  let best = ref None in
+  let best_makespan = ref max_int in
+  let trace = ref [] in
+  let iterations = ref 0 in
+  (* Virtual FPGA-resource scale for the inner doSchedule. Algorithm 1
+     never shrinks, but when the region definition saturates the device
+     no random order yields a floorplannable region set; adapting the
+     scale on floorplan failures (and probing back up on successes)
+     keeps the search inside the packable envelope. See DESIGN.md. *)
+  let scale = ref 1.0 in
+  let min_scale = config.Pa.shrink_factor ** 6. in
+  while
+    !iterations < min_iterations || Unix.gettimeofday () < deadline
+  do
+    incr iterations;
+    let config =
+      { config with Pa.ordering = Regions_define.Random (Rng.split rng) }
+    in
+    let candidate = Pa.schedule_once ~config ~resource_scale:!scale inst in
+    if candidate.Schedule.makespan < !best_makespan then begin
+      let needs =
+        Array.map
+          (fun (r : Schedule.region) -> r.Schedule.res)
+          candidate.Schedule.regions
+      in
+      let feasible =
+        if Array.length needs = 0 then Some [||]
+        else begin
+          let report =
+            Floorplanner.check ~engine:config.Pa.floorplan_engine
+              ?node_limit:config.Pa.floorplan_node_limit device needs
+          in
+          match report.Floorplanner.verdict with
+          | Floorplanner.Feasible placements -> Some placements
+          | Floorplanner.Infeasible | Floorplanner.Unknown -> None
+        end
+      in
+      match feasible with
+      | None ->
+        scale := Stdlib.max min_scale (!scale *. config.Pa.shrink_factor)
+      | Some placements ->
+        scale := Stdlib.min 1.0 (!scale /. sqrt config.Pa.shrink_factor);
+        best := Some { candidate with Schedule.floorplan = Some placements };
+        best_makespan := candidate.Schedule.makespan;
+        trace :=
+          {
+            elapsed = Unix.gettimeofday () -. start;
+            iteration = !iterations;
+            makespan = candidate.Schedule.makespan;
+          }
+          :: !trace
+    end
+  done;
+  { schedule = !best; iterations = !iterations; trace = List.rev !trace }

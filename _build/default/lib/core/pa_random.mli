@@ -1,0 +1,30 @@
+(** PA-R — the randomized scheduler variant (Sec. VI, Algorithm 1).
+
+    Repeatedly runs the deterministic pipeline with a random processing
+    order for non-critical hardware tasks, keeping the best schedule that
+    passes the floorplan check. The floorplanner is only consulted when a
+    candidate improves on the incumbent, amortizing its cost;
+    floorplan-infeasible candidates are discarded rather than triggering
+    the resource-shrinking restart of PA. *)
+
+type trace_point = {
+  elapsed : float;  (** seconds since the run started *)
+  iteration : int;
+  makespan : int;  (** best feasible makespan at that moment *)
+}
+
+type outcome = {
+  schedule : Schedule.t option;
+      (** best feasible schedule; [None] only if no iteration produced a
+          floorplannable schedule within the budget *)
+  iterations : int;
+  trace : trace_point list;  (** improvements, oldest first (Fig. 6) *)
+}
+
+val run : ?config:Pa.config -> ?seed:int -> ?min_iterations:int ->
+  budget_seconds:float -> Resched_platform.Instance.t -> outcome
+(** Algorithm 1 with a wall-clock budget. [min_iterations] (default 1)
+    iterations are executed even if the budget is already exhausted, so a
+    tiny budget still returns a schedule whenever one is floorplannable.
+    The [config]'s [ordering] field is ignored (PA-R always randomizes
+    non-critical tasks). *)

@@ -1,0 +1,99 @@
+let insert_at pos x l =
+  let rec go i = function
+    | rest when i = pos -> x :: rest
+    | [] -> [ x ]
+    | hd :: tl -> hd :: go (i + 1) tl
+  in
+  go 0 l
+
+(* Legal position interval for inserting [k] into [sequence] given the
+   dependency-forced pairwise order: after every scheduled spec that must
+   precede it, before every scheduled spec it must precede. *)
+let position_bounds state specs sequence k =
+  let lo = ref 0 and hi = ref (List.length sequence) in
+  List.iteri
+    (fun pos j ->
+      if Timing.must_precede state specs.(j) specs.(k) then
+        lo := Stdlib.max !lo (pos + 1);
+      if Timing.must_precede state specs.(k) specs.(j) then
+        hi := Stdlib.min !hi pos)
+    sequence;
+  (!lo, !hi)
+
+let run ?module_reuse state =
+  let specs = Timing.reconf_specs ?module_reuse state in
+  let nr = Array.length specs in
+  let sequence = ref [] in
+  let resolve () = Timing.resolve state ~reconfigs:specs ~sequence:!sequence in
+  let insert ~desired k =
+    let lo, hi = position_bounds state specs !sequence k in
+    assert (lo <= hi);
+    let pos = Stdlib.max lo (Stdlib.min hi desired) in
+    sequence := insert_at pos k !sequence
+  in
+  (* Critical reconfigurations first, lowest window start first; their
+     delay hits the makespan in full. Appending in this order realizes
+     the paper's "start after the last scheduled reconfiguration". *)
+  let criticals = ref [] and non_criticals = ref [] in
+  for k = nr - 1 downto 0 do
+    if specs.(k).Timing.critical then criticals := k :: !criticals
+    else non_criticals := k :: !non_criticals
+  done;
+  let remaining = ref !criticals in
+  while !remaining <> [] do
+    let times = resolve () in
+    let t_min_of k = times.Timing.task_end.(specs.(k).Timing.t_in) in
+    let best =
+      List.fold_left
+        (fun acc k ->
+          match acc with
+          | None -> Some k
+          | Some b -> if t_min_of k < t_min_of b then Some k else acc)
+        None !remaining
+    in
+    (match best with
+    | Some k ->
+      insert ~desired:(List.length !sequence) k;
+      remaining := List.filter (fun j -> j <> k) !remaining
+    | None -> assert false)
+  done;
+  (* Non-critical ones slot into the earliest controller gap at or after
+     their window start; the re-resolution shifts whatever follows. *)
+  let remaining = ref !non_criticals in
+  while !remaining <> [] do
+    let times = resolve () in
+    let t_min_of k = times.Timing.task_end.(specs.(k).Timing.t_in) in
+    let best =
+      List.fold_left
+        (fun acc k ->
+          match acc with
+          | None -> Some k
+          | Some b -> if t_min_of k < t_min_of b then Some k else acc)
+        None !remaining
+    in
+    match best with
+    | None -> assert false
+    | Some k ->
+      let t_min_k = t_min_of k in
+      (* Earliest instant >= t_min_k outside every scheduled slot. *)
+      let slots =
+        List.map
+          (fun j -> (times.Timing.rec_start.(j), times.Timing.rec_end.(j)))
+          !sequence
+        |> List.sort compare
+      in
+      let tau =
+        List.fold_left
+          (fun tau (s, e) -> if tau >= s && tau < e then e else tau)
+          t_min_k slots
+      in
+      let desired =
+        List.fold_left
+          (fun acc j ->
+            if times.Timing.rec_start.(j) < tau then acc + 1 else acc)
+          0 !sequence
+      in
+      insert ~desired k;
+      remaining := List.filter (fun j -> j <> k) !remaining
+  done;
+  (specs, !sequence)

@@ -1,0 +1,15 @@
+(** Step 7 — reconfigurations scheduling (Sec. V-G).
+
+    Decides a total order for the reconfiguration tasks on the single
+    reconfiguration controller. Critical reconfigurations (outgoing task
+    on the critical path) are placed first, lowest [T_MIN] first, since
+    any delay on them propagates fully; each non-critical one is then
+    inserted at the earliest controller slot compatible with its window,
+    shifting later reconfigurations as required (realized by re-resolving
+    the augmented graph, which is exactly the paper's delay
+    propagation). *)
+
+val run : ?module_reuse:bool -> State.t ->
+  Timing.reconf_spec array * int list
+(** Returns the reconfiguration specs and the chosen controller sequence
+    (indices into the spec array, execution order). *)

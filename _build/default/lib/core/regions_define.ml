@@ -1,0 +1,148 @@
+module Resource = Resched_fabric.Resource
+module Rng = Resched_util.Rng
+module Impl = Resched_platform.Impl
+
+type ordering =
+  | By_efficiency
+  | By_cost
+  | Topological
+  | Random of Rng.t
+
+let same_module (a : Impl.t) (b : Impl.t) =
+  match (a.module_id, b.module_id) with
+  | Some x, Some y -> x = y
+  | _ -> false
+
+let windows_disjoint state ~task (region : State.region) =
+  List.for_all
+    (fun u ->
+      State.t_max state u <= State.t_min state task
+      || State.t_max state task <= State.t_min state u)
+    region.State.tasks
+
+(* Neighbours of [task]'s window among the region's hosted tasks: the
+   hosted task whose window ends last before [task]'s starts, and the one
+   whose window starts first after [task]'s ends. *)
+let window_neighbours state ~task (region : State.region) =
+  let prev = ref None and next = ref None in
+  List.iter
+    (fun u ->
+      if State.t_max state u <= State.t_min state task then begin
+        match !prev with
+        | Some p when State.t_max state p >= State.t_max state u -> ()
+        | _ -> prev := Some u
+      end
+      else if State.t_min state u >= State.t_max state task then begin
+        match !next with
+        | Some nx when State.t_min state nx <= State.t_min state u -> ()
+        | _ -> next := Some u
+      end)
+    region.State.tasks;
+  (!prev, !next)
+
+let reconf_gaps_ok ?(module_reuse = false) state ~task region =
+  let reconf = region.State.reconf in
+  let reuse a b =
+    module_reuse && same_module (State.impl state a) (State.impl state b)
+  in
+  let prev, next = window_neighbours state ~task region in
+  let before_ok =
+    match prev with
+    | None -> true (* the task becomes the region's first: initial
+                      configuration is free *)
+    | Some p ->
+      reuse p task || State.t_min state task - State.t_max state p >= reconf
+  in
+  let after_ok =
+    match next with
+    | None -> true
+    | Some nx ->
+      reuse task nx || State.t_min state nx - State.t_max state task >= reconf
+  in
+  before_ok && after_ok
+
+let fits_region state ~task (region : State.region) =
+  Resource.fits (State.impl state task).Impl.res ~within:region.State.res
+
+let region_compatible_critical ?module_reuse state ~task region =
+  fits_region state ~task region
+  && windows_disjoint state ~task region
+  && reconf_gaps_ok ?module_reuse state ~task region
+
+let region_compatible_non_critical state ~task region =
+  fits_region state ~task region && windows_disjoint state ~task region
+
+let lowest_bitstream regions =
+  match regions with
+  | [] -> None
+  | r :: tl ->
+    Some
+      (List.fold_left
+         (fun best (c : State.region) ->
+           if c.State.bits < best.State.bits then c else best)
+         r tl)
+
+(* Assign one critical hardware task per the three-way rule of Sec. V-C. *)
+let place_critical ?module_reuse state ~task =
+  let need = (State.impl state task).Impl.res in
+  let compatible =
+    List.filter
+      (fun r -> region_compatible_critical ?module_reuse state ~task r)
+      state.State.regions
+  in
+  match lowest_bitstream compatible with
+  | Some region -> State.assign_to_region state ~task region
+  | None ->
+    if State.fits_on_fpga state need then begin
+      let region = State.new_region state need in
+      State.assign_to_region state ~task region
+    end
+    else State.switch_to_sw state ~task
+
+(* Non-critical tasks aim at maximizing FPGA utilization: prefer a fresh
+   region, then reuse, then software. *)
+let place_non_critical state ~task =
+  let need = (State.impl state task).Impl.res in
+  if State.fits_on_fpga state need then begin
+    let region = State.new_region state need in
+    State.assign_to_region state ~task region
+  end
+  else begin
+    let compatible =
+      List.filter
+        (fun r -> region_compatible_non_critical state ~task r)
+        state.State.regions
+    in
+    match lowest_bitstream compatible with
+    | Some region -> State.assign_to_region state ~task region
+    | None -> State.switch_to_sw state ~task
+  end
+
+let sort_tasks state ordering tasks =
+  let efficiency u = Cost.efficiency state.State.cost (State.impl state u) in
+  let cost u = Cost.cost state.State.cost (State.impl state u) in
+  match ordering with
+  | By_efficiency ->
+    List.stable_sort (fun a b -> compare (efficiency b) (efficiency a)) tasks
+  | By_cost -> List.stable_sort (fun a b -> compare (cost a) (cost b)) tasks
+  | Topological ->
+    List.stable_sort
+      (fun a b -> compare (State.t_min state a) (State.t_min state b))
+      tasks
+  | Random rng -> Rng.shuffle rng tasks
+
+let run ?module_reuse ~ordering state =
+  let n = Resched_platform.Instance.size state.State.inst in
+  let critical = Array.copy state.State.cpm.Resched_taskgraph.Cpm.critical in
+  let hw_tasks =
+    List.filter (fun u -> State.is_hw state u) (List.init n (fun i -> i))
+  in
+  let criticals, non_criticals =
+    List.partition (fun u -> critical.(u)) hw_tasks
+  in
+  (* Critical tasks keep the deterministic efficiency order even in the
+     randomized variant (Sec. VI randomizes only non-critical tasks). *)
+  let criticals = sort_tasks state By_efficiency criticals in
+  let non_criticals = sort_tasks state ordering non_criticals in
+  List.iter (fun task -> place_critical ?module_reuse state ~task) criticals;
+  List.iter (fun task -> place_non_critical state ~task) non_criticals

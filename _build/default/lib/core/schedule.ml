@@ -1,0 +1,59 @@
+module Resource = Resched_fabric.Resource
+module Instance = Resched_platform.Instance
+
+type placement = On_region of int | On_processor of int
+
+type task_slot = {
+  impl_idx : int;
+  placement : placement;
+  start_ : int;
+  end_ : int;
+}
+
+type region = {
+  res : Resource.t;
+  reconf_ticks : int;
+  tasks : int list;
+}
+
+type reconfiguration = {
+  region : int;
+  t_in : int;
+  t_out : int;
+  r_start : int;
+  r_end : int;
+}
+
+type t = {
+  instance : Instance.t;
+  regions : region array;
+  slots : task_slot array;
+  reconfigurations : reconfiguration list;
+  makespan : int;
+  floorplan : Resched_floorplan.Placement.rect array option;
+  module_reuse : bool;
+  resource_scale : float;
+}
+
+let makespan t = t.makespan
+
+let count p t =
+  Array.fold_left (fun acc slot -> if p slot.placement then acc + 1 else acc) 0 t.slots
+
+let hw_task_count t = count (function On_region _ -> true | On_processor _ -> false) t
+let sw_task_count t = count (function On_processor _ -> true | On_region _ -> false) t
+
+let reconfiguration_time t =
+  List.fold_left (fun acc r -> acc + (r.r_end - r.r_start)) 0 t.reconfigurations
+
+let region_tasks_in_order t s =
+  let tasks = t.regions.(s).tasks in
+  List.sort (fun a b -> compare t.slots.(a).start_ t.slots.(b).start_) tasks
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "makespan=%d ticks, %d HW / %d SW tasks, %d regions, %d reconfigurations \
+     (%d ticks)%s"
+    t.makespan (hw_task_count t) (sw_task_count t) (Array.length t.regions)
+    (List.length t.reconfigurations) (reconfiguration_time t)
+    (match t.floorplan with Some _ -> ", floorplanned" | None -> "")

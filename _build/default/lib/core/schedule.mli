@@ -1,0 +1,63 @@
+(** The scheduler's output (Sec. III): reconfigurable regions with their
+    resource requirements, an implementation and placement per task, time
+    slots for every task, and the reconfiguration tasks on the single
+    reconfiguration controller.
+
+    Time slots are half-open integer-tick intervals [\[start, end)): two
+    activities are compatible on an exclusive resource when one's [end_]
+    is <= the other's [start]. (The paper writes [T_START = T_END + 1]
+    with closed intervals; both conventions are equivalent up to one
+    tick.) *)
+
+type placement =
+  | On_region of int  (** index into [regions] *)
+  | On_processor of int  (** processor id in [0, processors) *)
+
+type task_slot = {
+  impl_idx : int;  (** index into the instance's [impls.(task)] *)
+  placement : placement;
+  start_ : int;
+  end_ : int;
+}
+
+type region = {
+  res : Resched_fabric.Resource.t;  (** [res_{s,r}] *)
+  reconf_ticks : int;  (** [reconf_s] (eq. 2) *)
+  tasks : int list;  (** hosted tasks in execution order *)
+}
+
+type reconfiguration = {
+  region : int;
+  t_in : int;  (** ingoing task (runs before the reconfiguration) *)
+  t_out : int;  (** outgoing task (needs the new bitstream) *)
+  r_start : int;
+  r_end : int;
+}
+
+type t = {
+  instance : Resched_platform.Instance.t;
+  regions : region array;
+  slots : task_slot array;  (** one per task *)
+  reconfigurations : reconfiguration list;
+      (** in execution order on the reconfiguration controller *)
+  makespan : int;
+  floorplan : Resched_floorplan.Placement.rect array option;
+      (** one rectangle per region when a floorplan was computed *)
+  module_reuse : bool;
+      (** whether consecutive same-module tasks were allowed to skip
+          reconfiguration when this schedule was built *)
+  resource_scale : float;
+      (** the virtual [maxRes] scaling under which the scheduler ran
+          (1.0 unless floorplanning forced retries) *)
+}
+
+val makespan : t -> int
+val hw_task_count : t -> int
+val sw_task_count : t -> int
+val reconfiguration_time : t -> int
+(** Total ticks spent reconfiguring. *)
+
+val region_tasks_in_order : t -> int -> int list
+(** Tasks of a region sorted by start time (equals [region.tasks]). *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,199 @@
+module Resource = Resched_fabric.Resource
+module Io = Resched_platform.Io
+module Placement = Resched_floorplan.Placement
+
+let to_string (sched : Schedule.t) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Io.to_string sched.Schedule.instance);
+  let addf fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  addf "schedule makespan %d reuse %b scale %g" sched.Schedule.makespan
+    sched.Schedule.module_reuse sched.Schedule.resource_scale;
+  Array.iteri
+    (fun id (r : Schedule.region) ->
+      addf "region %d clb %d bram %d dsp %d reconf %d" id r.Schedule.res.Resource.clb
+        r.Schedule.res.Resource.bram r.Schedule.res.Resource.dsp
+        r.Schedule.reconf_ticks)
+    sched.Schedule.regions;
+  Array.iteri
+    (fun task (s : Schedule.task_slot) ->
+      let place =
+        match s.Schedule.placement with
+        | Schedule.On_region r -> Printf.sprintf "region %d" r
+        | Schedule.On_processor p -> Printf.sprintf "proc %d" p
+      in
+      addf "slot %d impl %d %s start %d end %d" task s.Schedule.impl_idx place
+        s.Schedule.start_ s.Schedule.end_)
+    sched.Schedule.slots;
+  List.iter
+    (fun (rc : Schedule.reconfiguration) ->
+      addf "reconf-task region %d in %d out %d start %d end %d"
+        rc.Schedule.region rc.Schedule.t_in rc.Schedule.t_out
+        rc.Schedule.r_start rc.Schedule.r_end)
+    sched.Schedule.reconfigurations;
+  (match sched.Schedule.floorplan with
+  | None -> ()
+  | Some placements ->
+    Array.iteri
+      (fun id (p : Placement.rect) ->
+        addf "floorplan %d cols %d %d rows %d %d" id p.Placement.c0
+          p.Placement.c1 p.Placement.r0 p.Placement.r1)
+      placements);
+  Buffer.contents buf
+
+let of_string text =
+  (* The instance parser ignores unknown directives? It does not — so we
+     split the file at the "schedule" header line. *)
+  let lines = String.split_on_char '\n' text in
+  let rec split acc = function
+    | [] -> (List.rev acc, [])
+    | line :: rest ->
+      let t = String.trim line in
+      if String.length t >= 8 && String.sub t 0 8 = "schedule" then
+        (List.rev acc, line :: rest)
+      else split (line :: acc) rest
+  in
+  let inst_lines, sched_lines = split [] lines in
+  match sched_lines with
+  | [] -> Error "missing 'schedule' header"
+  | header :: body -> (
+    match Io.of_string (String.concat "\n" inst_lines) with
+    | Error msg -> Error ("instance part: " ^ msg)
+    | Ok inst -> (
+      let n = Resched_platform.Instance.size inst in
+      let tokens l = String.split_on_char ' ' l |> List.filter (( <> ) "") in
+      let parse_error = ref None in
+      let err fmt =
+        Printf.ksprintf (fun m -> if !parse_error = None then parse_error := Some m) fmt
+      in
+      let makespan = ref 0 and reuse = ref false and scale = ref 1.0 in
+      (match tokens header with
+      | [ "schedule"; "makespan"; m; "reuse"; r; "scale"; s ] -> (
+        match (int_of_string_opt m, bool_of_string_opt r, float_of_string_opt s) with
+        | Some m, Some r, Some s ->
+          makespan := m;
+          reuse := r;
+          scale := s
+        | _ -> err "bad schedule header")
+      | _ -> err "bad schedule header");
+      let regions = ref [] in
+      let slots = Array.make n None in
+      let reconfs = ref [] in
+      let floorplan = ref [] in
+      let int_ s k = match int_of_string_opt s with Some v -> k v | None -> err "bad integer %S" s in
+      List.iter
+        (fun line ->
+          match tokens line with
+          | [] -> ()
+          | [ "region"; id; "clb"; c; "bram"; b; "dsp"; d; "reconf"; rc ] ->
+            int_ id (fun id -> int_ c (fun clb -> int_ b (fun bram ->
+                int_ d (fun dsp -> int_ rc (fun reconf ->
+                    regions := (id, Resource.make ~clb ~bram ~dsp, reconf) :: !regions)))))
+          | [ "slot"; t; "impl"; i; place_kind; pid; "start"; s; "end"; e ] ->
+            int_ t (fun t -> int_ i (fun impl_idx -> int_ pid (fun pid ->
+                int_ s (fun start_ -> int_ e (fun end_ ->
+                    if t < 0 || t >= n then err "slot task %d out of range" t
+                    else begin
+                      let placement =
+                        match place_kind with
+                        | "region" -> Some (Schedule.On_region pid)
+                        | "proc" -> Some (Schedule.On_processor pid)
+                        | _ ->
+                          err "bad placement %S" place_kind;
+                          None
+                      in
+                      match placement with
+                      | Some placement ->
+                        slots.(t) <-
+                          Some { Schedule.impl_idx; placement; start_; end_ }
+                      | None -> ()
+                    end)))))
+          | [ "reconf-task"; "region"; r; "in"; a; "out"; b; "start"; s; "end"; e ] ->
+            int_ r (fun region -> int_ a (fun t_in -> int_ b (fun t_out ->
+                int_ s (fun r_start -> int_ e (fun r_end ->
+                    reconfs :=
+                      { Schedule.region; t_in; t_out; r_start; r_end }
+                      :: !reconfs)))))
+          | [ "floorplan"; id; "cols"; c0; c1; "rows"; r0; r1 ] ->
+            int_ id (fun id -> int_ c0 (fun c0 -> int_ c1 (fun c1 ->
+                int_ r0 (fun r0 -> int_ r1 (fun r1 ->
+                    floorplan :=
+                      (id, { Placement.c0; c1; r0; r1 }) :: !floorplan)))))
+          | tok :: _ -> err "unknown schedule directive %S" tok)
+        body;
+      match !parse_error with
+      | Some msg -> Error msg
+      | None -> (
+        let regions_sorted = List.sort compare !regions in
+        let region_tasks = Hashtbl.create 8 in
+        Array.iteri
+          (fun t slot ->
+            match slot with
+            | Some { Schedule.placement = Schedule.On_region r; _ } ->
+              let prev = try Hashtbl.find region_tasks r with Not_found -> [] in
+              Hashtbl.replace region_tasks r (t :: prev)
+            | Some _ | None -> ())
+          slots;
+        let slot_start t =
+          match slots.(t) with Some s -> s.Schedule.start_ | None -> 0
+        in
+        let regions_arr =
+          Array.of_list
+            (List.map
+               (fun (id, res, reconf_ticks) ->
+                 let tasks =
+                   (try Hashtbl.find region_tasks id with Not_found -> [])
+                   |> List.sort (fun a b -> compare (slot_start a) (slot_start b))
+                 in
+                 { Schedule.res; reconf_ticks; tasks })
+               regions_sorted)
+        in
+        let missing = ref None in
+        let slots_arr =
+          Array.mapi
+            (fun t slot ->
+              match slot with
+              | Some s -> s
+              | None ->
+                if !missing = None then missing := Some t;
+                { Schedule.impl_idx = 0; placement = Schedule.On_processor 0;
+                  start_ = 0; end_ = 0 })
+            slots
+        in
+        match !missing with
+        | Some t -> Error (Printf.sprintf "missing slot for task %d" t)
+        | None ->
+          let floorplan =
+            match !floorplan with
+            | [] -> None
+            | l ->
+              Some
+                (Array.of_list (List.map snd (List.sort compare l)))
+          in
+          Ok
+            {
+              Schedule.instance = inst;
+              regions = regions_arr;
+              slots = slots_arr;
+              reconfigurations =
+                List.sort
+                  (fun a b -> compare a.Schedule.r_start b.Schedule.r_start)
+                  !reconfs;
+              makespan = !makespan;
+              floorplan;
+              module_reuse = !reuse;
+              resource_scale = !scale;
+            })))
+
+let save path sched =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string sched))
+
+let load path =
+  match open_in path with
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_string (In_channel.input_all ic))
+  | exception Sys_error msg -> Error msg

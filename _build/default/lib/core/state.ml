@@ -1,0 +1,142 @@
+module Graph = Resched_taskgraph.Graph
+module Cpm = Resched_taskgraph.Cpm
+module Resource = Resched_fabric.Resource
+module Bitstream = Resched_fabric.Bitstream
+module Device = Resched_fabric.Device
+module Instance = Resched_platform.Instance
+module Arch = Resched_platform.Arch
+module Impl = Resched_platform.Impl
+
+type region = {
+  id : int;
+  res : Resource.t;
+  bits : float;
+  reconf : int;
+  mutable tasks : int list;
+}
+
+type t = {
+  inst : Instance.t;
+  max_res : Resource.t;
+  cost : Cost.t;
+  impl_of : int array;
+  dep : Graph.t;
+  mutable regions : region list;
+  region_of : int array;
+  processor_of : int array;
+  mutable cpm : Cpm.t;
+}
+
+let impl t u = Instance.impl t.inst ~task:u ~idx:t.impl_of.(u)
+let duration t u = (impl t u).Impl.time
+let durations t = Array.init (Instance.size t.inst) (duration t)
+let is_hw t u = Impl.is_hw (impl t u)
+
+let refresh_windows t =
+  t.cpm <- Cpm.compute t.dep ~durations:(durations t)
+
+let create inst ?(resource_scale = 1.0) ~impl_of () =
+  let n = Instance.size inst in
+  if Array.length impl_of <> n then
+    invalid_arg "State.create: impl_of length mismatch";
+  let max_res = Resource.scale (Arch.max_res inst.Instance.arch) resource_scale in
+  let t =
+    {
+      inst;
+      max_res;
+      cost = Cost.make inst ~max_res;
+      impl_of = Array.copy impl_of;
+      dep = Graph.copy inst.Instance.graph;
+      regions = [];
+      region_of = Array.make n (-1);
+      processor_of = Array.make n (-1);
+      cpm =
+        Cpm.compute inst.Instance.graph
+          ~durations:(Array.make n 0) (* replaced just below *);
+    }
+  in
+  refresh_windows t;
+  t
+
+let t_min t u = t.cpm.Cpm.t_min.(u)
+let t_max t u = t.cpm.Cpm.t_max.(u)
+
+let used_resources t =
+  List.fold_left (fun acc r -> Resource.add acc r.res) Resource.zero t.regions
+
+let fits_on_fpga t need =
+  Resource.fits (Resource.add (used_resources t) need) ~within:t.max_res
+
+let new_region t need =
+  let device = t.inst.Instance.arch.Arch.device in
+  let bits = Bitstream.region_bits device.Device.model need in
+  let reconf = Arch.reconf_ticks t.inst.Instance.arch need in
+  let region =
+    { id = List.length t.regions; res = need; bits; reconf; tasks = [] }
+  in
+  t.regions <- t.regions @ [ region ];
+  region
+
+let sort_by_t_min t tasks =
+  List.sort (fun a b -> compare (t_min t a) (t_min t b)) tasks
+
+let insert_region_edges t ~task region =
+  (* The region is exclusive: order its tasks by their window starts and
+     chain the new task between its neighbours. *)
+  let ordered = sort_by_t_min t (task :: region.tasks) in
+  let rec neighbours = function
+    | a :: b :: tl ->
+      if b = task then Some a
+      else if a = task then None
+      else neighbours (b :: tl)
+    | _ -> None
+  in
+  let prev = neighbours ordered in
+  let next =
+    let rec after = function
+      | a :: b :: tl -> if a = task then Some b else after (b :: tl)
+      | _ -> None
+    in
+    after ordered
+  in
+  let guard_edge u v =
+    if u <> v && not (Graph.has_edge t.dep u v) then begin
+      if (Graph.reachable t.dep v).(u) then
+        invalid_arg "State.assign_to_region: ordering edge would create a cycle";
+      Graph.add_edge t.dep u v
+    end
+  in
+  (match prev with Some p -> guard_edge p task | None -> ());
+  (match next with Some nx -> guard_edge task nx | None -> ());
+  region.tasks <- ordered
+
+let assign_to_region t ~task region =
+  t.region_of.(task) <- region.id;
+  t.processor_of.(task) <- -1;
+  insert_region_edges t ~task region;
+  refresh_windows t
+
+let switch_to_sw t ~task =
+  t.impl_of.(task) <- Instance.fastest_sw t.inst task;
+  (if t.region_of.(task) >= 0 then begin
+     (* Should not happen in the pipeline, but keep the state coherent. *)
+     List.iter
+       (fun r ->
+         if r.id = t.region_of.(task) then
+           r.tasks <- List.filter (fun u -> u <> task) r.tasks)
+       t.regions;
+     t.region_of.(task) <- -1
+   end);
+  refresh_windows t
+
+let switch_to_hw t ~task ~impl_idx region =
+  let i = Instance.impl t.inst ~task ~idx:impl_idx in
+  if not (Impl.is_hw i) then
+    invalid_arg "State.switch_to_hw: not a hardware implementation";
+  t.impl_of.(task) <- impl_idx;
+  refresh_windows t;
+  assign_to_region t ~task region
+
+let region_list t = Array.of_list t.regions
+
+let find_region t id = List.find (fun r -> r.id = id) t.regions

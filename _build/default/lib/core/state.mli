@@ -1,0 +1,83 @@
+(** Mutable working state shared by the scheduler's pipeline steps.
+
+    Holds the current implementation choice per task, the *augmented*
+    dependency graph (application edges plus the ordering edges inserted
+    when tasks share a reconfigurable region or a processor), the set of
+    reconfigurable regions built so far, and the CPM time windows, which
+    must be refreshed after any change ({!refresh_windows}). *)
+
+module Graph = Resched_taskgraph.Graph
+module Cpm = Resched_taskgraph.Cpm
+
+type region = {
+  id : int;
+  res : Resched_fabric.Resource.t;
+  bits : float;  (** [bit_s] (eq. 1) *)
+  reconf : int;  (** [reconf_s] in ticks (eq. 2) *)
+  mutable tasks : int list;  (** assigned tasks, kept sorted by [t_min] *)
+}
+
+type t = {
+  inst : Resched_platform.Instance.t;
+  max_res : Resched_fabric.Resource.t;
+      (** virtually reduced FPGA availability for this attempt *)
+  cost : Cost.t;
+  impl_of : int array;  (** current implementation index per task *)
+  dep : Graph.t;  (** augmented dependency graph (owned copy) *)
+  mutable regions : region list;  (** in creation order *)
+  region_of : int array;  (** region id or -1 *)
+  processor_of : int array;  (** processor id or -1 *)
+  mutable cpm : Cpm.t;  (** windows for the current durations/graph *)
+}
+
+val create : Resched_platform.Instance.t -> ?resource_scale:float ->
+  impl_of:int array -> unit -> t
+(** Fresh state with the given initial implementation selection; windows
+    are computed immediately. [resource_scale] (default 1.0) virtually
+    scales the device's [maxRes] (floorplan-retry rule, Sec. V-H). *)
+
+val impl : t -> int -> Resched_platform.Impl.t
+(** The currently selected implementation of a task. *)
+
+val duration : t -> int -> int
+val durations : t -> int array
+val is_hw : t -> int -> bool
+(** Is the currently selected implementation a hardware one? *)
+
+val refresh_windows : t -> unit
+(** Recompute CPM windows for the current durations and augmented graph. *)
+
+val t_min : t -> int -> int
+val t_max : t -> int -> int
+
+val used_resources : t -> Resched_fabric.Resource.t
+(** Sum of the resource requirements of all regions created so far. *)
+
+val fits_on_fpga : t -> Resched_fabric.Resource.t -> bool
+(** Would a new region with the given requirement still fit [max_res]
+    next to the existing regions? *)
+
+val new_region : t -> Resched_fabric.Resource.t -> region
+(** Create a region sized for the given requirement (eqs. 1-2 fix its
+    bitstream and reconfiguration time). Does not check capacity. *)
+
+val assign_to_region : t -> task:int -> region -> unit
+(** Place the task on the region: records the placement, inserts the
+    region-ordering edges dictated by the current windows, keeps the
+    region's task list sorted by [t_min], and refreshes the windows.
+    Raises [Invalid_argument] if the insertion would create a dependency
+    cycle (callers must have checked window compatibility). *)
+
+val switch_to_sw : t -> task:int -> unit
+(** Select the task's fastest software implementation and refresh the
+    windows. *)
+
+val switch_to_hw : t -> task:int -> impl_idx:int -> region -> unit
+(** Software-balancing move (Sec. V-D): adopt the given hardware
+    implementation and place the task on [region]. *)
+
+val region_list : t -> region array
+(** Regions in creation order. *)
+
+val find_region : t -> int -> region
+(** Region by id; raises [Not_found]. *)

@@ -1,0 +1,80 @@
+module Resource = Resched_fabric.Resource
+module Instance = Resched_platform.Instance
+module Impl = Resched_platform.Impl
+
+let tot_rec_time state =
+  List.fold_left
+    (fun acc (r : State.region) ->
+      acc + (r.State.reconf * Stdlib.max 0 (List.length r.State.tasks - 1)))
+    0 state.State.regions
+
+(* Cheapest hardware implementation of [task] that fits [region]. *)
+let best_fitting_hw state ~task (region : State.region) =
+  let fitting =
+    List.filter
+      (fun (_, (i : Impl.t)) ->
+        Resource.fits i.Impl.res ~within:region.State.res)
+      (Instance.hw_impls state.State.inst task)
+  in
+  match fitting with
+  | [] -> None
+  | (idx0, i0) :: rest ->
+    let best_idx, _ =
+      List.fold_left
+        (fun (bidx, bcost) (idx, i) ->
+          let c = Cost.cost state.State.cost i in
+          if c < bcost then (idx, c) else (bidx, bcost))
+        (idx0, Cost.cost state.State.cost i0)
+        rest
+    in
+    Some best_idx
+
+let try_move state ~task =
+  let rec attempt = function
+    | [] -> ()
+    | (region : State.region) :: rest -> (
+      match best_fitting_hw state ~task region with
+      | None -> attempt rest
+      | Some impl_idx ->
+        (* Tentatively adopt the implementation so the window check sees
+           the hardware duration, then commit or roll back. *)
+        let saved = state.State.impl_of.(task) in
+        state.State.impl_of.(task) <- impl_idx;
+        State.refresh_windows state;
+        let ok =
+          Regions_define.region_compatible_non_critical state ~task region
+        in
+        if ok then
+          match State.assign_to_region state ~task region with
+          | () -> ()
+          | exception Invalid_argument _ ->
+            state.State.impl_of.(task) <- saved;
+            State.refresh_windows state;
+            attempt rest
+        else begin
+          state.State.impl_of.(task) <- saved;
+          State.refresh_windows state;
+          attempt rest
+        end)
+  in
+  attempt state.State.regions
+
+let run state =
+  let n = Instance.size state.State.inst in
+  let candidates =
+    List.filter
+      (fun u ->
+        (not (State.is_hw state u))
+        && Instance.hw_impls state.State.inst u <> [])
+      (List.init n (fun i -> i))
+  in
+  let by_t_min =
+    List.sort
+      (fun a b -> compare (State.t_min state a) (State.t_min state b))
+      candidates
+  in
+  List.iter
+    (fun task ->
+      let budget = tot_rec_time state in
+      if State.t_min state task > budget then try_move state ~task)
+    by_t_min

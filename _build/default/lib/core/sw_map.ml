@@ -1,0 +1,54 @@
+module Graph = Resched_taskgraph.Graph
+module Instance = Resched_platform.Instance
+
+let delay state ~task ~last_end =
+  Stdlib.max 0 (last_end - State.t_min state task)
+
+(* Totally order [task] against every task already on the processor: a
+   dependency path (either way) already orders the pair; otherwise an
+   explicit edge is inserted following the current window order. This
+   guarantees processor exclusiveness whatever delays appear later. *)
+let sequence_on_processor state ~task assigned =
+  List.iter
+    (fun u ->
+      if not ((Graph.reachable state.State.dep task).(u)
+             || (Graph.reachable state.State.dep u).(task))
+      then begin
+        if State.t_min state u <= State.t_min state task then
+          Graph.add_edge state.State.dep u task
+        else Graph.add_edge state.State.dep task u
+      end)
+    assigned
+
+let run state =
+  let n = Instance.size state.State.inst in
+  let processors =
+    state.State.inst.Instance.arch.Resched_platform.Arch.processors
+  in
+  let on_processor = Array.make processors [] in
+  let sw_tasks =
+    List.filter (fun u -> not (State.is_hw state u)) (List.init n (fun i -> i))
+    |> List.sort
+         (fun a b -> compare (State.t_min state a) (State.t_min state b))
+  in
+  List.iter
+    (fun task ->
+      let end_of u = State.t_min state u + State.duration state u in
+      let best_p = ref 0 and best_lambda = ref max_int in
+      for p = 0 to processors - 1 do
+        let last_end =
+          List.fold_left (fun acc u -> Stdlib.max acc (end_of u)) 0
+            on_processor.(p)
+        in
+        let lambda = delay state ~task ~last_end in
+        if lambda < !best_lambda then begin
+          best_lambda := lambda;
+          best_p := p
+        end
+      done;
+      let p = !best_p in
+      sequence_on_processor state ~task on_processor.(p);
+      state.State.processor_of.(task) <- p;
+      on_processor.(p) <- task :: on_processor.(p);
+      State.refresh_windows state)
+    sw_tasks

@@ -1,0 +1,14 @@
+(** Step 6 — software task mapping (Sec. V-F).
+
+    Binds every software task to a processor core. Tasks are visited in
+    chronological order ([T_MIN] ascending); each goes to the processor
+    with the smallest induced delay λ_p (eq. 8 — implemented as
+    [max(0, max_{t2 ∈ T_p} T_END_{t2} - T_MIN_t)]; the paper's [min] is a
+    typo, see DESIGN.md), and an ordering edge from the processor's last
+    task propagates any delay through the task graph (eq. 9 / step 4). *)
+
+val run : State.t -> unit
+(** Mutates [processor_of], the dependency graph and the windows. *)
+
+val delay : State.t -> task:int -> last_end:int -> int
+(** λ_p for a processor whose currently-last task ends at [last_end]. *)

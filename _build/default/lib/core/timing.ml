@@ -1,0 +1,85 @@
+module Graph = Resched_taskgraph.Graph
+module Cpm = Resched_taskgraph.Cpm
+module Instance = Resched_platform.Instance
+module Impl = Resched_platform.Impl
+
+type reconf_spec = {
+  region_id : int;
+  t_in : int;
+  t_out : int;
+  dur : int;
+  critical : bool;
+}
+
+type resolved = {
+  task_start : int array;
+  task_end : int array;
+  rec_start : int array;
+  rec_end : int array;
+  makespan : int;
+}
+
+let same_module (a : Impl.t) (b : Impl.t) =
+  match (a.module_id, b.module_id) with
+  | Some x, Some y -> x = y
+  | _ -> false
+
+let reconf_specs ?(module_reuse = false) state =
+  let critical = state.State.cpm.Cpm.critical in
+  let specs = ref [] in
+  List.iter
+    (fun (r : State.region) ->
+      let rec pairs = function
+        | a :: b :: tl ->
+          let skip =
+            module_reuse
+            && same_module (State.impl state a) (State.impl state b)
+          in
+          if not skip then
+            specs :=
+              {
+                region_id = r.State.id;
+                t_in = a;
+                t_out = b;
+                dur = r.State.reconf;
+                critical = critical.(b);
+              }
+              :: !specs;
+          pairs (b :: tl)
+        | [ _ ] | [] -> ()
+      in
+      pairs r.State.tasks)
+    state.State.regions;
+  Array.of_list (List.rev !specs)
+
+let resolve state ~reconfigs ~sequence =
+  let n = Instance.size state.State.inst in
+  let nr = Array.length reconfigs in
+  let g = Graph.create (n + nr) in
+  List.iter (fun (u, v) -> Graph.add_edge g u v) (Graph.edges state.State.dep);
+  Array.iteri
+    (fun k spec ->
+      Graph.add_edge g spec.t_in (n + k);
+      Graph.add_edge g (n + k) spec.t_out)
+    reconfigs;
+  let rec chain = function
+    | a :: b :: tl ->
+      Graph.add_edge g (n + a) (n + b);
+      chain (b :: tl)
+    | [ _ ] | [] -> ()
+  in
+  chain sequence;
+  let durations =
+    Array.init (n + nr) (fun i ->
+        if i < n then State.duration state i else reconfigs.(i - n).dur)
+  in
+  let cpm = Cpm.compute g ~durations in
+  let task_start = Array.sub cpm.Cpm.t_min 0 n in
+  let task_end = Array.init n (fun u -> task_start.(u) + durations.(u)) in
+  let rec_start = Array.init nr (fun k -> cpm.Cpm.t_min.(n + k)) in
+  let rec_end = Array.init nr (fun k -> rec_start.(k) + reconfigs.(k).dur) in
+  let makespan = Array.fold_left Stdlib.max 0 task_end in
+  { task_start; task_end; rec_start; rec_end; makespan }
+
+let must_precede state a b =
+  a.t_out = b.t_in || (Graph.reachable state.State.dep a.t_out).(b.t_in)

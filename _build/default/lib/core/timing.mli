@@ -1,0 +1,44 @@
+(** Timing resolution over the augmented graph.
+
+    Steps 5-7 of the paper compute start/end times and propagate delays
+    procedurally; here the committed decisions (implementations, region
+    and processor ordering edges, reconfiguration sequence on the single
+    controller) are compiled into one DAG whose longest path yields every
+    start time at once. This is equivalent to the paper's propagation but
+    is independently checkable and cannot leave a stale time behind. *)
+
+type reconf_spec = {
+  region_id : int;
+  t_in : int;  (** task executed before the reconfiguration *)
+  t_out : int;  (** task whose bitstream is loaded *)
+  dur : int;  (** [reconf_s] of the hosting region *)
+  critical : bool;  (** the outgoing task was critical at extraction *)
+}
+
+type resolved = {
+  task_start : int array;
+  task_end : int array;
+  rec_start : int array;  (** indexed like the [reconfigs] argument *)
+  rec_end : int array;
+  makespan : int;
+}
+
+val reconf_specs : ?module_reuse:bool -> State.t -> reconf_spec array
+(** One reconfiguration per consecutive task pair inside each region
+    (Sec. V-G), in region order; pairs whose implementations share a
+    [module_id] are skipped when [module_reuse] is set. Criticality is
+    taken from the state's current windows. *)
+
+val resolve : State.t -> reconfigs:reconf_spec array -> sequence:int list ->
+  resolved
+(** Earliest-start times subject to: augmented dependency edges, each
+    reconfiguration after its ingoing and before its outgoing task, and
+    the total [sequence] (indices into [reconfigs]) on the reconfiguration
+    controller. Reconfigurations not in [sequence] are only constrained
+    by their region. Raises [Graph.Cycle] if the sequence contradicts the
+    dependencies. *)
+
+val must_precede : State.t -> reconf_spec -> reconf_spec -> bool
+(** Dependency-forced ordering between two reconfigurations: [a] must run
+    before [b] when [a]'s outgoing task (transitively) precedes [b]'s
+    ingoing task, or they share a region in that order. *)

@@ -1,0 +1,26 @@
+(** Independent schedule checker.
+
+    Verifies every constraint from the problem statement (Sec. III)
+    against a finished {!Schedule.t}, without trusting anything the
+    scheduler computed: implementation indices and kinds, slot arithmetic,
+    data dependencies, region capacity and exclusiveness with the
+    mandatory reconfiguration between consecutive tasks (module reuse
+    aside), processor exclusiveness, the single reconfiguration
+    controller, total FPGA capacity and the floorplan when present.
+
+    Both schedulers' outputs are fed through this checker in the tests
+    and in the benchmark harness. *)
+
+type violation = {
+  code : string;  (** stable machine-readable identifier, e.g. "DEP" *)
+  message : string;
+}
+
+val check : Schedule.t -> (unit, violation list) result
+(** All violations found, or [Ok ()]. *)
+
+val check_exn : Schedule.t -> unit
+(** Raises [Failure] with a readable report when the schedule is
+    invalid. *)
+
+val pp_violation : Format.formatter -> violation -> unit

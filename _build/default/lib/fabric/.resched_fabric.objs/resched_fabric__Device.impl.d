@@ -1,0 +1,1 @@
+lib/fabric/device.ml: Array Bitstream Format List Resource String

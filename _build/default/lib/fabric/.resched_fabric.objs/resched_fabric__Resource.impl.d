@@ -1,0 +1,1 @@
+lib/fabric/resource.ml: Format Stdlib String

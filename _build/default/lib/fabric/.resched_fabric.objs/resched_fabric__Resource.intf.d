@@ -1,0 +1,1 @@
+lib/fabric/resource.mli: Format

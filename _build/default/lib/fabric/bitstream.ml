@@ -1,0 +1,30 @@
+type model = {
+  frame_bits : int;
+  frames_per_column : Resource.kind -> int;
+  units_per_column : Resource.kind -> int;
+}
+
+let seven_series =
+  {
+    frame_bits = 101 * 32;
+    frames_per_column = (function Resource.Clb -> 36 | Bram -> 28 | Dsp -> 28);
+    units_per_column = (function Resource.Clb -> 50 | Bram -> 10 | Dsp -> 20);
+  }
+
+let bits_per_unit m kind =
+  float_of_int (m.frames_per_column kind * m.frame_bits)
+  /. float_of_int (m.units_per_column kind)
+
+let region_bits m res =
+  Array.fold_left
+    (fun acc kind ->
+      acc +. (bits_per_unit m kind *. float_of_int (Resource.get res kind)))
+    0. Resource.kinds
+
+let reconf_ticks m ~bits_per_tick res =
+  if Resource.is_zero res then 0
+  else begin
+    if bits_per_tick <= 0. then invalid_arg "Bitstream.reconf_ticks: recFreq";
+    let t = int_of_float (Float.ceil (region_bits m res /. bits_per_tick)) in
+    Stdlib.max 1 t
+  end

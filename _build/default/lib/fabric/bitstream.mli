@@ -1,0 +1,31 @@
+(** Bitstream-size and reconfiguration-time estimation (eqs. 1 and 2).
+
+    Following Vipin & Fahmy [14], the number of configuration bits needed
+    by one unit of each resource kind is derived from the 7-series frame
+    structure: a configuration frame is 101 32-bit words, and each column
+    of a clock region needs a fixed number of frames that depends on the
+    column type. *)
+
+type model = {
+  frame_bits : int;  (** bits per configuration frame (7-series: 101*32) *)
+  frames_per_column : Resource.kind -> int;
+      (** configuration frames for one column of one clock region *)
+  units_per_column : Resource.kind -> int;
+      (** resource units provided by one column of one clock region *)
+}
+
+val seven_series : model
+(** The Xilinx 7-series model used throughout the paper's evaluation:
+    3232-bit frames; CLB columns: 36 frames / 50 slices; BRAM columns:
+    28 frames / 10 BRAM36; DSP columns: 28 frames / 20 DSP48. *)
+
+val bits_per_unit : model -> Resource.kind -> float
+(** [bit_r] of eq. 1: average configuration bits per resource unit. *)
+
+val region_bits : model -> Resource.t -> float
+(** [bit_s] of eq. 1 for a region with the given resource requirements. *)
+
+val reconf_ticks : model -> bits_per_tick:float -> Resource.t -> int
+(** Eq. 2, rounded up to integer ticks; at least 1 tick for any non-empty
+    region. [bits_per_tick] is [recFreq] expressed in configuration bits
+    per scheduler tick. *)

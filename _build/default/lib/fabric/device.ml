@@ -1,0 +1,103 @@
+type t = {
+  name : string;
+  columns : Resource.kind array;
+  rows : int;
+  model : Bitstream.model;
+  total : Resource.t;
+}
+
+let column_units_of_model model kind =
+  let n = model.Bitstream.units_per_column kind in
+  Resource.set Resource.zero kind n
+
+let compute_total ~columns ~rows ~model =
+  let acc = ref Resource.zero in
+  Array.iter
+    (fun kind ->
+      let per_region = column_units_of_model model kind in
+      for _ = 1 to rows do
+        acc := Resource.add !acc per_region
+      done)
+    columns;
+  !acc
+
+let make ~name ~columns ~rows ~model =
+  if rows <= 0 then invalid_arg "Device.make: rows must be positive";
+  if Array.length columns = 0 then invalid_arg "Device.make: no columns";
+  { name; columns; rows; model; total = compute_total ~columns ~rows ~model }
+
+(* Interleave BRAM and DSP columns among the CLB columns the way 7-series
+   parts do: thin stripes of hard blocks separated by runs of logic. *)
+let xc7z020 =
+  let columns =
+    let buf = ref [] in
+    let push k n = for _ = 1 to n do buf := k :: !buf done in
+    (* 9 groups of ~10 CLB columns; BRAM stripes after groups 1,3,5,7,9;
+       DSP stripes after groups 2,4,6,8. *)
+    for group = 1 to 9 do
+      push Resource.Clb (if group <= 8 then 10 else 9);
+      if group mod 2 = 1 then push Resource.Bram 1 else push Resource.Dsp 1
+    done;
+    Array.of_list (List.rev !buf)
+  in
+  make ~name:"xc7z020" ~columns ~rows:3 ~model:Bitstream.seven_series
+
+(* Same stripe style as xc7z020: runs of CLB columns separated by
+   alternating BRAM / DSP hard-block columns. *)
+let striped ~name ~rows ~groups ~clb_per_group ~last_group_clb =
+  let buf = ref [] in
+  let push k n = for _ = 1 to n do buf := k :: !buf done in
+  for group = 1 to groups do
+    push Resource.Clb (if group < groups then clb_per_group else last_group_clb);
+    if group mod 2 = 1 then push Resource.Bram 1 else push Resource.Dsp 1
+  done;
+  make ~name ~columns:(Array.of_list (List.rev !buf)) ~rows
+    ~model:Bitstream.seven_series
+
+let xc7z010 =
+  striped ~name:"xc7z010" ~rows:2 ~groups:5 ~clb_per_group:9 ~last_group_clb:8
+
+let xc7z045 =
+  striped ~name:"xc7z045" ~rows:7 ~groups:15 ~clb_per_group:10
+    ~last_group_clb:17
+
+let minifab =
+  let columns =
+    [| Resource.Clb; Clb; Clb; Bram; Clb; Clb; Dsp; Clb |]
+  in
+  make ~name:"minifab" ~columns ~rows:2 ~model:Bitstream.seven_series
+
+let presets =
+  [ ("xc7z010", xc7z010); ("xc7z020", xc7z020); ("xc7z045", xc7z045);
+    ("minifab", minifab) ]
+
+let by_name name =
+  let name = String.lowercase_ascii name in
+  List.assoc_opt name presets
+
+let column_units t ~col =
+  if col < 0 || col >= Array.length t.columns then
+    invalid_arg "Device.column_units: column out of range";
+  column_units_of_model t.model t.columns.(col)
+
+let rect_resources t ~c0 ~c1 ~r0 ~r1 =
+  let ncols = Array.length t.columns in
+  if c0 < 0 || c1 >= ncols || c0 > c1 then
+    invalid_arg "Device.rect_resources: bad column span";
+  if r0 < 0 || r1 >= t.rows || r0 > r1 then
+    invalid_arg "Device.rect_resources: bad row span";
+  let height = r1 - r0 + 1 in
+  let acc = ref Resource.zero in
+  for c = c0 to c1 do
+    let per_region = column_units_of_model t.model t.columns.(c) in
+    for _ = 1 to height do
+      acc := Resource.add !acc per_region
+    done
+  done;
+  !acc
+
+let icap_default_bits_per_us = 3200.
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d columns x %d clock regions, total %a" t.name
+    (Array.length t.columns) t.rows Resource.pp t.total

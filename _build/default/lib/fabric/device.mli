@@ -1,0 +1,63 @@
+(** FPGA device model.
+
+    The reconfigurable fabric is modelled the way partial-reconfiguration
+    floorplanners see 7-series parts: a grid of resource columns crossed by
+    horizontal clock regions. A column has a single resource kind and
+    contributes a fixed number of units of that kind per clock region.
+    Reconfigurable regions are axis-aligned rectangles of whole
+    column x clock-region tiles (the PDR granularity constraint of [2,3]). *)
+
+type t = private {
+  name : string;
+  columns : Resource.kind array;  (** left-to-right column types *)
+  rows : int;  (** number of clock regions *)
+  model : Bitstream.model;
+  total : Resource.t;  (** maxRes_r, derived from the geometry *)
+}
+
+val make : name:string -> columns:Resource.kind array -> rows:int ->
+  model:Bitstream.model -> t
+(** Builds a device; [total] is computed from the geometry. Raises
+    [Invalid_argument] if [rows <= 0] or there are no columns. *)
+
+val xc7z020 : t
+(** Approximation of the Zynq-7000 XC7Z020 programmable logic used on the
+    ZedBoard: 3 clock-region rows; 89 CLB, 5 BRAM and 4 DSP columns
+    interleaved as on the real part, giving 13,350 slices / 150 BRAM /
+    240 DSP (the real part has 13,300 / 140 / 220; the small excess comes
+    from whole-column rounding and is documented in DESIGN.md). *)
+
+val column_units : t -> col:int -> Resource.t
+(** Resources provided by one clock-region tile of column [col]. *)
+
+val rect_resources : t -> c0:int -> c1:int -> r0:int -> r1:int -> Resource.t
+(** Resources inside the rectangle spanning columns [c0..c1] and clock
+    regions [r0..r1] (inclusive). Raises [Invalid_argument] when out of
+    bounds or empty. *)
+
+val xc7z010 : t
+(** Approximation of the Zynq-7000 XC7Z010 (MicroZed-class): 2 clock-region
+    rows; 44 CLB, 3 BRAM, 2 DSP columns — 4,400 slices / 60 BRAM /
+    80 DSP (real part: 4,400 / 60 / 80). *)
+
+val xc7z045 : t
+(** Approximation of the Zynq-7000 XC7Z045 (ZC706-class): 7 clock-region
+    rows; 157 CLB, 8 BRAM, 7 DSP columns — 54,950 slices / 560 BRAM /
+    980 DSP (real part: 54,650 / 545 / 900; whole-column rounding). *)
+
+val minifab : t
+(** A deliberately tiny fabric (2 clock regions; 6 CLB, 1 BRAM and 1 DSP
+    columns) used by unit tests and the quickstart example, where floorplan
+    pressure must be reachable with a handful of small tasks. *)
+
+val presets : (string * t) list
+(** Name -> device for every built-in preset. *)
+
+val by_name : string -> t option
+(** Look up a preset by (case-insensitive) name. *)
+
+val icap_default_bits_per_us : float
+(** Default reconfiguration throughput: ICAP at 400 MB/s, i.e. 3200
+    configuration bits per microsecond tick. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/floorplan/floorplanner.ml: Array Milp_model Packer Placement Printf Resched_fabric Unix

@@ -1,0 +1,1 @@
+lib/floorplan/floorplanner.mli: Placement Resched_fabric

@@ -1,0 +1,1 @@
+lib/floorplan/milp_model.ml: Array List Placement Printf Resched_fabric Resched_milp

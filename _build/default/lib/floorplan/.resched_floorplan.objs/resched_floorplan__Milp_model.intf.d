@@ -1,0 +1,1 @@
+lib/floorplan/milp_model.mli: Placement Resched_fabric

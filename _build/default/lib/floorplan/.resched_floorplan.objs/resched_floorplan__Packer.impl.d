@@ -1,0 +1,1 @@
+lib/floorplan/packer.ml: Array List Placement Resched_fabric

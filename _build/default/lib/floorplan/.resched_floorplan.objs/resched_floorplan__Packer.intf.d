@@ -1,0 +1,1 @@
+lib/floorplan/packer.mli: Placement Resched_fabric

@@ -1,0 +1,1 @@
+lib/floorplan/placement.ml: Array Format List Resched_fabric

@@ -1,0 +1,1 @@
+lib/floorplan/placement.mli: Format Resched_fabric

@@ -1,0 +1,41 @@
+(** Top-level floorplan feasibility check (the paper's step H).
+
+    Given the reconfigurable regions produced by the scheduler, decide
+    whether they admit a floorplan complying with the PDR granularity
+    constraints of the device, and produce one when they do. Two engines
+    are available: a combinatorial backtracking packer (default, fast)
+    and the MILP formulation (used as a cross-check and as the faithful
+    port of [3]'s approach). *)
+
+type engine =
+  | Backtracking
+  | Milp
+  | Hybrid  (** backtracking first; on [Unknown], fall back to MILP *)
+
+type verdict =
+  | Feasible of Placement.rect array
+  | Infeasible
+  | Unknown
+
+type report = {
+  verdict : verdict;
+  engine_used : engine;
+  elapsed : float;  (** wall-clock seconds spent in the check *)
+}
+
+val check : ?engine:engine -> ?node_limit:int ->
+  Resched_fabric.Device.t -> Resched_fabric.Resource.t array -> report
+(** [check device needs] runs the requested [engine] (default
+    [Backtracking]). Requirements must all be non-zero. *)
+
+val validate : Resched_fabric.Device.t ->
+  needs:Resched_fabric.Resource.t array -> Placement.rect array ->
+  (unit, string) result
+(** Independent verification that a claimed floorplan is correct: right
+    count, in-bounds rectangles, pairwise disjoint, and each rectangle's
+    resources cover its region's requirement. *)
+
+val quick_capacity_check : Resched_fabric.Device.t ->
+  Resched_fabric.Resource.t array -> bool
+(** Necessary condition only: total requirements fit the device totals.
+    The scheduler uses this as a cheap pre-filter. *)

@@ -1,0 +1,15 @@
+(** Backtracking search for a non-overlapping assignment of one feasible
+    placement to every reconfigurable region. *)
+
+type outcome =
+  | Placed of Placement.rect array
+      (** one placement per input region, in input order *)
+  | Infeasible  (** exhaustively proven: no packing exists *)
+  | Unknown  (** node budget exhausted before a conclusion *)
+
+val pack : ?node_limit:int -> Resched_fabric.Device.t ->
+  Resched_fabric.Resource.t array -> outcome
+(** [pack device needs] searches for placements of all regions. Regions
+    are tried hardest-first (fewest candidates); candidates snuggest
+    first. [node_limit] (default 200_000) bounds backtracking nodes.
+    Raises [Invalid_argument] if any requirement is zero. *)

@@ -1,0 +1,194 @@
+type solution = {
+  objective : float;
+  values : float array;
+  proved_optimal : bool;
+  nodes : int;
+}
+
+type result =
+  | Optimal of solution
+  | Feasible of solution
+  | Infeasible
+  | Unbounded
+  | Node_limit
+
+let is_integral ?(tolerance = 1e-6) model values =
+  let ok = ref true in
+  Array.iteri
+    (fun i v ->
+      if Lp.var_is_integer model (Lp.var_of_index model i) then begin
+        let r = Float.abs (v -. Float.round v) in
+        if r > tolerance then ok := false
+      end)
+    values;
+  !ok
+
+(* Min-heap on LP bound (converted to minimization direction). *)
+module Heap = struct
+  type 'a t = { mutable data : (float * 'a) array; mutable size : int }
+
+  let create () = { data = Array.make 16 (0., Obj.magic 0); size = 0 }
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let push h key v =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) h.data.(0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- (key, v);
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then
+          smallest := l;
+        if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then
+          smallest := r;
+        if !smallest = !i then continue_ := false
+        else begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+end
+
+let solve ?(node_limit = 1_000_000) ?time_limit
+    ?(integrality_tolerance = 1e-6) model =
+  let deadline =
+    match time_limit with
+    | None -> infinity
+    | Some s ->
+      if s <= 0. then invalid_arg "Branch_bound.solve: time_limit";
+      Unix.gettimeofday () +. s
+  in
+  let n = Lp.num_vars model in
+  let base_lb =
+    Array.init n (fun i -> Lp.var_lb model (Lp.var_of_index model i))
+  in
+  let base_ub =
+    Array.init n (fun i -> Lp.var_ub model (Lp.var_of_index model i))
+  in
+  let integer =
+    Array.init n (fun i -> Lp.var_is_integer model (Lp.var_of_index model i))
+  in
+  Array.iteri
+    (fun i isint ->
+      if isint && not (Float.is_finite base_ub.(i)) then
+        invalid_arg "Branch_bound.solve: integer variables need finite bounds")
+    integer;
+  let sign = match Lp.objective model with Lp.Minimize -> 1. | Maximize -> -1. in
+  (* All keys below are in minimization direction: key = sign * objective. *)
+  let incumbent = ref None in
+  let incumbent_key = ref infinity in
+  let nodes = ref 0 in
+  let heap = Heap.create () in
+  let most_fractional values =
+    let best = ref (-1) in
+    let best_frac = ref integrality_tolerance in
+    for i = 0 to n - 1 do
+      if integer.(i) then begin
+        let v = values.(i) in
+        let frac = Float.abs (v -. Float.round v) in
+        if frac > !best_frac then begin
+          best := i;
+          best_frac := frac
+        end
+      end
+    done;
+    !best
+  in
+  let evaluate lb ub =
+    incr nodes;
+    match Simplex.solve_with_bounds ~deadline model ~lb ~ub with
+    | Simplex.Infeasible -> `Pruned
+    | Simplex.Unbounded -> `Unbounded
+    | Simplex.Optimal { objective; values } ->
+      let key = sign *. objective in
+      if key >= !incumbent_key -. 1e-9 then `Pruned
+      else begin
+        match most_fractional values with
+        | -1 ->
+          incumbent := Some (objective, values);
+          incumbent_key := key;
+          `Integer
+        | branch_var -> `Branch (key, branch_var, values)
+      end
+  in
+  let push_children lb ub branch_var values =
+    let v = values.(branch_var) in
+    let floor_v = Float.floor v in
+    let down_ub = Array.copy ub in
+    down_ub.(branch_var) <- floor_v;
+    let up_lb = Array.copy lb in
+    up_lb.(branch_var) <- floor_v +. 1.;
+    ((Array.copy lb, down_ub), (up_lb, Array.copy ub))
+  in
+  let unbounded = ref false in
+  (match evaluate base_lb base_ub with
+  | `Pruned | `Integer -> ()
+  | `Unbounded -> unbounded := true
+  | `Branch (key, var, values) ->
+    let d, u = push_children base_lb base_ub var values in
+    Heap.push heap key d;
+    Heap.push heap key u);
+  let exhausted = ref false in
+  if not !unbounded then begin
+    let continue_ = ref true in
+    while !continue_ do
+      if !nodes >= node_limit || Unix.gettimeofday () > deadline then begin
+        exhausted := true;
+        continue_ := false
+      end
+      else begin
+        match Heap.pop heap with
+        | None -> continue_ := false
+        | Some (key, (lb, ub)) ->
+          if key >= !incumbent_key -. 1e-9 then
+            (* Best-first: every remaining node is at least as bad. *)
+            continue_ := false
+          else begin
+            match evaluate lb ub with
+            | `Pruned | `Integer -> ()
+            | `Unbounded -> ()
+            | `Branch (child_key, var, values) ->
+              let d, u = push_children lb ub var values in
+              Heap.push heap child_key d;
+              Heap.push heap child_key u
+          end
+      end
+    done
+  end;
+  (* An LP aborted by the deadline reports Infeasible; never let that
+     masquerade as a proof. *)
+  if Unix.gettimeofday () > deadline then exhausted := true;
+  if !unbounded then Unbounded
+  else begin
+    match !incumbent with
+    | Some (objective, values) ->
+      let sol =
+        { objective; values; proved_optimal = not !exhausted; nodes = !nodes }
+      in
+      if !exhausted then Feasible sol else Optimal sol
+    | None -> if !exhausted then Node_limit else Infeasible
+  end

@@ -1,0 +1,30 @@
+(** Branch-and-bound MILP solver on top of {!Simplex}.
+
+    Best-LP-bound-first search, branching on the most fractional integer
+    variable. Exact when it terminates within the node budget; otherwise
+    returns the incumbent with [proved_optimal = false] (the behaviour the
+    IS-k baseline relies on for large chunks). *)
+
+type solution = {
+  objective : float;
+  values : float array;
+  proved_optimal : bool;
+  nodes : int;  (** LP relaxations solved *)
+}
+
+type result =
+  | Optimal of solution  (** [proved_optimal] is true *)
+  | Feasible of solution  (** node budget hit with an incumbent *)
+  | Infeasible
+  | Unbounded
+  | Node_limit  (** node budget hit before any integer solution *)
+
+val solve : ?node_limit:int -> ?time_limit:float ->
+  ?integrality_tolerance:float -> Lp.t -> result
+(** [node_limit] defaults to 1_000_000; [time_limit] (wall-clock seconds,
+    default unlimited) turns the solver into an anytime procedure;
+    [integrality_tolerance] to 1e-6. Integer variables must have finite
+    bounds. *)
+
+val is_integral : ?tolerance:float -> Lp.t -> float array -> bool
+(** Do the given values satisfy all the model's integrality markers? *)

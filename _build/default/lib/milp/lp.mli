@@ -1,0 +1,52 @@
+(** Linear / mixed-integer linear program modelling.
+
+    This is the substrate that replaces Gurobi in the reproduction: the
+    floorplanner of [3] and the IS-k baseline of [6] both need an exact
+    optimizer for small models. Build a model here, then solve its
+    continuous relaxation with {!Simplex.solve} or the full MILP with
+    {!Branch_bound.solve}. *)
+
+type t
+(** A mutable model. Variables and constraints are appended; solving
+    never mutates the model. *)
+
+type var = private int
+(** Variable handle (dense index, stable across the model's lifetime). *)
+
+type sense = Le | Ge | Eq
+
+type objective = Minimize | Maximize
+
+val create : ?objective:objective -> unit -> t
+(** A fresh empty model; [objective] defaults to [Minimize]. *)
+
+val add_var : t -> ?lb:float -> ?ub:float -> ?integer:bool ->
+  ?name:string -> obj:float -> unit -> var
+(** New variable with objective coefficient [obj]; bounds default to
+    [\[0, +inf)]; [integer] defaults to [false]. Raises
+    [Invalid_argument] if [lb > ub] or a bound is NaN. *)
+
+val add_binary : t -> ?name:string -> obj:float -> unit -> var
+(** Integer variable in [\[0, 1\]]. *)
+
+val add_constraint : t -> ?name:string -> (var * float) list -> sense ->
+  float -> unit
+(** [add_constraint m terms sense rhs] adds [Σ coeff * var  sense  rhs].
+    Repeated variables in [terms] are summed. *)
+
+val num_vars : t -> int
+val num_constraints : t -> int
+val objective : t -> objective
+val obj_coeffs : t -> float array
+val var_lb : t -> var -> float
+val var_ub : t -> var -> float
+val var_is_integer : t -> var -> bool
+val var_name : t -> var -> string
+val var_of_index : t -> int -> var
+(** Raises [Invalid_argument] when out of range. *)
+
+val rows : t -> ((int * float) list * sense * float) array
+(** Constraint rows as (terms over variable indices, sense, rhs). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable LP-format-style dump. *)

@@ -1,0 +1,31 @@
+(** Two-phase primal simplex for the continuous relaxation of an
+    {!Lp.t} model.
+
+    Dense tableau implementation with Bland's anti-cycling rule; intended
+    for the small models produced by the floorplanner and the IS-k chunk
+    solver (tens to a few hundred variables), not for large-scale LPs. *)
+
+type solution = {
+  objective : float;
+  values : float array;  (** one value per model variable, in index order *)
+}
+
+type result =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+
+val solve : Lp.t -> result
+(** Solve the continuous relaxation (integrality markers are ignored). *)
+
+val solve_with_bounds : ?deadline:float -> Lp.t -> lb:float array ->
+  ub:float array -> result
+(** Like {!solve} but overriding every variable's bounds; used by
+    {!Branch_bound} to explore subproblems without rebuilding the model.
+    Array lengths must equal [Lp.num_vars]. [deadline] is an absolute
+    [Unix.gettimeofday] instant past which the solve aborts (the phase
+    that was interrupted reports [Infeasible], so callers should treat a
+    post-deadline result as indeterminate). *)
+
+val feasibility_tolerance : float
+(** Tolerance under which phase-1 infeasibility is accepted as zero. *)

@@ -1,0 +1,1 @@
+lib/platform/arch.ml: Format Resched_fabric

@@ -1,0 +1,1 @@
+lib/platform/arch.mli: Format Resched_fabric

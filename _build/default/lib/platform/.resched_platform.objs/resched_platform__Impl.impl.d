@@ -1,0 +1,1 @@
+lib/platform/impl.ml: Format Printf Resched_fabric

@@ -1,0 +1,1 @@
+lib/platform/impl.mli: Format Resched_fabric

@@ -1,0 +1,1 @@
+lib/platform/instance.ml: Arch Array Format Impl List Printf Resched_fabric Resched_taskgraph Stdlib

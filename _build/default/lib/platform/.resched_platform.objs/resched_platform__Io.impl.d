@@ -1,0 +1,1 @@
+lib/platform/io.ml: Arch Array Buffer Fun Impl In_channel Instance List Printf Resched_fabric Resched_taskgraph String

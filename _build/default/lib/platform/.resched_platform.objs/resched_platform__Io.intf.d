@@ -1,0 +1,1 @@
+lib/platform/io.mli: Instance

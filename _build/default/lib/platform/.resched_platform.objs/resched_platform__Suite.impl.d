@@ -1,0 +1,1 @@
+lib/platform/suite.ml: Arch Array Impl Instance List Resched_fabric Resched_taskgraph Resched_util Stdlib

@@ -1,0 +1,1 @@
+lib/platform/suite.mli: Arch Instance Resched_util

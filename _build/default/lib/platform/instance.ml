@@ -1,0 +1,87 @@
+module Graph = Resched_taskgraph.Graph
+module Resource = Resched_fabric.Resource
+module Device = Resched_fabric.Device
+
+type t = {
+  arch : Arch.t;
+  graph : Graph.t;
+  names : string array;
+  impls : Impl.t array array;
+}
+
+let validate t =
+  let n = Graph.size t.graph in
+  if Array.length t.impls <> n then
+    invalid_arg "Instance.make: impls length mismatch";
+  if Array.length t.names <> n then
+    invalid_arg "Instance.make: names length mismatch";
+  let max_res = Arch.max_res t.arch in
+  Array.iteri
+    (fun task impls ->
+      if Array.length impls = 0 then
+        invalid_arg
+          (Printf.sprintf "Instance.make: task %d has no implementation" task);
+      if not (Array.exists Impl.is_sw impls) then
+        invalid_arg
+          (Printf.sprintf
+             "Instance.make: task %d has no software implementation" task);
+      Array.iter
+        (fun i ->
+          if Impl.is_hw i && not (Resource.fits i.Impl.res ~within:max_res)
+          then
+            invalid_arg
+              (Printf.sprintf
+                 "Instance.make: task %d has an implementation larger than \
+                  the device"
+                 task))
+        impls)
+    t.impls
+
+let make ~arch ~graph ?names ~impls () =
+  let names =
+    match names with
+    | Some a -> a
+    | None -> Array.init (Graph.size graph) (fun i -> Printf.sprintf "t%d" i)
+  in
+  let t = { arch; graph; names; impls } in
+  validate t;
+  t
+
+let size t = Graph.size t.graph
+let task_name t u = t.names.(u)
+
+let indexed_filter p impls =
+  let acc = ref [] in
+  Array.iteri (fun idx i -> if p i then acc := (idx, i) :: !acc) impls;
+  List.rev !acc
+
+let hw_impls t u = indexed_filter Impl.is_hw t.impls.(u)
+let sw_impls t u = indexed_filter Impl.is_sw t.impls.(u)
+
+let fastest_sw t u =
+  match sw_impls t u with
+  | [] -> invalid_arg "Instance.fastest_sw: no SW implementation"
+  | (idx0, i0) :: rest ->
+    let best, _ =
+      List.fold_left
+        (fun (bidx, bt) (idx, i) ->
+          if i.Impl.time < bt then (idx, i.Impl.time) else (bidx, bt))
+        (idx0, i0.Impl.time) rest
+    in
+    best
+
+let impl t ~task ~idx = t.impls.(task).(idx)
+
+let min_time t u =
+  Array.fold_left (fun acc i -> Stdlib.min acc i.Impl.time) max_int t.impls.(u)
+
+let max_t t =
+  let acc = ref 0 in
+  for u = 0 to size t - 1 do
+    acc := !acc + min_time t u
+  done;
+  !acc
+
+let pp_summary ppf t =
+  Format.fprintf ppf "instance: %d tasks, %d edges on %a" (size t)
+    (Graph.edge_count t.graph) Arch.pp t.arch

@@ -1,0 +1,43 @@
+(** A complete scheduling problem instance: architecture + application
+    task graph + per-task implementation sets (Sec. III). *)
+
+module Graph = Resched_taskgraph.Graph
+
+type t = {
+  arch : Arch.t;
+  graph : Graph.t;
+  names : string array;  (** one display name per task *)
+  impls : Impl.t array array;  (** [I_t] per task, HW and SW mixed *)
+}
+
+val make : arch:Arch.t -> graph:Graph.t -> ?names:string array ->
+  impls:Impl.t array array -> unit -> t
+(** Builds and validates an instance. Raises [Invalid_argument] when a
+    task has no implementation, no software implementation (the paper
+    assumes at least one per task), a hardware implementation that cannot
+    fit the device even alone, or when array lengths disagree with the
+    graph size. [names] defaults to ["t0", "t1", ...]. *)
+
+val size : t -> int
+(** Number of tasks. *)
+
+val task_name : t -> int -> string
+
+val hw_impls : t -> int -> (int * Impl.t) list
+(** Hardware implementations of a task, with their index in [impls.(t)]. *)
+
+val sw_impls : t -> int -> (int * Impl.t) list
+
+val fastest_sw : t -> int -> int
+(** Index of the software implementation with the lowest execution time
+    (the paper's fallback choice). *)
+
+val impl : t -> task:int -> idx:int -> Impl.t
+
+val min_time : t -> int -> int
+(** [min_{i in I_t} time_i], used by eq. 4's [maxT]. *)
+
+val max_t : t -> int
+(** [maxT] of eq. 4: serial execution with the fastest implementations. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/executor.ml: Array Float Format Hashtbl List Resched_core Resched_platform Resched_taskgraph Resched_util Stdlib

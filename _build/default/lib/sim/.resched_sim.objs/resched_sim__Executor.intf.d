@@ -1,0 +1,1 @@
+lib/sim/executor.mli: Format Resched_core Resched_util

@@ -1,0 +1,158 @@
+module Rng = Resched_util.Rng
+module Stats = Resched_util.Stats
+module Graph = Resched_taskgraph.Graph
+module Cpm = Resched_taskgraph.Cpm
+module Instance = Resched_platform.Instance
+module Arch = Resched_platform.Arch
+module Schedule = Resched_core.Schedule
+
+type jitter =
+  | Deterministic
+  | Uniform of float
+  | Delay_only of float
+
+type trial = {
+  makespan : int;
+  task_start : int array;
+  task_end : int array;
+}
+
+(* Node layout of the replay DAG: tasks 0..n-1, then one node per
+   reconfiguration in the schedule's controller order. *)
+let replay_graph (sched : Schedule.t) =
+  let inst = sched.Schedule.instance in
+  let n = Instance.size inst in
+  let rcs = Array.of_list sched.Schedule.reconfigurations in
+  let nr = Array.length rcs in
+  let g = Graph.create (n + nr) in
+  (* Data dependencies. *)
+  List.iter (fun (u, v) -> Graph.add_edge g u v) (Graph.edges inst.Instance.graph);
+  (* Per-region order with the reconfiguration between each pair (when
+     one exists; with module reuse the pair is chained directly). *)
+  let rc_index = Hashtbl.create 16 in
+  Array.iteri
+    (fun k (rc : Schedule.reconfiguration) ->
+      Hashtbl.replace rc_index (rc.Schedule.region, rc.Schedule.t_in, rc.Schedule.t_out) k)
+    rcs;
+  Array.iteri
+    (fun ridx (_ : Schedule.region) ->
+      let ordered = Schedule.region_tasks_in_order sched ridx in
+      let rec chain = function
+        | a :: b :: tl ->
+          (match Hashtbl.find_opt rc_index (ridx, a, b) with
+          | Some k ->
+            Graph.add_edge g a (n + k);
+            Graph.add_edge g (n + k) b
+          | None -> Graph.add_edge g a b);
+          chain (b :: tl)
+        | [ _ ] | [] -> ()
+      in
+      chain ordered)
+    sched.Schedule.regions;
+  (* Per-processor order (by static start time). *)
+  let procs = inst.Instance.arch.Arch.processors in
+  for p = 0 to procs - 1 do
+    let mine = ref [] in
+    Array.iteri
+      (fun u (s : Schedule.task_slot) ->
+        match s.Schedule.placement with
+        | Schedule.On_processor q when q = p -> mine := u :: !mine
+        | _ -> ())
+      sched.Schedule.slots;
+    let ordered =
+      List.sort
+        (fun a b ->
+          compare sched.Schedule.slots.(a).Schedule.start_
+            sched.Schedule.slots.(b).Schedule.start_)
+        !mine
+    in
+    let rec chain = function
+      | a :: b :: tl ->
+        Graph.add_edge g a b;
+        chain (b :: tl)
+      | [ _ ] | [] -> ()
+    in
+    chain ordered
+  done;
+  (* Controller order: the reconfiguration list is already in execution
+     order. *)
+  for k = 0 to nr - 2 do
+    Graph.add_edge g (n + k) (n + k + 1)
+  done;
+  (g, rcs)
+
+let sample_factor rng = function
+  | Deterministic -> 1.0
+  | Uniform f ->
+    if f < 0. || f >= 1. then invalid_arg "Executor: Uniform jitter in [0,1)";
+    1. -. f +. Rng.float rng (2. *. f)
+  | Delay_only f ->
+    if f < 0. then invalid_arg "Executor: Delay_only jitter >= 0";
+    1. +. Rng.float rng f
+
+let execute ?rng ~jitter (sched : Schedule.t) =
+  let rng =
+    match (rng, jitter) with
+    | Some r, _ -> r
+    | None, Deterministic -> Rng.create 0
+    | None, (Uniform _ | Delay_only _) ->
+      invalid_arg "Executor.execute: stochastic jitter needs ~rng"
+  in
+  let inst = sched.Schedule.instance in
+  let n = Instance.size inst in
+  let g, rcs = replay_graph sched in
+  let nr = Array.length rcs in
+  let durations =
+    Array.init (n + nr) (fun i ->
+        let nominal =
+          if i < n then begin
+            let s = sched.Schedule.slots.(i) in
+            s.Schedule.end_ - s.Schedule.start_
+          end
+          else begin
+            let rc = rcs.(i - n) in
+            rc.Schedule.r_end - rc.Schedule.r_start
+          end
+        in
+        if i < n then
+          (* Only task durations jitter; reconfiguration time is fixed by
+             the bitstream size and the controller throughput. *)
+          Stdlib.max 1 (int_of_float (Float.round (float_of_int nominal *. sample_factor rng jitter)))
+        else nominal)
+  in
+  let cpm = Cpm.compute g ~durations in
+  let task_start = Array.sub cpm.Cpm.t_min 0 n in
+  let task_end = Array.init n (fun u -> task_start.(u) + durations.(u)) in
+  let makespan = Array.fold_left Stdlib.max 0 task_end in
+  { makespan; task_start; task_end }
+
+type robustness = {
+  trials : int;
+  static_makespan : int;
+  mean_makespan : float;
+  worst_makespan : int;
+  p95_makespan : float;
+  mean_slowdown : float;
+}
+
+let robustness ~rng ~trials ~jitter sched =
+  if trials <= 0 then invalid_arg "Executor.robustness: trials must be positive";
+  let samples =
+    Array.init trials (fun _ ->
+        float_of_int (execute ~rng ~jitter sched).makespan)
+  in
+  let static = Schedule.makespan sched in
+  {
+    trials;
+    static_makespan = static;
+    mean_makespan = Stats.mean samples;
+    worst_makespan = int_of_float (Stats.max samples);
+    p95_makespan = Stats.percentile samples 95.;
+    mean_slowdown = Stats.mean samples /. float_of_int (Stdlib.max 1 static);
+  }
+
+let pp_robustness ppf r =
+  Format.fprintf ppf
+    "%d trials: static %d, mean %.0f (x%.3f), p95 %.0f, worst %d" r.trials
+    r.static_makespan r.mean_makespan r.mean_slowdown r.p95_makespan
+    r.worst_makespan

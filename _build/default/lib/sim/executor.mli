@@ -1,0 +1,53 @@
+(** Runtime execution simulator.
+
+    The schedulers in this repository are *offline*: they commit to
+    implementation choices, placements and per-resource execution orders
+    at design time, using nominal execution times. At runtime, task
+    durations vary (cache effects, data-dependent loop bounds, DDR
+    contention). This module replays a finished {!Resched_core.Schedule.t}
+    under sampled durations: the committed decisions and per-resource
+    orders are kept (a realistic runtime executes the static plan
+    self-timed), every activity starts as soon as its dependency,
+    resource and reconfiguration-controller predecessors complete, and
+    the realized makespan falls out.
+
+    The executor rebuilds the precedence structure purely from the public
+    schedule — independently from the scheduler internals, like the
+    validator — so it doubles as a semantic cross-check: under
+    [Deterministic] jitter the realized times must reproduce the static
+    schedule's times exactly when the schedule is "compact" (every start
+    explained by some predecessor), and may only be earlier otherwise. *)
+
+type jitter =
+  | Deterministic  (** nominal durations: replay the plan *)
+  | Uniform of float
+      (** duration scaled by a uniform factor in [1-f, 1+f]; f in [0,1) *)
+  | Delay_only of float
+      (** duration scaled by a uniform factor in [1, 1+f]: tasks can only
+          run late, never early *)
+
+type trial = {
+  makespan : int;
+  task_start : int array;
+  task_end : int array;
+}
+
+val execute : ?rng:Resched_util.Rng.t -> jitter:jitter ->
+  Resched_core.Schedule.t -> trial
+(** One realization. [rng] is required for stochastic jitter kinds
+    (raises [Invalid_argument] when missing). *)
+
+type robustness = {
+  trials : int;
+  static_makespan : int;
+  mean_makespan : float;
+  worst_makespan : int;
+  p95_makespan : float;
+  mean_slowdown : float;  (** mean realized / static *)
+}
+
+val robustness : rng:Resched_util.Rng.t -> trials:int -> jitter:jitter ->
+  Resched_core.Schedule.t -> robustness
+(** Monte-Carlo summary over independent realizations. *)
+
+val pp_robustness : Format.formatter -> robustness -> unit

@@ -1,0 +1,1 @@
+lib/taskgraph/cpm.ml: Array Graph List Stdlib

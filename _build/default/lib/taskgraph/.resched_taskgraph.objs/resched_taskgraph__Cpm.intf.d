@@ -1,0 +1,1 @@
+lib/taskgraph/cpm.mli: Graph

@@ -1,0 +1,1 @@
+lib/taskgraph/dot.ml: Buffer Graph List Printf

@@ -1,0 +1,1 @@
+lib/taskgraph/generator.ml: Array Graph List Resched_util Stdlib

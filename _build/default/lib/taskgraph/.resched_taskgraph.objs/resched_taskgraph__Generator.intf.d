@@ -1,0 +1,1 @@
+lib/taskgraph/generator.mli: Graph Resched_util

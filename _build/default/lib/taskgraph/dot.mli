@@ -1,0 +1,8 @@
+(** Graphviz export of task graphs, for debugging and documentation. *)
+
+val to_string : ?name:string -> ?label:(int -> string) -> Graph.t -> string
+(** [to_string g] renders [g] in DOT syntax. [label] gives node labels
+    (default: the node index). *)
+
+val to_channel : out_channel -> ?name:string -> ?label:(int -> string) ->
+  Graph.t -> unit

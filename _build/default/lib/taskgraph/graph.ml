@@ -1,0 +1,134 @@
+type t = {
+  n : int;
+  succ : int list array; (* reversed insertion order *)
+  pred : int list array;
+  mutable edge_count : int;
+}
+
+exception Cycle of int list
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  { n; succ = Array.make n []; pred = Array.make n []; edge_count = 0 }
+
+let size g = g.n
+
+let copy g =
+  { n = g.n;
+    succ = Array.copy g.succ;
+    pred = Array.copy g.pred;
+    edge_count = g.edge_count }
+
+let check_node g u name =
+  if u < 0 || u >= g.n then invalid_arg ("Graph." ^ name ^ ": node out of range")
+
+let has_edge g u v =
+  check_node g u "has_edge";
+  check_node g v "has_edge";
+  List.mem v g.succ.(u)
+
+let add_edge g u v =
+  check_node g u "add_edge";
+  check_node g v "add_edge";
+  if u = v then invalid_arg "Graph.add_edge: self loop";
+  if not (List.mem v g.succ.(u)) then begin
+    g.succ.(u) <- v :: g.succ.(u);
+    g.pred.(v) <- u :: g.pred.(v);
+    g.edge_count <- g.edge_count + 1
+  end
+
+let succs g u =
+  check_node g u "succs";
+  List.rev g.succ.(u)
+
+let preds g u =
+  check_node g u "preds";
+  List.rev g.pred.(u)
+
+let edge_count g = g.edge_count
+
+let edges g =
+  (* g.succ.(u) is newest-first; prepending while iterating it leaves the
+     per-node edges oldest-first in the result. *)
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    List.iter (fun v -> acc := (u, v) :: !acc) g.succ.(u)
+  done;
+  !acc
+
+let sources g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    if g.pred.(u) = [] then acc := u :: !acc
+  done;
+  !acc
+
+let sinks g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    if g.succ.(u) = [] then acc := u :: !acc
+  done;
+  !acc
+
+(* Kahn's algorithm; on failure, extract a cycle by walking unprocessed
+   predecessors. *)
+let topological_order g =
+  let indeg = Array.make g.n 0 in
+  for u = 0 to g.n - 1 do
+    List.iter (fun v -> indeg.(v) <- indeg.(v) + 1) g.succ.(u)
+  done;
+  let queue = Queue.create () in
+  for u = 0 to g.n - 1 do
+    if indeg.(u) = 0 then Queue.add u queue
+  done;
+  let order = Array.make g.n 0 in
+  let filled = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order.(!filled) <- u;
+    incr filled;
+    List.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v queue)
+      g.succ.(u)
+  done;
+  if !filled = g.n then order
+  else begin
+    (* Every remaining node (indeg > 0) lies on or leads into a cycle;
+       follow predecessors among remaining nodes until a repeat. *)
+    let remaining = Array.map (fun d -> d > 0) indeg in
+    let start = ref (-1) in
+    Array.iteri (fun u r -> if r && !start = -1 then start := u) remaining;
+    let seen = Array.make g.n (-1) in
+    let rec walk u path depth =
+      if seen.(u) >= 0 then begin
+        let cycle = ref [] in
+        List.iteri (fun i v -> if List.length path - i <= depth - seen.(u) then cycle := v :: !cycle) path;
+        raise (Cycle (u :: List.filter (fun v -> v <> u) !cycle))
+      end;
+      seen.(u) <- depth;
+      match List.filter (fun p -> remaining.(p)) g.pred.(u) with
+      | [] -> raise (Cycle [ u ])
+      | p :: _ -> walk p (u :: path) (depth + 1)
+    in
+    walk !start [] 0
+  end
+
+let is_acyclic g =
+  match topological_order g with _ -> true | exception Cycle _ -> false
+
+let reachable g u =
+  check_node g u "reachable";
+  let mark = Array.make g.n false in
+  let rec go v =
+    if not mark.(v) then begin
+      mark.(v) <- true;
+      List.iter go g.succ.(v)
+    end
+  in
+  go u;
+  mark
+
+let pp ppf g =
+  Format.fprintf ppf "graph(%d nodes, %d edges)" g.n g.edge_count

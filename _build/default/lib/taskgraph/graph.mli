@@ -1,0 +1,50 @@
+(** Directed acyclic task graphs.
+
+    Nodes are dense integer identifiers [0 .. size-1]; an edge [(u, v)]
+    means task [v] consumes data produced by task [u] and cannot start
+    before [u] completes (Sec. III). The structure is mutable so that the
+    scheduler can insert the ordering edges required when several tasks
+    share a reconfigurable region or a processor (Sec. V-C/V-F); use
+    [copy] to schedule without destroying the input graph. *)
+
+type t
+
+exception Cycle of int list
+(** Raised by [topological_order] with (one of) the offending cycles. *)
+
+val create : int -> t
+(** [create n] is an edgeless graph over [n] nodes. [n >= 0]. *)
+
+val size : t -> int
+val copy : t -> t
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge g u v] inserts the edge [(u, v)]; duplicate insertions are
+    ignored. Raises [Invalid_argument] on out-of-range nodes or self
+    loops. Cycles are only detected by [topological_order]. *)
+
+val has_edge : t -> int -> int -> bool
+val succs : t -> int -> int list
+(** Successors in insertion order. *)
+
+val preds : t -> int -> int list
+val edge_count : t -> int
+val edges : t -> (int * int) list
+(** All edges, ordered by source node. *)
+
+val sources : t -> int list
+(** Nodes without predecessors. *)
+
+val sinks : t -> int list
+(** Nodes without successors. *)
+
+val topological_order : t -> int array
+(** A topological order of all nodes. Raises {!Cycle} if the graph has a
+    directed cycle. *)
+
+val is_acyclic : t -> bool
+
+val reachable : t -> int -> bool array
+(** [reachable g u] marks every node reachable from [u] (including [u]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+let needs_quotes s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if not (needs_quotes s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let row_to_string row = String.concat "," (List.map escape row)
+
+let to_string rows =
+  String.concat "" (List.map (fun r -> row_to_string r ^ "\n") rows)
+
+let write oc rows = output_string oc (to_string rows)

@@ -1,0 +1,53 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix64 s }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so that [Int64.to_int] stays non-negative on 64-bit
+     OCaml; modulo bias is negligible for bounds far below 2^62. *)
+  let v = Int64.to_int (Int64.logand (bits64 t) 0x3FFF_FFFF_FFFF_FFFFL) in
+  v mod bound
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffle t l =
+  let a = Array.of_list l in
+  shuffle_in_place t a;
+  Array.to_list a

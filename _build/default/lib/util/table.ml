@@ -1,0 +1,81 @@
+type align = Left | Right | Center
+
+type t = {
+  headers : string array;
+  aligns : align array;
+  mutable rows : string array list; (* reversed *)
+}
+
+let create ?aligns headers =
+  let headers = Array.of_list headers in
+  let aligns =
+    match aligns with
+    | None -> Array.make (Array.length headers) Right
+    | Some l ->
+      if List.length l <> Array.length headers then
+        invalid_arg "Table.create: aligns length mismatch";
+      Array.of_list l
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t row =
+  let row = Array.of_list row in
+  if Array.length row <> Array.length t.headers then
+    invalid_arg "Table.add_row: row length mismatch";
+  t.rows <- row :: t.rows
+
+let add_rows t rows = List.iter (add_row t) rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let missing = width - n in
+    match align with
+    | Left -> s ^ String.make missing ' '
+    | Right -> String.make missing ' ' ^ s
+    | Center ->
+      let left = missing / 2 in
+      String.make left ' ' ^ s ^ String.make (missing - left) ' '
+  end
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = Array.length t.headers in
+  let widths = Array.map String.length t.headers in
+  let widen row =
+    Array.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)) row
+  in
+  List.iter widen rows;
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line align_of row =
+    Buffer.add_char buf '|';
+    for i = 0 to ncols - 1 do
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (pad (align_of i) widths.(i) row.(i));
+      Buffer.add_string buf " |"
+    done;
+    Buffer.add_char buf '\n'
+  in
+  rule ();
+  line (fun _ -> Center) t.headers;
+  rule ();
+  List.iter (fun row -> line (fun i -> t.aligns.(i)) row) rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_f ?(decimals = 3) v = Printf.sprintf "%.*f" decimals v
+
+let cell_pct v =
+  if v >= 0. then Printf.sprintf "+%.1f%%" v else Printf.sprintf "%.1f%%" v

@@ -1,0 +1,1 @@
+lib/viz/render.ml: Array Float Fun List Printf Resched_core Resched_fabric Resched_floorplan Resched_platform Stdlib Svg

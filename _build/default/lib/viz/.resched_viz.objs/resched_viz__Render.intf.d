@@ -1,0 +1,1 @@
+lib/viz/render.mli: Resched_core Resched_fabric Resched_floorplan

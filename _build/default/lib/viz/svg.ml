@@ -1,0 +1,77 @@
+type t = {
+  width : float;
+  height : float;
+  mutable shapes : string list;  (* reversed *)
+}
+
+let create ~width ~height = { width; height; shapes = [] }
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let push t s = t.shapes <- s :: t.shapes
+
+let f = Printf.sprintf "%.2f"
+
+let rect t ~x ~y ~w ~h ?rx ?(fill = "#cccccc") ?(stroke = "#333333")
+    ?(stroke_width = 1.0) ?opacity ?title () =
+  let attrs =
+    Printf.sprintf
+      "x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\" fill=\"%s\" \
+       stroke=\"%s\" stroke-width=\"%s\"%s%s"
+      (f x) (f y) (f w) (f h) fill stroke (f stroke_width)
+      (match rx with None -> "" | Some r -> Printf.sprintf " rx=\"%s\"" (f r))
+      (match opacity with
+      | None -> ""
+      | Some o -> Printf.sprintf " fill-opacity=\"%s\"" (f o))
+  in
+  match title with
+  | None -> push t (Printf.sprintf "<rect %s/>" attrs)
+  | Some title ->
+    push t
+      (Printf.sprintf "<rect %s><title>%s</title></rect>" attrs (escape title))
+
+let line t ~x1 ~y1 ~x2 ~y2 ?(stroke = "#333333") ?(stroke_width = 1.0) ?dash
+    () =
+  push t
+    (Printf.sprintf
+       "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"%s\" \
+        stroke-width=\"%s\"%s/>"
+       (f x1) (f y1) (f x2) (f y2) stroke (f stroke_width)
+       (match dash with
+       | None -> ""
+       | Some d -> Printf.sprintf " stroke-dasharray=\"%s\"" d))
+
+let text t ~x ~y ?(size = 11.) ?(fill = "#111111") ?(anchor = "start") s =
+  push t
+    (Printf.sprintf
+       "<text x=\"%s\" y=\"%s\" font-size=\"%s\" fill=\"%s\" \
+        text-anchor=\"%s\" font-family=\"sans-serif\">%s</text>"
+       (f x) (f y) (f size) fill anchor (escape s))
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+        <svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%s\" \
+        height=\"%s\" viewBox=\"0 0 %s %s\">\n"
+       (f t.width) (f t.height) (f t.width) (f t.height));
+  List.iter
+    (fun s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\n')
+    (List.rev t.shapes);
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Minimal SVG document builder.
+
+    Just enough structured SVG for the floorplan and Gantt renderers: a
+    document accumulates shapes and serializes to standalone SVG 1.1.
+    Coordinates are in abstract user units. *)
+
+type t
+(** A document under construction. *)
+
+val create : width:float -> height:float -> t
+
+val rect : t -> x:float -> y:float -> w:float -> h:float -> ?rx:float ->
+  ?fill:string -> ?stroke:string -> ?stroke_width:float -> ?opacity:float ->
+  ?title:string -> unit -> unit
+(** Add a rectangle; [title] becomes a <title> child (hover tooltip). *)
+
+val line : t -> x1:float -> y1:float -> x2:float -> y2:float ->
+  ?stroke:string -> ?stroke_width:float -> ?dash:string -> unit -> unit
+
+val text : t -> x:float -> y:float -> ?size:float -> ?fill:string ->
+  ?anchor:string -> string -> unit
+(** [anchor] is the SVG [text-anchor] ("start", "middle", "end"). *)
+
+val to_string : t -> string
+(** Serialize the whole document. *)
+
+val escape : string -> string
+(** XML-escape text content: ampersand, angle brackets, quotes. *)

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array List Printf QCheck QCheck_alcotest Resched_baseline Resched_core Resched_fabric Resched_platform Resched_taskgraph Resched_util String Unix

@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Array Filename Fun List QCheck QCheck_alcotest Resched_core Resched_fabric Resched_platform Resched_taskgraph Resched_util String Sys

@@ -1,0 +1,1 @@
+test/test_fabric.ml: Alcotest Array List Option QCheck QCheck_alcotest Resched_fabric

@@ -1,0 +1,1 @@
+test/test_floorplan.ml: Alcotest Array List QCheck QCheck_alcotest Resched_fabric Resched_floorplan Resched_util

@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Array Float List QCheck QCheck_alcotest Resched_milp Resched_util Unix

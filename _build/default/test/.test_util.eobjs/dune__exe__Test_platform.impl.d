@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Array Hashtbl List QCheck QCheck_alcotest Resched_fabric Resched_platform Resched_taskgraph Resched_util

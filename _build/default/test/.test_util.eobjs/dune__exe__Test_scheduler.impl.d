@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Array List Printf QCheck QCheck_alcotest Resched_core Resched_fabric Resched_platform Resched_taskgraph Resched_util String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List Printf QCheck QCheck_alcotest Resched_baseline Resched_core Resched_platform Resched_sim Resched_taskgraph Resched_util

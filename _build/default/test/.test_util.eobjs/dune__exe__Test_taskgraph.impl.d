@@ -1,0 +1,1 @@
+test/test_taskgraph.ml: Alcotest Array List Printf QCheck QCheck_alcotest Resched_taskgraph Resched_util String

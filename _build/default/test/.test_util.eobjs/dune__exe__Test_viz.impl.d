@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Array List Printf Resched_core Resched_fabric Resched_floorplan Resched_platform Resched_util Resched_viz String

@@ -1,0 +1,225 @@
+(* Tests for the floorplanning substrate: feasible-placement enumeration,
+   the packer, the MILP engine and their agreement. *)
+
+module Rng = Resched_util.Rng
+module Resource = Resched_fabric.Resource
+module Device = Resched_fabric.Device
+module Placement = Resched_floorplan.Placement
+module Packer = Resched_floorplan.Packer
+module Milp_model = Resched_floorplan.Milp_model
+module Floorplanner = Resched_floorplan.Floorplanner
+
+let v ~clb ~bram ~dsp = Resource.make ~clb ~bram ~dsp
+
+let test_rect_geometry () =
+  let a = { Placement.c0 = 0; c1 = 3; r0 = 0; r1 = 1 } in
+  let b = { Placement.c0 = 4; c1 = 6; r0 = 0; r1 = 1 } in
+  let c = { Placement.c0 = 2; c1 = 5; r0 = 1; r1 = 2 } in
+  Alcotest.(check int) "width" 4 (Placement.width a);
+  Alcotest.(check int) "height" 2 (Placement.height a);
+  Alcotest.(check bool) "disjoint columns" false (Placement.overlap a b);
+  Alcotest.(check bool) "overlapping" true (Placement.overlap a c);
+  Alcotest.(check bool) "overlap symmetric" true (Placement.overlap c a);
+  Alcotest.(check bool) "contains" true
+    (Placement.contains ~outer:{ Placement.c0 = 0; c1 = 9; r0 = 0; r1 = 2 } a)
+
+let test_candidates_cover_requirement () =
+  let d = Device.xc7z020 in
+  let need = v ~clb:700 ~bram:5 ~dsp:10 in
+  let cands = Placement.candidates d need in
+  Alcotest.(check bool) "some candidates" true (cands <> []);
+  List.iter
+    (fun rect ->
+      let have = Placement.resources d rect in
+      Alcotest.(check bool) "covers" true (Resource.fits need ~within:have))
+    cands
+
+let test_candidates_minimal_width () =
+  let d = Device.minifab in
+  let need = v ~clb:60 ~bram:0 ~dsp:0 in
+  let cands = Placement.candidates d need in
+  List.iter
+    (fun (rect : Placement.rect) ->
+      if rect.Placement.c0 < rect.Placement.c1 then begin
+        (* Dropping the leftmost column must break feasibility. *)
+        let narrower = { rect with Placement.c0 = rect.Placement.c0 + 1 } in
+        let have = Placement.resources d narrower in
+        Alcotest.(check bool) "minimal" false (Resource.fits need ~within:have)
+      end)
+    cands
+
+let test_candidates_impossible () =
+  let d = Device.minifab in
+  (* Minifab has 1 BRAM column x 2 rows x 10 BRAM = 20 BRAM total. *)
+  Alcotest.(check (list int)) "no candidate" []
+    (List.map (fun _ -> 0) (Placement.candidates d (v ~clb:0 ~bram:21 ~dsp:0)))
+
+let test_pack_single () =
+  let d = Device.minifab in
+  match Packer.pack d [| v ~clb:100 ~bram:2 ~dsp:1 |] with
+  | Packer.Placed [| rect |] ->
+    let have = Placement.resources d rect in
+    Alcotest.(check bool) "covers" true
+      (Resource.fits (v ~clb:100 ~bram:2 ~dsp:1) ~within:have)
+  | _ -> Alcotest.fail "expected placement"
+
+let test_pack_disjoint () =
+  let d = Device.minifab in
+  let needs = [| v ~clb:100 ~bram:0 ~dsp:0; v ~clb:100 ~bram:0 ~dsp:0 |] in
+  match Packer.pack d needs with
+  | Packer.Placed p ->
+    Alcotest.(check bool) "disjoint" false (Placement.overlap p.(0) p.(1))
+  | _ -> Alcotest.fail "expected placement"
+
+let test_pack_capacity_infeasible () =
+  let d = Device.minifab in
+  (* minifab: 6 CLB columns x 2 rows x 50 = 600 CLB; three 250-CLB
+     regions exceed capacity. *)
+  let needs = [| v ~clb:250 ~bram:0 ~dsp:0; v ~clb:250 ~bram:0 ~dsp:0;
+                 v ~clb:250 ~bram:0 ~dsp:0 |] in
+  match Packer.pack d needs with
+  | Packer.Infeasible -> ()
+  | Packer.Placed _ -> Alcotest.fail "impossible packing accepted"
+  | Packer.Unknown -> Alcotest.fail "should be provably infeasible"
+
+let test_pack_geometric_infeasible () =
+  let d = Device.minifab in
+  (* Two regions each needing both the single BRAM column (full height
+     would be needed... take BRAM 11 > one row's 10): each must span both
+     rows of the unique BRAM column -> they must overlap. *)
+  let needs = [| v ~clb:0 ~bram:11 ~dsp:0; v ~clb:0 ~bram:11 ~dsp:0 |] in
+  match Packer.pack d needs with
+  | Packer.Infeasible -> ()
+  | Packer.Placed _ -> Alcotest.fail "impossible packing accepted"
+  | Packer.Unknown -> Alcotest.fail "should be provably infeasible"
+
+let test_pack_empty () =
+  match Packer.pack Device.minifab [||] with
+  | Packer.Placed [||] -> ()
+  | _ -> Alcotest.fail "empty set is trivially placed"
+
+let test_milp_engine_agrees_feasible () =
+  let d = Device.minifab in
+  let needs = [| v ~clb:100 ~bram:2 ~dsp:0; v ~clb:150 ~bram:0 ~dsp:5 |] in
+  (match Milp_model.pack d needs with
+  | Milp_model.Placed p ->
+    Alcotest.(check bool) "disjoint" false (Placement.overlap p.(0) p.(1))
+  | _ -> Alcotest.fail "MILP should place");
+  match Packer.pack d needs with
+  | Packer.Placed _ -> ()
+  | _ -> Alcotest.fail "packer should place"
+
+let test_milp_engine_agrees_infeasible () =
+  let d = Device.minifab in
+  let needs = [| v ~clb:0 ~bram:11 ~dsp:0; v ~clb:0 ~bram:11 ~dsp:0 |] in
+  match Milp_model.pack d needs with
+  | Milp_model.Infeasible -> ()
+  | Milp_model.Placed _ -> Alcotest.fail "impossible packing accepted"
+  | Milp_model.Unknown -> Alcotest.fail "should be provably infeasible"
+
+let test_floorplanner_check_and_validate () =
+  let d = Device.xc7z020 in
+  let needs = Array.init 6 (fun i -> v ~clb:(400 + (100 * i)) ~bram:2 ~dsp:4) in
+  let report = Floorplanner.check d needs in
+  match report.Floorplanner.verdict with
+  | Floorplanner.Feasible placements ->
+    (match Floorplanner.validate d ~needs placements with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "claimed floorplan invalid: %s" msg)
+  | _ -> Alcotest.fail "expected feasible"
+
+let test_validate_rejects_bad_plans () =
+  let d = Device.minifab in
+  let needs = [| v ~clb:100 ~bram:0 ~dsp:0; v ~clb:100 ~bram:0 ~dsp:0 |] in
+  let r = { Placement.c0 = 0; c1 = 2; r0 = 0; r1 = 0 } in
+  (match Floorplanner.validate d ~needs [| r; r |] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "overlap accepted");
+  (match Floorplanner.validate d ~needs [| r |] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "count mismatch accepted");
+  let tiny = { Placement.c0 = 0; c1 = 0; r0 = 0; r1 = 0 } in
+  match
+    Floorplanner.validate d ~needs
+      [| tiny; { Placement.c0 = 4; c1 = 7; r0 = 0; r1 = 1 } |]
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "under-provisioned accepted"
+
+let test_quick_capacity_check () =
+  let d = Device.minifab in
+  Alcotest.(check bool) "fits" true
+    (Floorplanner.quick_capacity_check d [| v ~clb:500 ~bram:10 ~dsp:10 |]);
+  Alcotest.(check bool) "too big" false
+    (Floorplanner.quick_capacity_check d [| v ~clb:700 ~bram:0 ~dsp:0 |])
+
+(* Property: whenever the packer places, the MILP engine never proves
+   infeasibility, and vice versa: MILP placement implies the packer does
+   not prove infeasibility. Verdicts are cross-validated. *)
+let prop_engines_consistent =
+  QCheck.Test.make ~count:40 ~name:"packer/MILP engines consistent"
+    QCheck.(pair int (int_range 1 4))
+    (fun (seed, count) ->
+      let rng = Rng.create seed in
+      let d = Device.minifab in
+      let needs =
+        Array.init count (fun _ ->
+            v
+              ~clb:(50 + Rng.int rng 200)
+              ~bram:(Rng.int rng 8)
+              ~dsp:(Rng.int rng 12))
+      in
+      let p = Packer.pack d needs in
+      let m = Milp_model.pack d needs in
+      let valid placements =
+        Floorplanner.validate d ~needs placements = Ok ()
+      in
+      (match p with Packer.Placed pl -> valid pl | _ -> true)
+      && (match m with Milp_model.Placed pl -> valid pl | _ -> true)
+      &&
+      match (p, m) with
+      | Packer.Placed _, Milp_model.Infeasible -> false
+      | Packer.Infeasible, Milp_model.Placed _ -> false
+      | _ -> true)
+
+let () =
+  Alcotest.run "floorplan"
+    [
+      ( "placement",
+        [
+          Alcotest.test_case "rect geometry" `Quick test_rect_geometry;
+          Alcotest.test_case "candidates cover" `Quick
+            test_candidates_cover_requirement;
+          Alcotest.test_case "candidates minimal" `Quick
+            test_candidates_minimal_width;
+          Alcotest.test_case "impossible requirement" `Quick
+            test_candidates_impossible;
+        ] );
+      ( "packer",
+        [
+          Alcotest.test_case "single region" `Quick test_pack_single;
+          Alcotest.test_case "disjoint regions" `Quick test_pack_disjoint;
+          Alcotest.test_case "capacity infeasible" `Quick
+            test_pack_capacity_infeasible;
+          Alcotest.test_case "geometric infeasible" `Quick
+            test_pack_geometric_infeasible;
+          Alcotest.test_case "empty" `Quick test_pack_empty;
+        ] );
+      ( "milp-engine",
+        [
+          Alcotest.test_case "feasible agreement" `Quick
+            test_milp_engine_agrees_feasible;
+          Alcotest.test_case "infeasible agreement" `Quick
+            test_milp_engine_agrees_infeasible;
+        ] );
+      ( "floorplanner",
+        [
+          Alcotest.test_case "check + validate" `Quick
+            test_floorplanner_check_and_validate;
+          Alcotest.test_case "validate rejects bad plans" `Quick
+            test_validate_rejects_bad_plans;
+          Alcotest.test_case "quick capacity check" `Quick
+            test_quick_capacity_check;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_engines_consistent ]);
+    ]

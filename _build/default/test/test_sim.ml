@@ -1,0 +1,116 @@
+(* Tests for the runtime execution simulator. *)
+
+module Rng = Resched_util.Rng
+module Suite = Resched_platform.Suite
+module Pa = Resched_core.Pa
+module Schedule = Resched_core.Schedule
+module Executor = Resched_sim.Executor
+module Isk = Resched_baseline.Isk
+
+let fixture tasks seed =
+  let rng = Rng.create seed in
+  let inst = Suite.instance rng ~tasks in
+  fst (Pa.run inst)
+
+let test_deterministic_replay_never_late () =
+  (* The replay DAG only contains constraints the static schedule already
+     satisfies, so an ASAP replay with nominal durations can finish
+     early (compacting artificial gaps) but never late. *)
+  List.iter
+    (fun seed ->
+      let sched = fixture 20 seed in
+      let trial = Executor.execute ~jitter:Executor.Deterministic sched in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: replay <= static" seed)
+        true
+        (trial.Executor.makespan <= Schedule.makespan sched))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_deterministic_replay_respects_deps () =
+  let sched = fixture 25 7 in
+  let inst = sched.Schedule.instance in
+  let trial = Executor.execute ~jitter:Executor.Deterministic sched in
+  List.iter
+    (fun (u, v) ->
+      Alcotest.(check bool) "dependency respected" true
+        (trial.Executor.task_start.(v) >= trial.Executor.task_end.(u)))
+    (Resched_taskgraph.Graph.edges
+       inst.Resched_platform.Instance.graph)
+
+let test_delay_only_never_early () =
+  let sched = fixture 20 9 in
+  let rng = Rng.create 11 in
+  let base = Executor.execute ~jitter:Executor.Deterministic sched in
+  for _ = 1 to 10 do
+    let t = Executor.execute ~rng ~jitter:(Executor.Delay_only 0.3) sched in
+    Alcotest.(check bool) "delayed run at least as long" true
+      (t.Executor.makespan >= base.Executor.makespan)
+  done
+
+let test_uniform_jitter_requires_rng () =
+  let sched = fixture 10 3 in
+  match Executor.execute ~jitter:(Executor.Uniform 0.2) sched with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_robustness_stats_consistent () =
+  let sched = fixture 20 5 in
+  let rng = Rng.create 31 in
+  let r =
+    Executor.robustness ~rng ~trials:50 ~jitter:(Executor.Uniform 0.2) sched
+  in
+  Alcotest.(check int) "trials recorded" 50 r.Executor.trials;
+  Alcotest.(check bool) "mean <= worst" true
+    (r.Executor.mean_makespan <= float_of_int r.Executor.worst_makespan);
+  Alcotest.(check bool) "p95 <= worst" true
+    (r.Executor.p95_makespan <= float_of_int r.Executor.worst_makespan);
+  Alcotest.(check bool) "slowdown positive" true (r.Executor.mean_slowdown > 0.)
+
+let test_works_on_isk_schedules () =
+  let rng = Rng.create 13 in
+  let inst = Suite.instance rng ~tasks:15 in
+  let sched, _ = Isk.run ~config:(Isk.config ~k:2) inst in
+  let trial = Executor.execute ~jitter:Executor.Deterministic sched in
+  Alcotest.(check bool) "replay <= static" true
+    (trial.Executor.makespan <= Schedule.makespan sched)
+
+(* Property: under Delay_only jitter the realized makespan is bounded by
+   static * (1 + f) ... not exactly (delays compound along the critical
+   path only multiplicatively per task), but it IS bounded by the longest
+   path with every duration scaled by (1+f); we check against a simple
+   safe bound: ceil(static_replay * (1+f)) + n (rounding slack). *)
+let prop_delay_bounded =
+  QCheck.Test.make ~count:30 ~name:"delay-only jitter bounded"
+    QCheck.(pair int (int_range 8 25))
+    (fun (seed, tasks) ->
+      let rng = Rng.create seed in
+      let inst = Suite.instance rng ~tasks in
+      let sched, _ = Pa.run inst in
+      let base = Executor.execute ~jitter:Executor.Deterministic sched in
+      let f = 0.25 in
+      let t =
+        Executor.execute ~rng:(Rng.create (seed lxor 1)) ~jitter:(Executor.Delay_only f) sched
+      in
+      float_of_int t.Executor.makespan
+      <= (float_of_int base.Executor.makespan *. (1. +. f)) +. float_of_int tasks +. 1.)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "executor",
+        [
+          Alcotest.test_case "deterministic replay never late" `Quick
+            test_deterministic_replay_never_late;
+          Alcotest.test_case "replay respects dependencies" `Quick
+            test_deterministic_replay_respects_deps;
+          Alcotest.test_case "delay-only never early" `Quick
+            test_delay_only_never_early;
+          Alcotest.test_case "stochastic jitter requires rng" `Quick
+            test_uniform_jitter_requires_rng;
+          Alcotest.test_case "robustness stats" `Quick
+            test_robustness_stats_consistent;
+          Alcotest.test_case "works on IS-k schedules" `Quick
+            test_works_on_isk_schedules;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_delay_bounded ]);
+    ]

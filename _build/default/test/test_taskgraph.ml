@@ -1,0 +1,238 @@
+(* Tests for the taskgraph substrate: DAG structure, topological sort and
+   cycle detection, the CPM time windows, and the generators. *)
+
+module Rng = Resched_util.Rng
+module Graph = Resched_taskgraph.Graph
+module Cpm = Resched_taskgraph.Cpm
+module Generator = Resched_taskgraph.Generator
+module Dot = Resched_taskgraph.Dot
+
+let diamond () =
+  (* 0 -> 1 -> 3, 0 -> 2 -> 3 *)
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 0 2;
+  Graph.add_edge g 1 3;
+  Graph.add_edge g 2 3;
+  g
+
+let test_graph_basics () =
+  let g = diamond () in
+  Alcotest.(check int) "size" 4 (Graph.size g);
+  Alcotest.(check int) "edges" 4 (Graph.edge_count g);
+  Alcotest.(check bool) "has edge" true (Graph.has_edge g 0 1);
+  Alcotest.(check bool) "no reverse edge" false (Graph.has_edge g 1 0);
+  Alcotest.(check (list int)) "succs" [ 1; 2 ] (Graph.succs g 0);
+  Alcotest.(check (list int)) "preds" [ 1; 2 ] (Graph.preds g 3);
+  Alcotest.(check (list int)) "sources" [ 0 ] (Graph.sources g);
+  Alcotest.(check (list int)) "sinks" [ 3 ] (Graph.sinks g)
+
+let test_graph_duplicate_edges_ignored () =
+  let g = Graph.create 2 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 0 1;
+  Alcotest.(check int) "single edge" 1 (Graph.edge_count g)
+
+let test_graph_self_loop_rejected () =
+  let g = Graph.create 2 in
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Graph.add_edge: self loop") (fun () ->
+      Graph.add_edge g 1 1)
+
+let test_graph_copy_independent () =
+  let g = diamond () in
+  let h = Graph.copy g in
+  Graph.add_edge h 1 2;
+  Alcotest.(check bool) "copy got the edge" true (Graph.has_edge h 1 2);
+  Alcotest.(check bool) "original untouched" false (Graph.has_edge g 1 2)
+
+let test_topological_order () =
+  let g = diamond () in
+  let order = Graph.topological_order g in
+  let pos = Array.make 4 0 in
+  Array.iteri (fun i u -> pos.(u) <- i) order;
+  List.iter
+    (fun (u, v) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d before %d" u v)
+        true
+        (pos.(u) < pos.(v)))
+    (Graph.edges g)
+
+let test_cycle_detection () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 2;
+  Graph.add_edge g 2 0;
+  Alcotest.(check bool) "cyclic" false (Graph.is_acyclic g);
+  match Graph.topological_order g with
+  | _ -> Alcotest.fail "expected Cycle"
+  | exception Graph.Cycle _ -> ()
+
+let test_reachable () =
+  let g = diamond () in
+  let r = Graph.reachable g 1 in
+  Alcotest.(check bool) "1 reaches 3" true r.(3);
+  Alcotest.(check bool) "1 does not reach 2" false r.(2);
+  Alcotest.(check bool) "1 reaches itself" true r.(1)
+
+let test_cpm_diamond () =
+  let g = diamond () in
+  let durations = [| 2; 5; 3; 4 |] in
+  let cpm = Cpm.compute g ~durations in
+  (* Critical path: 0 -> 1 -> 3 = 2 + 5 + 4 = 11. *)
+  Alcotest.(check int) "makespan" 11 cpm.Cpm.makespan;
+  Alcotest.(check (array int)) "t_min" [| 0; 2; 2; 7 |] cpm.Cpm.t_min;
+  Alcotest.(check (array int)) "t_max" [| 2; 7; 7; 11 |] cpm.Cpm.t_max;
+  Alcotest.(check (array bool)) "critical" [| true; true; false; true |]
+    cpm.Cpm.critical;
+  Alcotest.(check int) "slack of 2" 2 (Cpm.slack cpm ~durations 2);
+  Alcotest.(check (list int)) "critical path" [ 0; 1; 3 ]
+    (Cpm.critical_path cpm ~durations g)
+
+let test_cpm_empty_durations () =
+  let g = Graph.create 3 in
+  let cpm = Cpm.compute g ~durations:[| 0; 0; 0 |] in
+  Alcotest.(check int) "zero makespan" 0 cpm.Cpm.makespan
+
+let test_cpm_release () =
+  let g = Graph.create 2 in
+  Graph.add_edge g 0 1;
+  let cpm =
+    Cpm.compute_with_release g ~durations:[| 3; 4 |] ~release:[| 5; 0 |]
+  in
+  Alcotest.(check int) "start release" 5 cpm.Cpm.t_min.(0);
+  Alcotest.(check int) "succ sees release" 8 cpm.Cpm.t_min.(1);
+  Alcotest.(check int) "makespan" 12 cpm.Cpm.makespan
+
+let test_cpm_rejects_bad_input () =
+  let g = Graph.create 2 in
+  Alcotest.check_raises "length"
+    (Invalid_argument "Cpm.compute: durations length mismatch") (fun () ->
+      ignore (Cpm.compute g ~durations:[| 1 |]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Cpm.compute: negative duration") (fun () ->
+      ignore (Cpm.compute g ~durations:[| 1; -2 |]))
+
+let test_generator_chain () =
+  let g = Generator.chain 5 in
+  Alcotest.(check int) "edges" 4 (Graph.edge_count g);
+  Alcotest.(check (list int)) "single source" [ 0 ] (Graph.sources g);
+  Alcotest.(check (list int)) "single sink" [ 4 ] (Graph.sinks g)
+
+let test_generator_independent () =
+  let g = Generator.independent 5 in
+  Alcotest.(check int) "no edges" 0 (Graph.edge_count g)
+
+let test_generator_fork_join () =
+  let g = Generator.fork_join ~branches:3 ~depth:2 in
+  Alcotest.(check int) "size" 8 (Graph.size g);
+  Alcotest.(check (list int)) "one source" [ 0 ] (Graph.sources g);
+  Alcotest.(check (list int)) "one sink" [ 7 ] (Graph.sinks g);
+  Alcotest.(check bool) "acyclic" true (Graph.is_acyclic g)
+
+let test_generator_layered_properties () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 20 do
+    let tasks = 5 + Rng.int rng 60 in
+    let g =
+      Generator.layered rng ~tasks ~width:4 ~edge_probability:0.1
+    in
+    Alcotest.(check int) "size" tasks (Graph.size g);
+    Alcotest.(check bool) "acyclic" true (Graph.is_acyclic g)
+  done
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_dot_output () =
+  let g = diamond () in
+  let s = Dot.to_string ~name:"d" g in
+  Alcotest.(check bool) "header" true (contains_substring s "digraph d");
+  Alcotest.(check bool) "edge" true (contains_substring s "n0 -> n1");
+  Alcotest.(check bool) "node" true (contains_substring s "n3 [label=\"3\"]")
+
+(* Property: series_parallel generates acyclic graphs of the requested
+   size. *)
+let prop_series_parallel =
+  QCheck.Test.make ~count:100 ~name:"series-parallel generator"
+    QCheck.(pair int (int_range 1 40))
+    (fun (seed, tasks) ->
+      let rng = Rng.create seed in
+      let g = Generator.series_parallel rng ~tasks in
+      Graph.size g = tasks && Graph.is_acyclic g)
+
+(* Property: random linear extensions respect all edges. *)
+let prop_random_order_respects_edges =
+  QCheck.Test.make ~count:100 ~name:"random linear extension"
+    QCheck.(pair int (int_range 2 40))
+    (fun (seed, tasks) ->
+      let rng = Rng.create seed in
+      let g = Generator.layered rng ~tasks ~width:3 ~edge_probability:0.15 in
+      let order = Generator.random_orders_respecting rng g in
+      let pos = Array.make tasks 0 in
+      Array.iteri (fun i u -> pos.(u) <- i) order;
+      List.for_all (fun (u, v) -> pos.(u) < pos.(v)) (Graph.edges g))
+
+(* Property: CPM windows are consistent: t_min + dur <= t_max, and along
+   every edge t_min(v) >= t_min(u) + dur(u). *)
+let prop_cpm_windows =
+  QCheck.Test.make ~count:100 ~name:"CPM window invariants"
+    QCheck.(pair int (int_range 2 50))
+    (fun (seed, tasks) ->
+      let rng = Rng.create (seed lxor 0x9e37) in
+      let g = Generator.layered rng ~tasks ~width:4 ~edge_probability:0.1 in
+      let durations = Array.init tasks (fun _ -> 1 + Rng.int rng 100) in
+      let cpm = Cpm.compute g ~durations in
+      let ok = ref true in
+      for u = 0 to tasks - 1 do
+        if cpm.Cpm.t_min.(u) + durations.(u) > cpm.Cpm.t_max.(u) then ok := false;
+        if cpm.Cpm.t_min.(u) + durations.(u) > cpm.Cpm.makespan then ok := false
+      done;
+      List.iter
+        (fun (u, v) ->
+          if cpm.Cpm.t_min.(v) < cpm.Cpm.t_min.(u) + durations.(u) then
+            ok := false)
+        (Graph.edges g);
+      (* At least one critical task exists. *)
+      !ok && Array.exists (fun c -> c) cpm.Cpm.critical)
+
+let () =
+  Alcotest.run "taskgraph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "basics" `Quick test_graph_basics;
+          Alcotest.test_case "duplicate edges" `Quick
+            test_graph_duplicate_edges_ignored;
+          Alcotest.test_case "self loop" `Quick test_graph_self_loop_rejected;
+          Alcotest.test_case "copy" `Quick test_graph_copy_independent;
+          Alcotest.test_case "topological order" `Quick test_topological_order;
+          Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+          Alcotest.test_case "reachability" `Quick test_reachable;
+        ] );
+      ( "cpm",
+        [
+          Alcotest.test_case "diamond" `Quick test_cpm_diamond;
+          Alcotest.test_case "zero durations" `Quick test_cpm_empty_durations;
+          Alcotest.test_case "release times" `Quick test_cpm_release;
+          Alcotest.test_case "input validation" `Quick
+            test_cpm_rejects_bad_input;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "chain" `Quick test_generator_chain;
+          Alcotest.test_case "independent" `Quick test_generator_independent;
+          Alcotest.test_case "fork-join" `Quick test_generator_fork_join;
+          Alcotest.test_case "layered" `Quick test_generator_layered_properties;
+          Alcotest.test_case "dot export" `Quick test_dot_output;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_series_parallel;
+          QCheck_alcotest.to_alcotest prop_random_order_respects_edges;
+          QCheck_alcotest.to_alcotest prop_cpm_windows;
+        ] );
+    ]

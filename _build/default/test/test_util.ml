@@ -1,0 +1,159 @@
+(* Tests for the util substrate: RNG determinism and distribution sanity,
+   statistics, table rendering and CSV escaping. *)
+
+module Rng = Resched_util.Rng
+module Stats = Resched_util.Stats
+module Table = Resched_util.Table
+module Csv = Resched_util.Csv
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different first draw" true
+    (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_rng_int_in_bounds () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int_in rng (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 3.5 in
+    if v < 0. || v >= 3.5 then Alcotest.failf "out of range: %f" v
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "independent" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 11 in
+  let l = List.init 50 (fun i -> i) in
+  let s = Rng.shuffle rng l in
+  Alcotest.(check (list int)) "same multiset" l (List.sort compare s)
+
+let test_rng_int_rejects_nonpositive () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_stats_mean () =
+  check_float "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |]);
+  check_float "empty" 0. (Stats.mean [||])
+
+let test_stats_stddev () =
+  (* Population stddev of 2,4,4,4,5,5,7,9 is 2. *)
+  check_float "known" 2. (Stats.stddev [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |]);
+  check_float "singleton" 0. (Stats.stddev [| 3. |])
+
+let test_stats_minmax () =
+  check_float "min" (-2.) (Stats.min [| 3.; -2.; 7. |]);
+  check_float "max" 7. (Stats.max [| 3.; -2.; 7. |])
+
+let test_stats_median_percentile () =
+  check_float "odd median" 3. (Stats.median [| 5.; 1.; 3. |]);
+  check_float "even median" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |]);
+  check_float "p0" 1. (Stats.percentile [| 4.; 1.; 2.; 3. |] 0.);
+  check_float "p100" 4. (Stats.percentile [| 4.; 1.; 2.; 3. |] 100.)
+
+let test_stats_improvement () =
+  check_float "20% better" 20. (Stats.improvement_pct ~baseline:100. ~value:80.);
+  check_float "worse is negative" (-50.)
+    (Stats.improvement_pct ~baseline:100. ~value:150.);
+  check_float "zero baseline" 0. (Stats.improvement_pct ~baseline:0. ~value:3.)
+
+let test_table_renders () =
+  let t = Table.create ~aligns:[ Table.Left; Table.Right ] [ "name"; "n" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "has rules and cells" true
+    (List.exists (fun l -> String.length l > 0 && l.[0] = '+') lines
+    && List.exists (fun l -> String.length l > 0 && l.[0] = '|') lines)
+
+let test_table_row_length_mismatch () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Table.add_row: row length mismatch") (fun () ->
+      Table.add_row t [ "only-one" ])
+
+let test_table_cells () =
+  Alcotest.(check string) "float" "1.500" (Table.cell_f 1.5);
+  Alcotest.(check string) "pct" "+14.8%" (Table.cell_pct 14.8);
+  Alcotest.(check string) "neg pct" "-3.0%" (Table.cell_pct (-3.0))
+
+let test_csv_escaping () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape "a\"b");
+  Alcotest.(check string) "row" "a,\"b,c\",d"
+    (Csv.row_to_string [ "a"; "b,c"; "d" ])
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~count:200 ~name:"percentile monotone in p"
+    QCheck.(
+      triple
+        (list_of_size Gen.(int_range 1 20) (float_range (-100.) 100.))
+        (float_range 0. 100.) (float_range 0. 100.))
+    (fun (l, p1, p2) ->
+      let a = Array.of_list l in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile a lo <= Stats.percentile a hi +. 1e-9)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "split independent" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "shuffle is a permutation" `Quick
+            test_rng_shuffle_permutation;
+          Alcotest.test_case "rejects bound <= 0" `Quick
+            test_rng_int_rejects_nonpositive;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "min/max" `Quick test_stats_minmax;
+          Alcotest.test_case "median/percentile" `Quick
+            test_stats_median_percentile;
+          Alcotest.test_case "improvement_pct" `Quick test_stats_improvement;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "renders" `Quick test_table_renders;
+          Alcotest.test_case "row mismatch" `Quick
+            test_table_row_length_mismatch;
+          Alcotest.test_case "cell formatting" `Quick test_table_cells;
+        ] );
+      ("csv", [ Alcotest.test_case "escaping" `Quick test_csv_escaping ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_percentile_monotone ]);
+    ]

@@ -1,0 +1,107 @@
+(* Tests for the SVG visualization library. *)
+
+module Rng = Resched_util.Rng
+module Device = Resched_fabric.Device
+module Resource = Resched_fabric.Resource
+module Suite = Resched_platform.Suite
+module Pa = Resched_core.Pa
+module Schedule = Resched_core.Schedule
+module Svg = Resched_viz.Svg
+module Render = Resched_viz.Render
+module Floorplanner = Resched_floorplan.Floorplanner
+
+let count_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i acc =
+    if i + m > n then acc
+    else if String.sub s i m = sub then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_svg_builder () =
+  let doc = Svg.create ~width:100. ~height:50. in
+  Svg.rect doc ~x:1. ~y:2. ~w:10. ~h:5. ~title:"a<b" ();
+  Svg.line doc ~x1:0. ~y1:0. ~x2:10. ~y2:10. ();
+  Svg.text doc ~x:5. ~y:5. "hello & goodbye";
+  let s = Svg.to_string doc in
+  Alcotest.(check int) "one rect" 1 (count_substring s "<rect");
+  Alcotest.(check int) "one line" 1 (count_substring s "<line");
+  Alcotest.(check int) "one text" 1 (count_substring s "<text");
+  Alcotest.(check bool) "escaped title" true
+    (count_substring s "a&lt;b" = 1);
+  Alcotest.(check bool) "escaped text" true
+    (count_substring s "hello &amp; goodbye" = 1);
+  Alcotest.(check bool) "closed document" true
+    (count_substring s "</svg>" = 1)
+
+let test_svg_escape () =
+  Alcotest.(check string) "all specials" "&amp;&lt;&gt;&quot;&apos;"
+    (Svg.escape "&<>\"'")
+
+let fixture () =
+  let rng = Rng.create 8 in
+  let inst = Suite.instance rng ~tasks:15 in
+  let sched, _ = Pa.run inst in
+  sched
+
+let test_floorplan_render () =
+  let sched = fixture () in
+  match sched.Schedule.floorplan with
+  | None -> Alcotest.fail "fixture has no floorplan"
+  | Some placements ->
+    let needs =
+      Array.map (fun (r : Schedule.region) -> r.Schedule.res)
+        sched.Schedule.regions
+    in
+    let device = Device.xc7z020 in
+    (match Floorplanner.validate device ~needs placements with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "fixture floorplan invalid: %s" e);
+    let svg = Render.floorplan device ~needs placements in
+    (* One rect per fabric column, one per lane background... at least
+       columns + regions. *)
+    let min_rects = Array.length device.Device.columns + Array.length placements in
+    Alcotest.(check bool) "enough rectangles" true
+      (count_substring svg "<rect" >= min_rects);
+    (* Every region label appears. *)
+    Array.iteri
+      (fun i _ ->
+        Alcotest.(check bool)
+          (Printf.sprintf "label R%d present" i)
+          true
+          (count_substring svg (Printf.sprintf ">R%d</text>" i) >= 1))
+      placements
+
+let test_gantt_render () =
+  let sched = fixture () in
+  let svg = Render.gantt sched in
+  (* One box per task plus one per reconfiguration (on region lane) plus
+     one per reconfiguration (controller lane) plus lane backgrounds. *)
+  let slots = Array.length sched.Schedule.slots in
+  let rcs = List.length sched.Schedule.reconfigurations in
+  Alcotest.(check bool) "enough boxes" true
+    (count_substring svg "<rect" >= slots + (2 * rcs));
+  Alcotest.(check bool) "mentions makespan" true
+    (count_substring svg "makespan:" = 1)
+
+let test_renders_deterministic () =
+  let sched = fixture () in
+  Alcotest.(check string) "gantt deterministic" (Render.gantt sched)
+    (Render.gantt sched)
+
+let () =
+  Alcotest.run "viz"
+    [
+      ( "svg",
+        [
+          Alcotest.test_case "builder" `Quick test_svg_builder;
+          Alcotest.test_case "escape" `Quick test_svg_escape;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "floorplan" `Quick test_floorplan_render;
+          Alcotest.test_case "gantt" `Quick test_gantt_render;
+          Alcotest.test_case "deterministic" `Quick test_renders_deterministic;
+        ] );
+    ]
