@@ -9,6 +9,9 @@
      RESCHED_PAR_BUDGET_CAP_MS   [1500]  cap on the PA-R budget (otherwise
                                          the measured IS-5 time, as in the
                                          paper)
+     RESCHED_JOBS                [4]     worker domains for the parallel
+                                         PA-R comparison (jobs=1 vs jobs=N
+                                         at equal budget)
      RESCHED_FIG6_BUDGET_MS      [4000]  PA-R budget for the Fig. 6 traces
      RESCHED_OUT_DIR             [bench_out] where CSV series are written
      RESCHED_BECHAMEL            [unset] set to 1 to also run the Bechamel
@@ -28,6 +31,8 @@ module Arch = Resched_platform.Arch
 module Lp = Resched_milp.Lp
 module Simplex = Resched_milp.Simplex
 module Floorplanner = Resched_floorplan.Floorplanner
+module Fp_cache = Resched_floorplan.Fp_cache
+module Domain_pool = Resched_util.Domain_pool
 module Pa = Resched_core.Pa
 module Pa_random = Resched_core.Pa_random
 module Schedule = Resched_core.Schedule
@@ -47,6 +52,14 @@ let env_int name default =
 let env_set name = Sys.getenv_opt name = Some "1"
 
 let seed = env_int "RESCHED_SEED" 42
+let par_jobs_requested = Stdlib.max 2 (env_int "RESCHED_JOBS" 4)
+
+(* Domains beyond the core count don't just timeshare under OCaml 5, they
+   stall each other on minor-GC barriers (each stop-the-world rendezvous
+   costs OS scheduling quanta per extra domain). Clamp the effective
+   fan-out like any sane parallel runtime; the JSON records both numbers. *)
+let par_jobs =
+  Stdlib.max 1 (Stdlib.min par_jobs_requested (Domain_pool.available_cores ()))
 let graphs_per_group = env_int "RESCHED_GRAPHS_PER_GROUP" 4
 let isk_node_cap = env_int "RESCHED_ISK_NODE_CAP" 50_000
 let par_budget_cap = float_of_int (env_int "RESCHED_PAR_BUDGET_CAP_MS" 1500) /. 1000.
@@ -62,8 +75,17 @@ let groups =
     |> List.filter_map int_of_string_opt
     |> List.filter (fun v -> v > 0)
 
-let ensure_out_dir () =
-  if not (Sys.file_exists out_dir) then Unix.mkdir out_dir 0o755
+(* mkdir -p, tolerating concurrent creation: RESCHED_OUT_DIR may be
+   nested (a/b/c) and several writers may race on the same suffix. *)
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let ensure_out_dir () = mkdir_p out_dir
 
 let write_csv name rows =
   ensure_out_dir ();
@@ -309,6 +331,159 @@ let print_fig6 () =
       | _ -> assert false)
     [ 20; 40; 60; 80; 100 ];
   write_csv "fig6.csv" (List.rev !csv)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel PA-R: jobs=1 vs jobs=N at equal wall-clock budget          *)
+
+type par_row = {
+  pr_tasks : int;
+  pr_iters_seq : int;
+  pr_iters_par : int;
+  pr_ms_seq : int;
+  pr_ms_par : int;
+}
+
+let cache_hit_rate (st : Fp_cache.stats) =
+  let total = st.Fp_cache.hits + st.Fp_cache.misses in
+  if total = 0 then 0. else float_of_int st.Fp_cache.hits /. float_of_int total
+
+let parallel_comparison () =
+  print_endline "";
+  Printf.printf
+    "== Parallel PA-R: jobs=1 vs jobs=%d at equal budget (%.2fs), shared \
+     floorplan cache ==\n"
+    par_jobs par_budget_cap;
+  let cores = Domain_pool.available_cores () in
+  if par_jobs < par_jobs_requested then
+    Printf.printf
+      "   (note: %d worker(s) requested but only %d core(s) available; \
+       fan-out clamped to %d — oversubscribed domains stall each other on \
+       GC barriers)\n"
+      par_jobs_requested cores par_jobs;
+  let t =
+    Table.create
+      [ "# Tasks"; "iters j1"; "iters jN"; "iters/s j1"; "iters/s jN";
+        "speedup"; "makespan j1"; "makespan jN" ]
+  in
+  let cache_seq = Fp_cache.create () and cache_par = Fp_cache.create () in
+  let rows =
+    List.map
+      (fun tasks ->
+        match Suite.group ~seed ~tasks ~count:1 () with
+        | [ inst ] ->
+          let s = seed + (7 * tasks) in
+          let seq =
+            Pa_random.run ~seed:s ~cache:cache_seq
+              ~budget_seconds:par_budget_cap inst
+          in
+          let par =
+            Pa_random.run_parallel ~jobs:par_jobs ~seed:s ~cache:cache_par
+              ~budget_seconds:par_budget_cap inst
+          in
+          let makespan_of label (o : Pa_random.outcome) =
+            match o.Pa_random.schedule with
+            | Some sched ->
+              must_validate label sched;
+              Schedule.makespan sched
+            | None ->
+              (* fall back to PA, as a designer would *)
+              Schedule.makespan (fst (Pa.run inst))
+          in
+          let row =
+            {
+              pr_tasks = tasks;
+              pr_iters_seq = seq.Pa_random.iterations;
+              pr_iters_par = par.Pa_random.iterations;
+              pr_ms_seq = makespan_of "PA-R j1" seq;
+              pr_ms_par = makespan_of "PA-R jN" par;
+            }
+          in
+          let per_s n = float_of_int n /. par_budget_cap in
+          Table.add_row t
+            [
+              string_of_int tasks;
+              string_of_int row.pr_iters_seq;
+              string_of_int row.pr_iters_par;
+              Table.cell_f ~decimals:0 (per_s row.pr_iters_seq);
+              Table.cell_f ~decimals:0 (per_s row.pr_iters_par);
+              Printf.sprintf "x%.2f"
+                (float_of_int row.pr_iters_par
+                /. float_of_int (Stdlib.max 1 row.pr_iters_seq));
+              string_of_int row.pr_ms_seq;
+              string_of_int row.pr_ms_par;
+            ];
+          row
+        | _ -> assert false)
+      groups
+  in
+  Table.print t;
+  let st_seq = Fp_cache.stats cache_seq and st_par = Fp_cache.stats cache_par in
+  Printf.printf
+    "  floorplan cache: jobs=1 %d/%d hits (%.1f%%), jobs=%d %d/%d hits \
+     (%.1f%%)\n"
+    st_seq.Fp_cache.hits
+    (st_seq.Fp_cache.hits + st_seq.Fp_cache.misses)
+    (100. *. cache_hit_rate st_seq)
+    par_jobs st_par.Fp_cache.hits
+    (st_par.Fp_cache.hits + st_par.Fp_cache.misses)
+    (100. *. cache_hit_rate st_par);
+  write_csv "parallel.csv"
+    ([ "tasks"; "iters_jobs1"; "iters_jobsN"; "makespan_jobs1";
+       "makespan_jobsN" ]
+    :: List.map
+         (fun r ->
+           [
+             string_of_int r.pr_tasks;
+             string_of_int r.pr_iters_seq;
+             string_of_int r.pr_iters_par;
+             string_of_int r.pr_ms_seq;
+             string_of_int r.pr_ms_par;
+           ])
+         rows);
+  (* Machine-readable record of the comparison for the repo. *)
+  let total_seq =
+    List.fold_left (fun a r -> a + r.pr_iters_seq) 0 rows
+  and total_par =
+    List.fold_left (fun a r -> a + r.pr_iters_par) 0 rows
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"jobs_requested\": %d,\n" par_jobs_requested;
+  Printf.bprintf buf "  \"jobs\": %d,\n" par_jobs;
+  Printf.bprintf buf "  \"cores\": %d,\n" cores;
+  Printf.bprintf buf "  \"budget_seconds\": %.3f,\n" par_budget_cap;
+  Printf.bprintf buf "  \"seed\": %d,\n" seed;
+  Buffer.add_string buf "  \"groups\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.bprintf buf
+        "    {\"tasks\": %d, \"iters_jobs1\": %d, \"iters_jobsN\": %d, \
+         \"makespan_jobs1\": %d, \"makespan_jobsN\": %d}%s\n"
+        r.pr_tasks r.pr_iters_seq r.pr_iters_par r.pr_ms_seq r.pr_ms_par
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Printf.bprintf buf
+    "  \"totals\": {\"iters_jobs1\": %d, \"iters_jobsN\": %d, \
+     \"iteration_speedup\": %.3f},\n"
+    total_seq total_par
+    (float_of_int total_par /. float_of_int (Stdlib.max 1 total_seq));
+  Printf.bprintf buf
+    "  \"never_worse\": %b,\n"
+    (List.for_all (fun r -> r.pr_ms_par <= r.pr_ms_seq) rows);
+  Printf.bprintf buf
+    "  \"cache\": {\"jobs1\": {\"hits\": %d, \"misses\": %d, \"inserts\": \
+     %d, \"hit_rate\": %.3f}, \"jobsN\": {\"hits\": %d, \"misses\": %d, \
+     \"inserts\": %d, \"hit_rate\": %.3f}}\n"
+    st_seq.Fp_cache.hits st_seq.Fp_cache.misses st_seq.Fp_cache.inserts
+    (cache_hit_rate st_seq) st_par.Fp_cache.hits st_par.Fp_cache.misses
+    st_par.Fp_cache.inserts (cache_hit_rate st_par);
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_parallel.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  print_endline "  [json] BENCH_parallel.json"
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -685,6 +860,7 @@ let () =
       all
   in
   print_fig6 ();
+  parallel_comparison ();
   ablation_ordering ();
   ablation_module_reuse ();
   ablation_floorplan_engines ();

@@ -44,6 +44,25 @@ let seed_arg =
   let doc = "Seed for pseudo-random generation." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for pa-r (1 = sequential; defaults to the available \
+     cores)."
+  in
+  let positive =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n >= 1 -> Ok n
+      | Ok n -> Error (`Msg (Printf.sprintf "expected a positive integer, got %d" n))
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(
+    value
+    & opt positive (Resched_util.Domain_pool.available_cores ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let tasks_arg =
   let doc = "Number of application tasks." in
   Arg.(value & opt int 20 & info [ "tasks"; "n" ] ~docv:"N" ~doc)
@@ -127,14 +146,24 @@ let algo_conv =
   in
   Arg.conv (parse, fun ppf _ -> Format.fprintf ppf "<algo>")
 
-let run_algo algo ~budget_s ~reuse ~seed inst =
+let run_algo algo ~budget_s ~reuse ~seed ~jobs inst =
   match algo with
   | A_pa ->
     let config = { Pa.default_config with Pa.module_reuse = reuse } in
     fst (Pa.run ~config inst)
   | A_par -> (
     let config = { Pa.default_config with Pa.module_reuse = reuse } in
-    let outcome = Pa_random.run ~config ~seed ~budget_seconds:budget_s inst in
+    let cache = Resched_floorplan.Fp_cache.create () in
+    let outcome =
+      Pa_random.run_parallel ~config ~seed ~jobs ~cache
+        ~budget_seconds:budget_s inst
+    in
+    let st = Resched_floorplan.Fp_cache.stats cache in
+    Logs.info (fun m ->
+        m "PA-R: %d iterations on %d worker(s); floorplan cache %d hits / %d \
+           misses"
+          outcome.Pa_random.iterations jobs st.Resched_floorplan.Fp_cache.hits
+          st.Resched_floorplan.Fp_cache.misses);
     match outcome.Pa_random.schedule with
     | Some sched -> sched
     | None ->
@@ -150,12 +179,13 @@ let run_algo algo ~budget_s ~reuse ~seed inst =
   | A_heft -> List_sched.run ~module_reuse:reuse inst
   | A_sw -> Pa.all_software_schedule inst
 
-let schedule path algo budget_ms reuse seed gantt save svg_gantt
+let schedule path algo budget_ms reuse seed jobs gantt save svg_gantt
     svg_floorplan =
   let inst = load_instance path in
   let t0 = Unix.gettimeofday () in
   let sched =
-    run_algo algo ~budget_s:(float_of_int budget_ms /. 1000.) ~reuse ~seed inst
+    run_algo algo ~budget_s:(float_of_int budget_ms /. 1000.) ~reuse ~seed
+      ~jobs inst
   in
   let elapsed = Unix.gettimeofday () -. t0 in
   Validate.check_exn sched;
@@ -227,8 +257,8 @@ let schedule_cmd =
   Cmd.v (Cmd.info "schedule" ~doc)
     Term.(
       const (fun () -> schedule)
-      $ verbose_arg $ instance_arg $ algo $ budget $ reuse $ seed_arg $ gantt
-      $ save $ svg_gantt $ svg_floorplan)
+      $ verbose_arg $ instance_arg $ algo $ budget $ reuse $ seed_arg
+      $ jobs_arg $ gantt $ save $ svg_gantt $ svg_floorplan)
 
 (* ------------------------------------------------------------------ *)
 (* replay                                                              *)
@@ -284,7 +314,7 @@ let replay_cmd =
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)
 
-let compare_ path budget_ms seed =
+let compare_ path budget_ms seed jobs =
   let inst = load_instance path in
   let table =
     Table.create
@@ -297,7 +327,7 @@ let compare_ path budget_ms seed =
         run_algo algo
           ~budget_s:(float_of_int budget_ms /. 1000.)
           ~reuse:(algo = A_is1 || algo = A_is5)
-          ~seed inst
+          ~seed ~jobs inst
       in
       let elapsed = Unix.gettimeofday () -. t0 in
       Validate.check_exn sched;
@@ -327,7 +357,7 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(
       const (fun () -> compare_) $ verbose_arg $ instance_arg $ budget
-      $ seed_arg)
+      $ seed_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* suite                                                               *)

@@ -1,5 +1,7 @@
 module Rng = Resched_util.Rng
+module Domain_pool = Resched_util.Domain_pool
 module Floorplanner = Resched_floorplan.Floorplanner
+module Fp_cache = Resched_floorplan.Fp_cache
 module Instance = Resched_platform.Instance
 module Arch = Resched_platform.Arch
 
@@ -11,16 +13,66 @@ type outcome = {
   trace : trace_point list;
 }
 
-let run ?(config = Pa.default_config) ?(seed = 1) ?(min_iterations = 1)
-    ~budget_seconds inst =
-  let rng = Rng.create seed in
+(* ------------------------------------------------------------------ *)
+(* Shared search state                                                 *)
+
+(* Workers race on [best_makespan] (the skip bound consulted before every
+   floorplan check) and publish the matching schedule under [lock]. A
+   worker only publishes after winning the compare-and-set on the
+   makespan, so the guard in [publish] merely orders near-simultaneous
+   winners. *)
+type shared = {
+  best_makespan : int Atomic.t;
+  lock : Mutex.t;
+  mutable best : Schedule.t option;
+}
+
+let make_shared () =
+  { best_makespan = Atomic.make max_int; lock = Mutex.create (); best = None }
+
+let publish shared sched =
+  Domain_pool.with_lock shared.lock (fun () ->
+      match shared.best with
+      | Some cur when cur.Schedule.makespan <= sched.Schedule.makespan -> ()
+      | Some _ | None -> shared.best <- Some sched)
+
+(* Claim an improvement: true iff [ms] strictly lowered the shared bound.
+   Losing the race to a better concurrent candidate discards ours. *)
+let rec claim shared ms =
+  let cur = Atomic.get shared.best_makespan in
+  if ms >= cur then false
+  else if Atomic.compare_and_set shared.best_makespan cur ms then true
+  else claim shared ms
+
+(* ------------------------------------------------------------------ *)
+(* One restart stream (Algorithm 1's loop body)                        *)
+
+let check_feasible ~config ~cache device needs =
+  if Array.length needs = 0 then Some [||]
+  else begin
+    let report =
+      match cache with
+      | Some cache ->
+        Fp_cache.check cache ~engine:config.Pa.floorplan_engine
+          ?node_limit:config.Pa.floorplan_node_limit device needs
+      | None ->
+        Floorplanner.check ~engine:config.Pa.floorplan_engine
+          ?node_limit:config.Pa.floorplan_node_limit device needs
+    in
+    match report.Floorplanner.verdict with
+    | Floorplanner.Feasible placements -> Some placements
+    | Floorplanner.Infeasible | Floorplanner.Unknown -> None
+  end
+
+type worker_result = {
+  w_iterations : int;
+  w_trace : trace_point list;  (** newest first *)
+}
+
+let worker ~config ~cache ~rng ~start ~deadline ~min_iterations ~shared inst =
   let device = inst.Instance.arch.Arch.device in
-  let start = Unix.gettimeofday () in
-  let deadline = start +. budget_seconds in
-  let best = ref None in
-  let best_makespan = ref max_int in
-  let trace = ref [] in
   let iterations = ref 0 in
+  let trace = ref [] in
   (* Virtual FPGA-resource scale for the inner doSchedule. Algorithm 1
      never shrinks, but when the region definition saturates the device
      no random order yields a floorplannable region set; adapting the
@@ -28,46 +80,102 @@ let run ?(config = Pa.default_config) ?(seed = 1) ?(min_iterations = 1)
      keeps the search inside the packable envelope. See DESIGN.md. *)
   let scale = ref 1.0 in
   let min_scale = config.Pa.shrink_factor ** 6. in
-  while
-    !iterations < min_iterations || Unix.gettimeofday () < deadline
-  do
-    incr iterations;
-    let config =
-      { config with Pa.ordering = Regions_define.Random (Rng.split rng) }
-    in
-    let candidate = Pa.schedule_once ~config ~resource_scale:!scale inst in
-    if candidate.Schedule.makespan < !best_makespan then begin
-      let needs =
-        Array.map
-          (fun (r : Schedule.region) -> r.Schedule.res)
-          candidate.Schedule.regions
+  let running = ref true in
+  while !running do
+    (* One clock read per iteration: it decides the deadline and stamps
+       any trace point the iteration produces. *)
+    let now = Unix.gettimeofday () in
+    if !iterations >= min_iterations && now >= deadline then running := false
+    else begin
+      incr iterations;
+      let config =
+        { config with Pa.ordering = Regions_define.Random (Rng.split rng) }
       in
-      let feasible =
-        if Array.length needs = 0 then Some [||]
-        else begin
-          let report =
-            Floorplanner.check ~engine:config.Pa.floorplan_engine
-              ?node_limit:config.Pa.floorplan_node_limit device needs
-          in
-          match report.Floorplanner.verdict with
-          | Floorplanner.Feasible placements -> Some placements
-          | Floorplanner.Infeasible | Floorplanner.Unknown -> None
-        end
-      in
-      match feasible with
-      | None ->
-        scale := Stdlib.max min_scale (!scale *. config.Pa.shrink_factor)
-      | Some placements ->
-        scale := Stdlib.min 1.0 (!scale /. sqrt config.Pa.shrink_factor);
-        best := Some { candidate with Schedule.floorplan = Some placements };
-        best_makespan := candidate.Schedule.makespan;
-        trace :=
-          {
-            elapsed = Unix.gettimeofday () -. start;
-            iteration = !iterations;
-            makespan = candidate.Schedule.makespan;
-          }
-          :: !trace
+      let candidate = Pa.schedule_once ~config ~resource_scale:!scale inst in
+      let ms = candidate.Schedule.makespan in
+      if ms < Atomic.get shared.best_makespan then begin
+        let needs =
+          Array.map
+            (fun (r : Schedule.region) -> r.Schedule.res)
+            candidate.Schedule.regions
+        in
+        match check_feasible ~config ~cache device needs with
+        | None ->
+          scale := Stdlib.max min_scale (!scale *. config.Pa.shrink_factor)
+        | Some placements ->
+          scale := Stdlib.min 1.0 (!scale /. sqrt config.Pa.shrink_factor);
+          if claim shared ms then begin
+            publish shared
+              { candidate with Schedule.floorplan = Some placements };
+            trace :=
+              { elapsed = now -. start; iteration = !iterations; makespan = ms }
+              :: !trace
+          end
+      end
     end
   done;
-  { schedule = !best; iterations = !iterations; trace = List.rev !trace }
+  { w_iterations = !iterations; w_trace = !trace }
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
+let run ?(config = Pa.default_config) ?(seed = 1) ?(min_iterations = 1) ?cache
+    ~budget_seconds inst =
+  let start = Unix.gettimeofday () in
+  let shared = make_shared () in
+  let r =
+    worker ~config ~cache ~rng:(Rng.create seed) ~start
+      ~deadline:(start +. budget_seconds) ~min_iterations ~shared inst
+  in
+  { schedule = shared.best; iterations = r.w_iterations;
+    trace = List.rev r.w_trace }
+
+(* Per-worker trace points already carry globally-improving makespans
+   (each passed [claim]); ordering the union by elapsed time and keeping
+   the running minimum yields one globally-ordered improving trace even
+   when stamps and claims interleave across workers. *)
+let merge_traces results =
+  let all = List.concat_map (fun r -> r.w_trace) (Array.to_list results) in
+  let by_time =
+    List.sort (fun a b -> Float.compare a.elapsed b.elapsed) all
+  in
+  let _, rev =
+    List.fold_left
+      (fun (best, acc) p ->
+        if p.makespan < best then (p.makespan, p :: acc) else (best, acc))
+      (max_int, []) by_time
+  in
+  List.rev rev
+
+let run_parallel ?(config = Pa.default_config) ?(seed = 1) ?(min_iterations = 1)
+    ?jobs ?cache ~budget_seconds inst =
+  let jobs =
+    match jobs with
+    | Some j when j >= 1 -> j
+    | Some j -> invalid_arg (Printf.sprintf "Pa_random.run_parallel: jobs=%d" j)
+    | None -> Domain_pool.available_cores ()
+  in
+  if jobs = 1 then run ~config ~seed ~min_iterations ?cache ~budget_seconds inst
+  else begin
+    let start = Unix.gettimeofday () in
+    let deadline = start +. budget_seconds in
+    let shared = make_shared () in
+    (* Worker 0 replays the sequential stream ([Rng.create seed]); extra
+       workers draw independent SplitMix64 streams from a decorrelated
+       root so no worker shares worker 0's per-iteration split sequence. *)
+    let root = Rng.create (seed lxor 0x2545F491) in
+    let rngs =
+      Array.init jobs (fun i ->
+          if i = 0 then Rng.create seed else Rng.split root)
+    in
+    let min_per_worker = (min_iterations + jobs - 1) / jobs in
+    let results =
+      Domain_pool.run ~jobs (fun i ->
+          worker ~config ~cache ~rng:rngs.(i) ~start ~deadline
+            ~min_iterations:min_per_worker ~shared inst)
+    in
+    let iterations =
+      Array.fold_left (fun acc r -> acc + r.w_iterations) 0 results
+    in
+    { schedule = shared.best; iterations; trace = merge_traces results }
+  end

@@ -5,11 +5,20 @@
     passes the floorplan check. The floorplanner is only consulted when a
     candidate improves on the incumbent, amortizing its cost;
     floorplan-infeasible candidates are discarded rather than triggering
-    the resource-shrinking restart of PA. *)
+    the resource-shrinking restart of PA.
+
+    Both entry points accept a {!Resched_floorplan.Fp_cache.t} so that
+    repeated region-need multisets skip the floorplanner entirely, and
+    {!run_parallel} fans the restart loop out over OCaml 5 domains with a
+    shared atomic incumbent makespan. *)
 
 type trace_point = {
-  elapsed : float;  (** seconds since the run started *)
+  elapsed : float;
+      (** seconds since the run started, read at the start of the
+          improving iteration *)
   iteration : int;
+      (** 1-based iteration index within the stream that found the
+          improvement (worker-local under {!run_parallel}) *)
   makespan : int;  (** best feasible makespan at that moment *)
 }
 
@@ -18,13 +27,38 @@ type outcome = {
       (** best feasible schedule; [None] only if no iteration produced a
           floorplannable schedule within the budget *)
   iterations : int;
+      (** total restart iterations, summed over workers *)
   trace : trace_point list;  (** improvements, oldest first (Fig. 6) *)
 }
 
 val run : ?config:Pa.config -> ?seed:int -> ?min_iterations:int ->
-  budget_seconds:float -> Resched_platform.Instance.t -> outcome
+  ?cache:Resched_floorplan.Fp_cache.t -> budget_seconds:float ->
+  Resched_platform.Instance.t -> outcome
 (** Algorithm 1 with a wall-clock budget. [min_iterations] (default 1)
     iterations are executed even if the budget is already exhausted, so a
     tiny budget still returns a schedule whenever one is floorplannable.
     The [config]'s [ordering] field is ignored (PA-R always randomizes
-    non-critical tasks). *)
+    non-critical tasks). When [cache] is given, floorplan verdicts are
+    memoized through it; the packer being deterministic, this changes
+    wall-clock only, never the result for a fixed iteration count. *)
+
+val run_parallel : ?config:Pa.config -> ?seed:int -> ?min_iterations:int ->
+  ?jobs:int -> ?cache:Resched_floorplan.Fp_cache.t -> budget_seconds:float ->
+  Resched_platform.Instance.t -> outcome
+(** [run] fanned out over [jobs] worker domains (default
+    {!Resched_util.Domain_pool.available_cores}) sharing one atomic
+    incumbent makespan — a worker floorplans a candidate only if it beats
+    the best found by {e any} worker — and, when given, one [cache].
+
+    Reproducibility: worker 0 replays exactly the stream [run] would use
+    for [seed]; workers 1..jobs-1 use independent streams split from
+    [seed], so the set of candidate streams is a function of
+    [(seed, jobs)] alone. [jobs = 1] is literally [run]. Under a non-zero
+    wall-clock budget the {e number} of iterations each stream completes
+    still depends on machine load, so only [budget_seconds = 0.] with
+    [min_iterations] set gives bit-identical outcomes across runs; see
+    DESIGN.md for the full determinism discussion.
+
+    [min_iterations] is a total: each worker performs at least
+    [ceil (min_iterations / jobs)] iterations. The merged trace is
+    globally ordered by elapsed time and strictly improving. *)

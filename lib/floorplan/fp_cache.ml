@@ -1,0 +1,139 @@
+module Device = Resched_fabric.Device
+module Resource = Resched_fabric.Resource
+module Domain_pool = Resched_util.Domain_pool
+
+type entry = {
+  verdict : Floorplanner.verdict;  (** placements in sorted-needs order *)
+  engine_used : Floorplanner.engine;
+}
+
+type t = {
+  table : (string * string, entry) Hashtbl.t;  (** (device key, needs key) *)
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable inserts : int;
+}
+
+type stats = { hits : int; misses : int; inserts : int }
+
+let create () =
+  {
+    table = Hashtbl.create 256;
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    inserts = 0;
+  }
+
+let stats t =
+  Domain_pool.with_lock t.lock (fun () ->
+      { hits = t.hits; misses = t.misses; inserts = t.inserts })
+
+let clear t =
+  Domain_pool.with_lock t.lock (fun () ->
+      Hashtbl.reset t.table;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.inserts <- 0)
+
+(* Devices are keyed by name plus a geometry digest: presets have unique
+   names, but [Device.make] can reuse a name with a different fabric. *)
+let device_key device =
+  Printf.sprintf "%s#%x" device.Device.name
+    (Hashtbl.hash (device.Device.columns, device.Device.rows))
+
+let invalidate_device t device =
+  let dk = device_key device in
+  Domain_pool.with_lock t.lock (fun () ->
+      Hashtbl.filter_map_inplace
+        (fun (d, _) entry -> if String.equal d dk then None else Some entry)
+        t.table)
+
+let engine_tag = function
+  | Floorplanner.Backtracking -> 'b'
+  | Floorplanner.Milp -> 'm'
+  | Floorplanner.Hybrid -> 'h'
+
+(* [order.(k)] is the original index of the k-th need in canonical order;
+   sorting by [Resource.compare] (ties by index, for stability) makes any
+   permutation of the same needs hash to the same key. *)
+let canonicalize needs =
+  let n = Array.length needs in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      let c = Resource.compare needs.(i) needs.(j) in
+      if c <> 0 then c else compare i j)
+    order;
+  let sorted = Array.map (fun i -> needs.(i)) order in
+  (sorted, order)
+
+let needs_key ~engine ~node_limit sorted =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf (engine_tag engine);
+  (match node_limit with
+  | None -> Buffer.add_char buf '*'
+  | Some l -> Buffer.add_string buf (string_of_int l));
+  Array.iter
+    (fun (r : Resource.t) ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (string_of_int r.Resource.clb);
+      Buffer.add_char buf '.';
+      Buffer.add_string buf (string_of_int r.Resource.bram);
+      Buffer.add_char buf '.';
+      Buffer.add_string buf (string_of_int r.Resource.dsp))
+    sorted;
+  Buffer.contents buf
+
+(* Cached placements follow the sorted order; hand them back in the
+   caller's order ([sorted.(k) = needs.(order.(k))], so the rectangle
+   placed for slot [k] covers original region [order.(k)]). *)
+let unpermute order = function
+  | Floorplanner.Feasible [||] -> Floorplanner.Feasible [||]
+  | Floorplanner.Feasible placements ->
+    let out = Array.make (Array.length placements) placements.(0) in
+    Array.iteri (fun k rect -> out.(order.(k)) <- rect) placements;
+    Floorplanner.Feasible out
+  | (Floorplanner.Infeasible | Floorplanner.Unknown) as v -> v
+
+let check t ?(engine = Floorplanner.Backtracking) ?node_limit device needs =
+  if Array.length needs = 0 then
+    Floorplanner.check ~engine ?node_limit device needs
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let sorted, order = canonicalize needs in
+    let key = (device_key device, needs_key ~engine ~node_limit sorted) in
+    let cached =
+      Domain_pool.with_lock t.lock (fun () ->
+          match Hashtbl.find_opt t.table key with
+          | Some e ->
+            t.hits <- t.hits + 1;
+            Some e
+          | None ->
+            t.misses <- t.misses + 1;
+            None)
+    in
+    match cached with
+    | Some e ->
+      {
+        Floorplanner.verdict = unpermute order e.verdict;
+        engine_used = e.engine_used;
+        elapsed = Unix.gettimeofday () -. t0;
+      }
+    | None ->
+      (* Run outside the lock: feasibility is expensive and other workers
+         must not stall behind it. A racing duplicate check is harmless
+         (both compute the same deterministic verdict). *)
+      let report = Floorplanner.check ~engine ?node_limit device sorted in
+      Domain_pool.with_lock t.lock (fun () ->
+          if not (Hashtbl.mem t.table key) then begin
+            Hashtbl.replace t.table key
+              {
+                verdict = report.Floorplanner.verdict;
+                engine_used = report.Floorplanner.engine_used;
+              };
+            t.inserts <- t.inserts + 1
+          end);
+      { report with Floorplanner.verdict = unpermute order report.verdict }
+  end

@@ -1,0 +1,44 @@
+(** Memoized floorplan feasibility checks.
+
+    PA-R consults the floorplanner once per improving candidate, and
+    candidates drawn from different random orderings frequently produce
+    the same multiset of region resource requirements. The cache keys a
+    {!Floorplanner.check} verdict on the device, the engine/node-limit
+    configuration and the *sorted* needs array, so any permutation of an
+    already-checked region set is a hit: cached placements are permuted
+    back to the query's region order before being returned.
+
+    The structure is thread-safe (a single mutex guards the table and the
+    counters) and is shared by all workers of a parallel PA-R run. *)
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  inserts : int;  (** misses whose fresh verdict was stored *)
+}
+
+val create : unit -> t
+(** An empty cache with zeroed counters. *)
+
+val stats : t -> stats
+
+val clear : t -> unit
+(** Drop every entry and reset the counters. *)
+
+val invalidate_device : t -> Resched_fabric.Device.t -> unit
+(** Drop the entries for one device (e.g. after re-targeting an
+    instance); other devices' entries and the counters are kept. *)
+
+val check : t -> ?engine:Floorplanner.engine -> ?node_limit:int ->
+  Resched_fabric.Device.t -> Resched_fabric.Resource.t array ->
+  Floorplanner.report
+(** Drop-in replacement for {!Floorplanner.check}. On a miss the fresh
+    check runs on the canonically sorted needs and its verdict is stored;
+    on a hit the stored verdict is returned with [elapsed] equal to the
+    (negligible) lookup time. Feasible placements are always reported in
+    the caller's region order and satisfy {!Floorplanner.validate}
+    against the queried [needs]. Verdicts are only reused for the same
+    [engine] and [node_limit], so a bounded [Unknown] can never shadow a
+    decisive verdict obtained under a different configuration. *)

@@ -1,0 +1,22 @@
+let available_cores () = Domain.recommended_domain_count ()
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let run ~jobs f =
+  if jobs < 1 then invalid_arg "Domain_pool.run: jobs must be >= 1";
+  if jobs = 1 then [| f 0 |]
+  else begin
+    let others =
+      Array.init (jobs - 1) (fun k -> Domain.spawn (fun () -> f (k + 1)))
+    in
+    (* Run job 0 here, but join every spawned domain before re-raising so
+       a failing job cannot leak running domains. *)
+    let first = try Ok (f 0) with e -> Error e in
+    let rest =
+      Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) others
+    in
+    let all = Array.append [| first |] rest in
+    Array.map (function Ok v -> v | Error e -> raise e) all
+  end

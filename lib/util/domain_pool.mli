@@ -1,0 +1,20 @@
+(** Minimal fan-out over OCaml 5 domains.
+
+    A deliberately tiny abstraction: spawn a fixed number of workers, run
+    an indexed job on each, join them all, propagate failures. The PA-R
+    parallel engine and the bench harness are the clients; nothing here
+    depends on the rest of the library. *)
+
+val available_cores : unit -> int
+(** [Domain.recommended_domain_count ()] — the number of workers beyond
+    which extra domains only timeshare. *)
+
+val run : jobs:int -> (int -> 'a) -> 'a array
+(** [run ~jobs f] evaluates [f i] for every [i] in [0 .. jobs-1], each on
+    its own domain except [f 0], which runs on the calling domain, and
+    returns the results in index order. All domains are joined before the
+    call returns, even when a job raises; the first exception (by index)
+    is then re-raised. [jobs] must be >= 1. *)
+
+val with_lock : Mutex.t -> (unit -> 'a) -> 'a
+(** [with_lock m f] runs [f] with [m] held, releasing it on any exit. *)

@@ -8,6 +8,7 @@ module Placement = Resched_floorplan.Placement
 module Packer = Resched_floorplan.Packer
 module Milp_model = Resched_floorplan.Milp_model
 module Floorplanner = Resched_floorplan.Floorplanner
+module Fp_cache = Resched_floorplan.Fp_cache
 
 let v ~clb ~bram ~dsp = Resource.make ~clb ~bram ~dsp
 
@@ -153,6 +154,51 @@ let test_quick_capacity_check () =
   Alcotest.(check bool) "too big" false
     (Floorplanner.quick_capacity_check d [| v ~clb:700 ~bram:0 ~dsp:0 |])
 
+let test_cache_counters_and_permutation () =
+  let d = Device.minifab in
+  let cache = Fp_cache.create () in
+  let a = v ~clb:60 ~bram:2 ~dsp:0 and b = v ~clb:220 ~bram:0 ~dsp:4 in
+  let first = Fp_cache.check cache d [| a; b |] in
+  (* The reversed needs are the same multiset: must hit, and the returned
+     placements must cover the *reversed* order. *)
+  let second = Fp_cache.check cache d [| b; a |] in
+  let st = Fp_cache.stats cache in
+  Alcotest.(check int) "one miss" 1 st.Fp_cache.misses;
+  Alcotest.(check int) "one hit" 1 st.Fp_cache.hits;
+  Alcotest.(check int) "one insert" 1 st.Fp_cache.inserts;
+  (match (first.Floorplanner.verdict, second.Floorplanner.verdict) with
+  | Floorplanner.Feasible p1, Floorplanner.Feasible p2 ->
+    Alcotest.(check (result unit string))
+      "original order validates" (Ok ())
+      (Floorplanner.validate d ~needs:[| a; b |] p1);
+    Alcotest.(check (result unit string))
+      "permuted order validates" (Ok ())
+      (Floorplanner.validate d ~needs:[| b; a |] p2)
+  | _ -> Alcotest.fail "small region set must be feasible on minifab");
+  (* Empty need sets bypass the cache entirely. *)
+  (match (Fp_cache.check cache d [||]).Floorplanner.verdict with
+  | Floorplanner.Feasible [||] -> ()
+  | _ -> Alcotest.fail "empty needs trivially feasible");
+  Alcotest.(check int) "empty needs not counted" 1
+    (Fp_cache.stats cache).Fp_cache.hits
+
+let test_cache_invalidate_device () =
+  let cache = Fp_cache.create () in
+  let needs = [| v ~clb:60 ~bram:0 ~dsp:0 |] in
+  ignore (Fp_cache.check cache Device.minifab needs);
+  ignore (Fp_cache.check cache Device.xc7z010 needs);
+  Fp_cache.invalidate_device cache Device.minifab;
+  (* minifab misses again; xc7z010 still hits. *)
+  ignore (Fp_cache.check cache Device.minifab needs);
+  ignore (Fp_cache.check cache Device.xc7z010 needs);
+  let st = Fp_cache.stats cache in
+  Alcotest.(check int) "three misses" 3 st.Fp_cache.misses;
+  Alcotest.(check int) "one hit" 1 st.Fp_cache.hits;
+  Fp_cache.clear cache;
+  let st = Fp_cache.stats cache in
+  Alcotest.(check int) "clear resets counters" 0
+    (st.Fp_cache.hits + st.Fp_cache.misses + st.Fp_cache.inserts)
+
 (* Property: whenever the packer places, the MILP engine never proves
    infeasibility, and vice versa: MILP placement implies the packer does
    not prove infeasibility. Verdicts are cross-validated. *)
@@ -220,6 +266,13 @@ let () =
             test_validate_rejects_bad_plans;
           Alcotest.test_case "quick capacity check" `Quick
             test_quick_capacity_check;
+        ] );
+      ( "fp-cache",
+        [
+          Alcotest.test_case "counters and permutation" `Quick
+            test_cache_counters_and_permutation;
+          Alcotest.test_case "invalidate by device" `Quick
+            test_cache_invalidate_device;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_engines_consistent ]);
     ]

@@ -2,6 +2,9 @@
 
 module Rng = Resched_util.Rng
 module Resource = Resched_fabric.Resource
+module Device = Resched_fabric.Device
+module Floorplanner = Resched_floorplan.Floorplanner
+module Fp_cache = Resched_floorplan.Fp_cache
 module Graph = Resched_taskgraph.Graph
 module Arch = Resched_platform.Arch
 module Impl = Resched_platform.Impl
@@ -249,6 +252,71 @@ let test_tot_rec_time () =
   Alcotest.(check int) "single task region still 0" 0
     (Sw_balance.tot_rec_time state)
 
+let trace_makespans (o : Pa_random.outcome) =
+  List.map (fun (p : Pa_random.trace_point) -> p.Pa_random.makespan)
+    o.Pa_random.trace
+
+let test_run_parallel_jobs1_matches_sequential () =
+  (* With a zero budget and a fixed min_iterations both runs execute the
+     exact same finite stream, so the outcomes must be identical; the
+     cache only memoizes a deterministic check so it cannot change the
+     result either. *)
+  let rng = Rng.create 8 in
+  let inst = Suite.instance rng ~tasks:15 in
+  let seq = Pa_random.run ~seed:9 ~min_iterations:12 ~budget_seconds:0. inst in
+  let par =
+    Pa_random.run_parallel ~jobs:1 ~seed:9 ~min_iterations:12
+      ~budget_seconds:0. inst
+  in
+  let cached =
+    Pa_random.run ~seed:9 ~min_iterations:12 ~cache:(Fp_cache.create ())
+      ~budget_seconds:0. inst
+  in
+  Alcotest.(check int) "same iteration count" seq.Pa_random.iterations
+    par.Pa_random.iterations;
+  let makespan o =
+    match o.Pa_random.schedule with
+    | Some s -> Schedule.makespan s
+    | None -> -1
+  in
+  Alcotest.(check int) "same best makespan" (makespan seq) (makespan par);
+  Alcotest.(check (list int)) "same trace" (trace_makespans seq)
+    (trace_makespans par);
+  Alcotest.(check int) "cache does not change the result" (makespan seq)
+    (makespan cached);
+  Alcotest.(check (list int)) "cache does not change the trace"
+    (trace_makespans seq) (trace_makespans cached)
+
+let test_run_parallel_valid_schedule_and_trace () =
+  let rng = Rng.create 13 in
+  let inst = Suite.instance rng ~tasks:20 in
+  let cache = Fp_cache.create () in
+  let outcome =
+    Pa_random.run_parallel ~jobs:3 ~seed:4 ~min_iterations:9 ~cache
+      ~budget_seconds:0.2 inst
+  in
+  Alcotest.(check bool) "total min iterations honored" true
+    (outcome.Pa_random.iterations >= 9);
+  (match outcome.Pa_random.schedule with
+  | None -> Alcotest.fail "parallel PA-R found no feasible schedule"
+  | Some sched -> validate_or_fail sched);
+  (* The merged trace must be globally ordered and strictly improving. *)
+  let rec ordered = function
+    | (a : Pa_random.trace_point) :: (b : Pa_random.trace_point) :: tl ->
+      a.Pa_random.elapsed <= b.Pa_random.elapsed
+      && a.Pa_random.makespan > b.Pa_random.makespan
+      && ordered (b :: tl)
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "merged trace ordered and improving" true
+    (ordered outcome.Pa_random.trace);
+  (* The best schedule's makespan is the trace's last point. *)
+  match (outcome.Pa_random.schedule, List.rev outcome.Pa_random.trace) with
+  | Some sched, last :: _ ->
+    Alcotest.(check int) "trace ends at the best makespan"
+      (Schedule.makespan sched) last.Pa_random.makespan
+  | _ -> ()
+
 let test_par_min_iterations () =
   (* Even a zero budget must run at least one iteration (and with the
      adaptive scale, usually find something feasible on retries). *)
@@ -327,6 +395,44 @@ let prop_schedule_once_valid_any_ordering =
           Regions_define.Random (Rng.create seed);
         ])
 
+(* Property: a cached floorplan verdict agrees with a fresh
+   [Floorplanner.check] on the same needs, on first use (miss) and on
+   reuse (hit), and hit placements still validate in the caller's region
+   order. *)
+let prop_cache_matches_fresh_check =
+  QCheck.Test.make ~count:50 ~name:"floorplan cache verdict = fresh check"
+    QCheck.int
+    (fun s ->
+      let rng = Rng.create (s lxor 0x0F1C) in
+      let device = Device.minifab in
+      let count = 1 + Rng.int rng 4 in
+      let needs =
+        Array.init count (fun _ ->
+            Resource.make
+              ~clb:(20 + Rng.int rng 300)
+              ~bram:(Rng.int rng 6) ~dsp:(Rng.int rng 6))
+      in
+      let cache = Fp_cache.create () in
+      let fresh = Floorplanner.check device needs in
+      let miss = Fp_cache.check cache device needs in
+      let hit = Fp_cache.check cache device needs in
+      let kind = function
+        | Floorplanner.Feasible _ -> 0
+        | Floorplanner.Infeasible -> 1
+        | Floorplanner.Unknown -> 2
+      in
+      let placements_ok = function
+        | Floorplanner.Feasible p ->
+          Floorplanner.validate device ~needs p = Ok ()
+        | Floorplanner.Infeasible | Floorplanner.Unknown -> true
+      in
+      let st = Fp_cache.stats cache in
+      kind fresh.Floorplanner.verdict = kind miss.Floorplanner.verdict
+      && kind miss.Floorplanner.verdict = kind hit.Floorplanner.verdict
+      && placements_ok miss.Floorplanner.verdict
+      && placements_ok hit.Floorplanner.verdict
+      && st.Fp_cache.hits = 1 && st.Fp_cache.misses = 1)
+
 let () =
   Alcotest.run "scheduler"
     [
@@ -363,6 +469,10 @@ let () =
             test_par_trace_monotone;
           Alcotest.test_case "min iterations honored" `Quick
             test_par_min_iterations;
+          Alcotest.test_case "run_parallel jobs=1 = sequential" `Quick
+            test_run_parallel_jobs1_matches_sequential;
+          Alcotest.test_case "run_parallel valid schedule and trace" `Quick
+            test_run_parallel_valid_schedule_and_trace;
         ] );
       ( "reconf-sched",
         [
@@ -373,5 +483,6 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_pa_valid;
           QCheck_alcotest.to_alcotest prop_schedule_once_valid_any_ordering;
+          QCheck_alcotest.to_alcotest prop_cache_matches_fresh_check;
         ] );
     ]

@@ -5,6 +5,7 @@ module Rng = Resched_util.Rng
 module Stats = Resched_util.Stats
 module Table = Resched_util.Table
 module Csv = Resched_util.Csv
+module Domain_pool = Resched_util.Domain_pool
 
 let test_rng_deterministic () =
   let a = Rng.create 42 and b = Rng.create 42 in
@@ -110,6 +111,32 @@ let test_csv_escaping () =
   Alcotest.(check string) "row" "a,\"b,c\",d"
     (Csv.row_to_string [ "a"; "b,c"; "d" ])
 
+let test_domain_pool_ordered_results () =
+  let r = Domain_pool.run ~jobs:4 (fun i -> i * i) in
+  Alcotest.(check (array int)) "index order" [| 0; 1; 4; 9 |] r;
+  Alcotest.(check (array int)) "jobs=1 runs inline" [| 42 |]
+    (Domain_pool.run ~jobs:1 (fun _ -> 42))
+
+let test_domain_pool_propagates_failure () =
+  (* Every domain is joined even when one job raises; the first failure
+     (by index) is re-raised. *)
+  Alcotest.check_raises "failure propagates" (Failure "job 2") (fun () ->
+      ignore
+        (Domain_pool.run ~jobs:3 (fun i ->
+             if i = 2 then failwith "job 2" else i)));
+  Alcotest.check_raises "jobs must be positive"
+    (Invalid_argument "Domain_pool.run: jobs must be >= 1") (fun () ->
+      ignore (Domain_pool.run ~jobs:0 (fun i -> i)))
+
+let test_domain_pool_shared_atomic () =
+  let counter = Atomic.make 0 in
+  ignore
+    (Domain_pool.run ~jobs:4 (fun _ ->
+         for _ = 1 to 1000 do
+           Atomic.incr counter
+         done));
+  Alcotest.(check int) "all increments land" 4000 (Atomic.get counter)
+
 let prop_percentile_monotone =
   QCheck.Test.make ~count:200 ~name:"percentile monotone in p"
     QCheck.(
@@ -155,5 +182,14 @@ let () =
           Alcotest.test_case "cell formatting" `Quick test_table_cells;
         ] );
       ("csv", [ Alcotest.test_case "escaping" `Quick test_csv_escaping ]);
+      ( "domain-pool",
+        [
+          Alcotest.test_case "ordered results" `Quick
+            test_domain_pool_ordered_results;
+          Alcotest.test_case "failure propagation" `Quick
+            test_domain_pool_propagates_failure;
+          Alcotest.test_case "shared atomic counter" `Quick
+            test_domain_pool_shared_atomic;
+        ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_percentile_monotone ]);
     ]
