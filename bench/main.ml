@@ -13,6 +13,9 @@
                                          PA-R comparison (jobs=1 vs jobs=N
                                          at equal budget)
      RESCHED_FIG6_BUDGET_MS      [4000]  PA-R budget for the Fig. 6 traces
+     RESCHED_ITER_MIN            [1000]  iterations per engine for the
+                                         incremental-vs-from-scratch
+                                         throughput comparison
      RESCHED_OUT_DIR             [bench_out] where CSV series are written
      RESCHED_BECHAMEL            [unset] set to 1 to also run the Bechamel
                                          micro-benchmarks
@@ -38,6 +41,12 @@ module Pa_random = Resched_core.Pa_random
 module Schedule = Resched_core.Schedule
 module Validate = Resched_core.Validate
 module Regions_define = Resched_core.Regions_define
+module State = Resched_core.State
+module Impl_select = Resched_core.Impl_select
+module Sw_balance = Resched_core.Sw_balance
+module Sw_map = Resched_core.Sw_map
+module Reconf_sched = Resched_core.Reconf_sched
+module Timing = Resched_core.Timing
 module Isk = Resched_baseline.Isk
 module List_sched = Resched_baseline.List_sched
 
@@ -64,6 +73,7 @@ let graphs_per_group = env_int "RESCHED_GRAPHS_PER_GROUP" 4
 let isk_node_cap = env_int "RESCHED_ISK_NODE_CAP" 50_000
 let par_budget_cap = float_of_int (env_int "RESCHED_PAR_BUDGET_CAP_MS" 1500) /. 1000.
 let fig6_budget = float_of_int (env_int "RESCHED_FIG6_BUDGET_MS" 4000) /. 1000.
+let iter_min = Stdlib.max 1 (env_int "RESCHED_ITER_MIN" 1000)
 let out_dir =
   match Sys.getenv_opt "RESCHED_OUT_DIR" with Some d -> d | None -> "bench_out"
 
@@ -486,6 +496,196 @@ let parallel_comparison () =
   print_endline "  [json] BENCH_parallel.json"
 
 (* ------------------------------------------------------------------ *)
+(* Iteration throughput: incremental engine vs from-scratch oracle     *)
+
+type iter_row = {
+  ir_tasks : int;
+  ir_iters : int;
+  ir_s_new : float;
+  ir_s_old : float;
+  ir_ms_new : int;
+  ir_ms_old : int;
+  ir_identical : bool;
+  ir_hits : int;
+  ir_misses : int;
+}
+
+(* Everything that must coincide between the two engines for a fixed
+   (seed, min_iterations, budget = 0) run — elapsed times excluded. *)
+let iter_fingerprint (o : Pa_random.outcome) =
+  ( o.Pa_random.iterations,
+    (match o.Pa_random.schedule with
+    | Some s -> Schedule.makespan s
+    | None -> -1),
+    List.map
+      (fun (p : Pa_random.trace_point) ->
+        (p.Pa_random.iteration, p.Pa_random.makespan))
+      o.Pa_random.trace )
+
+let iteration_comparison () =
+  print_endline "";
+  Printf.printf
+    "== Restart iteration throughput: incremental solver + context arena \
+     vs from-scratch (jobs=1, %d iterations each, budget 0) ==\n"
+    iter_min;
+  let t =
+    Table.create
+      [ "# Tasks"; "iters"; "new [s]"; "old [s]"; "iters/s new";
+        "iters/s old"; "speedup"; "makespan"; "identical" ]
+  in
+  let rows =
+    List.map
+      (fun tasks ->
+        match Suite.group ~seed ~tasks ~count:1 () with
+        | [ inst ] ->
+          let s = seed + (13 * tasks) in
+          (* One floorplan cache per group, shared between the two runs:
+             both engines emit bit-identical candidate streams, so the
+             second run's floorplan checks replay the first run's keys.
+             The incremental engine runs FIRST so it is the one paying
+             the cold misses — the measured speedup is conservative. *)
+          let cache = Fp_cache.create () in
+          let run incremental =
+            timed (fun () ->
+                Pa_random.run ~seed:s ~min_iterations:iter_min ~cache
+                  ~incremental ~budget_seconds:0. inst)
+          in
+          (* Untimed warm-up (throwaway cache) so neither engine pays the
+             allocator's first-touch growth inside its timed window. *)
+          let warm = Stdlib.min 10 iter_min in
+          ignore
+            (Pa_random.run ~seed:s ~min_iterations:warm
+               ~cache:(Fp_cache.create ()) ~incremental:true
+               ~budget_seconds:0. inst);
+          ignore
+            (Pa_random.run ~seed:s ~min_iterations:warm
+               ~cache:(Fp_cache.create ()) ~incremental:false
+               ~budget_seconds:0. inst);
+          let new_o, s_new = run true in
+          let old_o, s_old = run false in
+          let makespan_of label (o : Pa_random.outcome) =
+            match o.Pa_random.schedule with
+            | Some sched ->
+              must_validate label sched;
+              Schedule.makespan sched
+            | None -> -1
+          in
+          let ms_new = makespan_of "PA-R incremental" new_o in
+          let ms_old = makespan_of "PA-R from-scratch" old_o in
+          let identical = iter_fingerprint new_o = iter_fingerprint old_o in
+          let st = Fp_cache.stats cache in
+          let row =
+            {
+              ir_tasks = tasks;
+              ir_iters = new_o.Pa_random.iterations;
+              ir_s_new = s_new;
+              ir_s_old = s_old;
+              ir_ms_new = ms_new;
+              ir_ms_old = ms_old;
+              ir_identical = identical;
+              ir_hits = st.Fp_cache.hits;
+              ir_misses = st.Fp_cache.misses;
+            }
+          in
+          let per_s sec =
+            float_of_int row.ir_iters /. Float.max sec 1e-9
+          in
+          Table.add_row t
+            [
+              string_of_int tasks;
+              string_of_int row.ir_iters;
+              Table.cell_f s_new;
+              Table.cell_f s_old;
+              Table.cell_f ~decimals:0 (per_s s_new);
+              Table.cell_f ~decimals:0 (per_s s_old);
+              Printf.sprintf "x%.2f" (s_old /. Float.max s_new 1e-9);
+              string_of_int ms_new;
+              (if identical then "yes" else "NO");
+            ];
+          row
+        | _ -> assert false)
+      groups
+  in
+  Table.print t;
+  let total_hits = List.fold_left (fun a r -> a + r.ir_hits) 0 rows
+  and total_misses = List.fold_left (fun a r -> a + r.ir_misses) 0 rows in
+  Printf.printf
+    "  floorplan cache (shared per group across both engines): %d/%d hits \
+     (%.1f%%)\n"
+    total_hits (total_hits + total_misses)
+    (100. *. float_of_int total_hits
+    /. float_of_int (Stdlib.max 1 (total_hits + total_misses)));
+  write_csv "iteration.csv"
+    ([ "tasks"; "iterations"; "seconds_new"; "seconds_old"; "speedup";
+       "makespan_new"; "makespan_old"; "identical"; "cache_hits";
+       "cache_misses" ]
+    :: List.map
+         (fun r ->
+           [
+             string_of_int r.ir_tasks;
+             string_of_int r.ir_iters;
+             Printf.sprintf "%.4f" r.ir_s_new;
+             Printf.sprintf "%.4f" r.ir_s_old;
+             Printf.sprintf "%.3f" (r.ir_s_old /. Float.max r.ir_s_new 1e-9);
+             string_of_int r.ir_ms_new;
+             string_of_int r.ir_ms_old;
+             string_of_bool r.ir_identical;
+             string_of_int r.ir_hits;
+             string_of_int r.ir_misses;
+           ])
+         rows);
+  (* Machine-readable record; CI's never-worse guard reads this. *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"seed\": %d,\n" seed;
+  Printf.bprintf buf "  \"min_iterations\": %d,\n" iter_min;
+  Buffer.add_string buf "  \"groups\": [\n";
+  List.iteri
+    (fun i r ->
+      let hit_rate =
+        float_of_int r.ir_hits
+        /. float_of_int (Stdlib.max 1 (r.ir_hits + r.ir_misses))
+      in
+      Printf.bprintf buf
+        "    {\"tasks\": %d, \"iterations\": %d, \"seconds_new\": %.4f, \
+         \"seconds_old\": %.4f, \"iters_per_s_new\": %.1f, \
+         \"iters_per_s_old\": %.1f, \"speedup\": %.3f, \"makespan_new\": \
+         %d, \"makespan_old\": %d, \"identical\": %b, \"cache\": \
+         {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f}}%s\n"
+        r.ir_tasks r.ir_iters r.ir_s_new r.ir_s_old
+        (float_of_int r.ir_iters /. Float.max r.ir_s_new 1e-9)
+        (float_of_int r.ir_iters /. Float.max r.ir_s_old 1e-9)
+        (r.ir_s_old /. Float.max r.ir_s_new 1e-9)
+        r.ir_ms_new r.ir_ms_old r.ir_identical r.ir_hits r.ir_misses
+        hit_rate
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Printf.bprintf buf "  \"all_identical\": %b,\n"
+    (List.for_all (fun r -> r.ir_identical) rows);
+  Printf.bprintf buf "  \"never_worse\": %b,\n"
+    (List.for_all (fun r -> r.ir_ms_new <= r.ir_ms_old) rows);
+  let largest =
+    List.fold_left (fun acc r -> if r.ir_tasks > acc.ir_tasks then r else acc)
+      (List.hd rows) rows
+  in
+  Printf.bprintf buf
+    "  \"largest_group\": {\"tasks\": %d, \"speedup\": %.3f},\n"
+    largest.ir_tasks
+    (largest.ir_s_old /. Float.max largest.ir_s_new 1e-9);
+  Printf.bprintf buf
+    "  \"cache\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f}\n"
+    total_hits total_misses
+    (float_of_int total_hits
+    /. float_of_int (Stdlib.max 1 (total_hits + total_misses)));
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_iteration.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  print_endline "  [json] BENCH_iteration.json"
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 
 let ablation_ordering () =
@@ -757,6 +957,22 @@ let bechamel_suite () =
   let durations =
     Array.init (Instance.size inst100) (fun u -> Instance.min_time inst100 u)
   in
+  (* A state shaped by the real pipeline, frozen after step 7's input is
+     ready: the from-scratch [Timing.resolve] and the incremental
+     [Timing.Solver] replay the same augmented graph and sequence. *)
+  let timing_state =
+    let impl_of =
+      Impl_select.run inst100 ~max_res:(Arch.max_res inst100.Instance.arch)
+    in
+    let st = State.create inst100 ~impl_of () in
+    Regions_define.run ~ordering:Regions_define.By_efficiency st;
+    Sw_balance.run st;
+    Sw_map.run st;
+    st
+  in
+  let specs, sequence = Reconf_sched.run timing_state in
+  let solver = Timing.Solver.create timing_state ~reconfigs:specs in
+  let ctx100 = Pa.Context.create inst100 in
   let tests =
     [
       Test.make ~name:"table1/pa_schedule_once_30"
@@ -779,6 +995,18 @@ let bechamel_suite () =
       Test.make ~name:"substrate/cpm_100"
         (Staged.stage (fun () ->
              ignore (Cpm.compute inst100.Instance.graph ~durations)));
+      Test.make ~name:"iteration/timing_resolve_scratch_100"
+        (Staged.stage (fun () ->
+             ignore
+               (Timing.resolve timing_state ~reconfigs:specs ~sequence)));
+      Test.make ~name:"iteration/timing_solver_resolve_100"
+        (Staged.stage (fun () ->
+             ignore (Timing.Solver.resolve solver ~sequence)));
+      Test.make ~name:"iteration/schedule_once_scratch_100"
+        (Staged.stage (fun () ->
+             ignore (Pa.schedule_once ~incremental:false inst100)));
+      Test.make ~name:"iteration/schedule_once_ctx_100"
+        (Staged.stage (fun () -> ignore (Pa.schedule_once ~ctx:ctx100 inst100)));
       Test.make ~name:"substrate/simplex_textbook"
         (Staged.stage (fun () ->
              let m = Lp.create ~objective:Lp.Maximize () in
@@ -861,6 +1089,7 @@ let () =
   in
   print_fig6 ();
   parallel_comparison ();
+  iteration_comparison ();
   ablation_ordering ();
   ablation_module_reuse ();
   ablation_floorplan_engines ();

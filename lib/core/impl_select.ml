@@ -1,8 +1,10 @@
 module Instance = Resched_platform.Instance
 module Impl = Resched_platform.Impl
 
-let run inst ~max_res =
-  let cost = Cost.make inst ~max_res in
+let run ?cost inst ~max_res =
+  let cost =
+    match cost with Some c -> c | None -> Cost.make inst ~max_res
+  in
   Array.init (Instance.size inst) (fun task ->
       let sw_idx = Instance.fastest_sw inst task in
       let sw_time = (Instance.impl inst ~task ~idx:sw_idx).Impl.time in

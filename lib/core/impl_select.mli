@@ -5,6 +5,9 @@
     fastest software one, then select whichever of the two executes
     faster. *)
 
-val run : Resched_platform.Instance.t -> max_res:Resched_fabric.Resource.t ->
-  int array
-(** Initial implementation index per task. *)
+val run : ?cost:Cost.t -> Resched_platform.Instance.t ->
+  max_res:Resched_fabric.Resource.t -> int array
+(** Initial implementation index per task. [cost] shares an
+    already-built {!Cost.t} for the same [max_res] instead of deriving
+    the weights again (the callers of the restart loop hold one per
+    resource scale). *)

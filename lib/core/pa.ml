@@ -1,10 +1,74 @@
 module Instance = Resched_platform.Instance
 module Arch = Resched_platform.Arch
+module Cpm = Resched_taskgraph.Cpm
+module Resource = Resched_fabric.Resource
 module Floorplanner = Resched_floorplan.Floorplanner
 
 let src = Logs.Src.create "resched.pa" ~doc:"PA scheduler pipeline"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+module Context = struct
+  (* Everything steps 1-2 derive from (instance, resource_scale) alone:
+     the scaled capacity, the cost weights, the initial implementation
+     selection and the base CPM windows. One entry per scale visited by
+     the restart loop — the adaptive scale is quantized onto the
+     [shrink_factor^k] lattice precisely so this table (and the
+     floorplan cache downstream) sees repeats. Each entry also owns a
+     recyclable arena {!State.t}: [State.reset] rewinds it between
+     iterations instead of reallocating every array and adjacency
+     list. *)
+  type entry = {
+    e_max_res : Resource.t;
+    e_cost : Cost.t;
+    e_impl_of : int array;
+    e_base_cpm : Cpm.t;
+    mutable e_state : State.t option;
+  }
+
+  type t = { c_inst : Instance.t; entries : (float, entry) Hashtbl.t }
+
+  let create inst = { c_inst = inst; entries = Hashtbl.create 8 }
+
+  let entry ctx ~resource_scale =
+    match Hashtbl.find_opt ctx.entries resource_scale with
+    | Some e -> e
+    | None ->
+      let inst = ctx.c_inst in
+      let max_res =
+        Resource.scale (Arch.max_res inst.Instance.arch) resource_scale
+      in
+      let cost = Cost.make inst ~max_res in
+      let impl_of = Impl_select.run ~cost inst ~max_res in
+      let base_cpm =
+        let durations =
+          Array.init (Instance.size inst) (fun u ->
+              (Instance.impl inst ~task:u ~idx:impl_of.(u))
+                .Resched_platform.Impl.time)
+        in
+        Cpm.compute inst.Instance.graph ~durations
+      in
+      let e = { e_max_res = max_res; e_cost = cost; e_impl_of = impl_of;
+                e_base_cpm = base_cpm; e_state = None }
+      in
+      Hashtbl.add ctx.entries resource_scale e;
+      e
+
+  (* A state ready to run steps 3-7, recycled when the entry has one. *)
+  let state ctx ~resource_scale =
+    let e = entry ctx ~resource_scale in
+    match e.e_state with
+    | Some s ->
+      State.reset s ~impl_of:e.e_impl_of ~base_cpm:e.e_base_cpm;
+      s
+    | None ->
+      let s =
+        State.create ctx.c_inst ~resource_scale ~cost:e.e_cost
+          ~base_cpm:e.e_base_cpm ~scratch:true ~impl_of:e.e_impl_of ()
+      in
+      e.e_state <- Some s;
+      s
+end
 
 type config = {
   ordering : Regions_define.ordering;
@@ -98,12 +162,20 @@ let count_hw state =
   done;
   !acc
 
-let schedule_once ?(config = default_config) ?(resource_scale = 1.0) inst =
-  let max_res = Resched_fabric.Resource.scale (Arch.max_res inst.Instance.arch)
-      resource_scale
+let schedule_once ?(config = default_config) ?(resource_scale = 1.0) ?ctx
+    ?(incremental = true) inst =
+  let state =
+    match ctx with
+    | Some ctx -> Context.state ctx ~resource_scale
+    | None ->
+      let max_res =
+        Resched_fabric.Resource.scale (Arch.max_res inst.Instance.arch)
+          resource_scale
+      in
+      let cost = Cost.make inst ~max_res in
+      let impl_of = Impl_select.run ~cost inst ~max_res in
+      State.create inst ~resource_scale ~cost ~impl_of ()
   in
-  let impl_of = Impl_select.run inst ~max_res in
-  let state = State.create inst ~resource_scale ~impl_of () in
   Log.debug (fun m ->
       m "step 1-2: %d/%d tasks start on hardware, unconstrained makespan %d"
         (count_hw state) (Instance.size inst)
@@ -112,12 +184,14 @@ let schedule_once ?(config = default_config) ?(resource_scale = 1.0) inst =
     ~ordering:config.ordering state;
   Log.debug (fun m ->
       m "step 3: %d regions defined, %d tasks still on hardware"
-        (List.length state.State.regions)
+        (State.region_count state)
         (count_hw state));
   Sw_balance.run state;
   Log.debug (fun m -> m "step 4: %d hardware tasks after balancing" (count_hw state));
-  Sw_map.run state;
-  let specs, sequence = Reconf_sched.run ~module_reuse:config.module_reuse state in
+  Sw_map.run ~incremental state;
+  let specs, sequence =
+    Reconf_sched.run ~module_reuse:config.module_reuse ~incremental state
+  in
   Log.debug (fun m ->
       m "step 7: %d reconfigurations sequenced on the controller"
         (Array.length specs));
@@ -136,7 +210,7 @@ let all_software_schedule inst =
 let region_needs (sched : Schedule.t) =
   Array.map (fun (r : Schedule.region) -> r.Schedule.res) sched.Schedule.regions
 
-let run ?(config = default_config) inst =
+let run ?(config = default_config) ?ctx inst =
   let device = inst.Instance.arch.Arch.device in
   let sched_time = ref 0. and plan_time = ref 0. in
   let rec attempt k scale =
@@ -152,7 +226,7 @@ let run ?(config = default_config) inst =
     end
     else begin
       let t0 = Unix.gettimeofday () in
-      let sched = schedule_once ~config ~resource_scale:scale inst in
+      let sched = schedule_once ~config ~resource_scale:scale ?ctx inst in
       sched_time := !sched_time +. (Unix.gettimeofday () -. t0);
       let needs = region_needs sched in
       if Array.length needs = 0 then

@@ -31,17 +31,46 @@ type stats = {
   floorplanning_seconds : float;  (** time in step 8 *)
 }
 
+(** Restart-context arena: memoizes, per (instance, resource-scale),
+    everything steps 1-2 recompute identically on every restart — the
+    cost weights, the initial implementation selection and the base CPM
+    windows — and recycles one arena {!State.t} per scale through
+    {!State.reset} so an iteration allocates no fresh working state.
+    A context belongs to one instance and is not thread-safe: the
+    parallel randomized search holds one per worker domain. *)
+module Context : sig
+  type t
+
+  val create : Resched_platform.Instance.t -> t
+
+  val state : t -> resource_scale:float -> State.t
+  (** The arena state for this scale, reset and ready for steps 3-7.
+      Invalidates whatever the previous [state] call for the same scale
+      returned (it is the same recycled object). Exposed for tests and
+      benchmarks; {!schedule_once} is the normal entry point. *)
+end
+
 val schedule_once : ?config:config -> ?resource_scale:float ->
-  Resched_platform.Instance.t -> Schedule.t
+  ?ctx:Context.t -> ?incremental:bool -> Resched_platform.Instance.t ->
+  Schedule.t
 (** Steps 1-7 only (no floorplan check); [resource_scale] (default 1.0)
     virtually scales the FPGA resources. The result's [floorplan] is
-    [None]. Used by the randomized variant's inner loop and by tests. *)
+    [None]. Used by the randomized variant's inner loop and by tests.
+
+    [ctx] reuses the restart arena's memoized invariants and recycled
+    state (the returned schedule never aliases the arena, so it survives
+    later iterations); [incremental] (default [true]) selects the
+    incremental timing solver in step 7 ({!Reconf_sched.run}). Both
+    switches change wall-clock only — the produced schedule is
+    bit-identical to the from-scratch path (property-tested). *)
 
 val all_software_schedule : Resched_platform.Instance.t -> Schedule.t
 (** Every task on its fastest software implementation, mapped on the
     processors; trivially floorplan-feasible. The terminal fallback. *)
 
-val run : ?config:config -> Resched_platform.Instance.t ->
-  Schedule.t * stats
+val run : ?config:config -> ?ctx:Context.t ->
+  Resched_platform.Instance.t -> Schedule.t * stats
 (** The full PA algorithm. The returned schedule always validates
-    ({!Validate.check}) and carries a floorplan when it uses regions. *)
+    ({!Validate.check}) and carries a floorplan when it uses regions.
+    [ctx] shares a restart arena across the shrink attempts (and across
+    calls, when the caller keeps one). *)

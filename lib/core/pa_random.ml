@@ -69,17 +69,35 @@ type worker_result = {
   w_trace : trace_point list;  (** newest first *)
 }
 
-let worker ~config ~cache ~rng ~start ~deadline ~min_iterations ~shared inst =
+(* The adaptive virtual scale is quantized onto the [shrink_factor^k]
+   lattice (k in [0 .. max_shrink_exp]); only the integer exponent moves.
+   The previous continuous policy ([scale /. sqrt shrink] on success)
+   drifted through floats that never repeated, so neither the per-scale
+   restart memo ({!Pa.Context}) nor the floorplan cache keyed off the
+   resulting region sets could ever hit. See DESIGN.md. *)
+let max_shrink_exp = 6
+
+let worker ~config ~cache ~incremental ~rng ~start ~deadline ~min_iterations
+    ~shared inst =
   let device = inst.Instance.arch.Arch.device in
   let iterations = ref 0 in
   let trace = ref [] in
+  (* One restart arena per worker domain: contexts are not thread-safe,
+     and a domain-private arena also keeps the iteration's working set
+     out of the minor heap (OCaml 5 minor collections are stop-the-world
+     rendezvous across domains, so per-domain allocation churn taxes
+     every other worker). *)
+  let ctx = if incremental then Some (Pa.Context.create inst) else None in
   (* Virtual FPGA-resource scale for the inner doSchedule. Algorithm 1
      never shrinks, but when the region definition saturates the device
      no random order yields a floorplannable region set; adapting the
      scale on floorplan failures (and probing back up on successes)
      keeps the search inside the packable envelope. See DESIGN.md. *)
-  let scale = ref 1.0 in
-  let min_scale = config.Pa.shrink_factor ** 6. in
+  let lattice =
+    Array.init (max_shrink_exp + 1) (fun k ->
+        config.Pa.shrink_factor ** float_of_int k)
+  in
+  let shrink_exp = ref 0 in
   let running = ref true in
   while !running do
     (* One clock read per iteration: it decides the deadline and stamps
@@ -91,7 +109,10 @@ let worker ~config ~cache ~rng ~start ~deadline ~min_iterations ~shared inst =
       let config =
         { config with Pa.ordering = Regions_define.Random (Rng.split rng) }
       in
-      let candidate = Pa.schedule_once ~config ~resource_scale:!scale inst in
+      let candidate =
+        Pa.schedule_once ~config ~resource_scale:lattice.(!shrink_exp) ?ctx
+          ~incremental inst
+      in
       let ms = candidate.Schedule.makespan in
       if ms < Atomic.get shared.best_makespan then begin
         let needs =
@@ -100,10 +121,9 @@ let worker ~config ~cache ~rng ~start ~deadline ~min_iterations ~shared inst =
             candidate.Schedule.regions
         in
         match check_feasible ~config ~cache device needs with
-        | None ->
-          scale := Stdlib.max min_scale (!scale *. config.Pa.shrink_factor)
+        | None -> shrink_exp := Stdlib.min max_shrink_exp (!shrink_exp + 1)
         | Some placements ->
-          scale := Stdlib.min 1.0 (!scale /. sqrt config.Pa.shrink_factor);
+          shrink_exp := Stdlib.max 0 (!shrink_exp - 1);
           if claim shared ms then begin
             publish shared
               { candidate with Schedule.floorplan = Some placements };
@@ -120,11 +140,11 @@ let worker ~config ~cache ~rng ~start ~deadline ~min_iterations ~shared inst =
 (* Entry points                                                        *)
 
 let run ?(config = Pa.default_config) ?(seed = 1) ?(min_iterations = 1) ?cache
-    ~budget_seconds inst =
+    ?(incremental = true) ~budget_seconds inst =
   let start = Unix.gettimeofday () in
   let shared = make_shared () in
   let r =
-    worker ~config ~cache ~rng:(Rng.create seed) ~start
+    worker ~config ~cache ~incremental ~rng:(Rng.create seed) ~start
       ~deadline:(start +. budget_seconds) ~min_iterations ~shared inst
   in
   { schedule = shared.best; iterations = r.w_iterations;
@@ -148,14 +168,15 @@ let merge_traces results =
   List.rev rev
 
 let run_parallel ?(config = Pa.default_config) ?(seed = 1) ?(min_iterations = 1)
-    ?jobs ?cache ~budget_seconds inst =
+    ?jobs ?cache ?(incremental = true) ~budget_seconds inst =
   let jobs =
     match jobs with
     | Some j when j >= 1 -> j
     | Some j -> invalid_arg (Printf.sprintf "Pa_random.run_parallel: jobs=%d" j)
     | None -> Domain_pool.available_cores ()
   in
-  if jobs = 1 then run ~config ~seed ~min_iterations ?cache ~budget_seconds inst
+  if jobs = 1 then
+    run ~config ~seed ~min_iterations ?cache ~incremental ~budget_seconds inst
   else begin
     let start = Unix.gettimeofday () in
     let deadline = start +. budget_seconds in
@@ -171,7 +192,7 @@ let run_parallel ?(config = Pa.default_config) ?(seed = 1) ?(min_iterations = 1)
     let min_per_worker = (min_iterations + jobs - 1) / jobs in
     let results =
       Domain_pool.run ~jobs (fun i ->
-          worker ~config ~cache ~rng:rngs.(i) ~start ~deadline
+          worker ~config ~cache ~incremental ~rng:rngs.(i) ~start ~deadline
             ~min_iterations:min_per_worker ~shared inst)
     in
     let iterations =

@@ -32,19 +32,29 @@ type outcome = {
 }
 
 val run : ?config:Pa.config -> ?seed:int -> ?min_iterations:int ->
-  ?cache:Resched_floorplan.Fp_cache.t -> budget_seconds:float ->
-  Resched_platform.Instance.t -> outcome
+  ?cache:Resched_floorplan.Fp_cache.t -> ?incremental:bool ->
+  budget_seconds:float -> Resched_platform.Instance.t -> outcome
 (** Algorithm 1 with a wall-clock budget. [min_iterations] (default 1)
     iterations are executed even if the budget is already exhausted, so a
     tiny budget still returns a schedule whenever one is floorplannable.
     The [config]'s [ordering] field is ignored (PA-R always randomizes
     non-critical tasks). When [cache] is given, floorplan verdicts are
     memoized through it; the packer being deterministic, this changes
-    wall-clock only, never the result for a fixed iteration count. *)
+    wall-clock only, never the result for a fixed iteration count.
+
+    The adaptive virtual resource scale moves on the integer
+    [shrink_factor^k] lattice (k in [0..6]) so the per-scale restart
+    memo and the floorplan cache see repeated keys.
+
+    [incremental] (default [true]) runs each iteration through a
+    per-worker {!Pa.Context} restart arena and the incremental timing
+    solver; [incremental:false] is the from-scratch oracle path. Both
+    produce bit-identical candidate streams for a fixed
+    [(seed, min_iterations, budget_seconds = 0.)] configuration. *)
 
 val run_parallel : ?config:Pa.config -> ?seed:int -> ?min_iterations:int ->
-  ?jobs:int -> ?cache:Resched_floorplan.Fp_cache.t -> budget_seconds:float ->
-  Resched_platform.Instance.t -> outcome
+  ?jobs:int -> ?cache:Resched_floorplan.Fp_cache.t -> ?incremental:bool ->
+  budget_seconds:float -> Resched_platform.Instance.t -> outcome
 (** [run] fanned out over [jobs] worker domains (default
     {!Resched_util.Domain_pool.available_cores}) sharing one atomic
     incumbent makespan — a worker floorplans a candidate only if it beats

@@ -9,7 +9,15 @@
     the augmented graph, which is exactly the paper's delay
     propagation). *)
 
-val run : ?module_reuse:bool -> State.t ->
+val run : ?module_reuse:bool -> ?incremental:bool -> State.t ->
   Timing.reconf_spec array * int list
 (** Returns the reconfiguration specs and the chosen controller sequence
-    (indices into the spec array, execution order). *)
+    (indices into the spec array, execution order).
+
+    [incremental] (default [true]) re-times the partial sequence through
+    a {!Timing.Solver} built once per call and answers dependency-order
+    queries from a one-shot {!Resched_taskgraph.Graph.closure}; with
+    [incremental:false] every insertion rebuilds the augmented graph
+    from scratch ({!Timing.resolve}) and runs a fresh traversal per
+    {!Timing.must_precede} query. Both paths produce the identical
+    sequence (property-tested); the legacy path is the oracle. *)

@@ -88,7 +88,7 @@ let place_critical ?module_reuse state ~task =
   let compatible =
     List.filter
       (fun r -> region_compatible_critical ?module_reuse state ~task r)
-      state.State.regions
+      (State.regions state)
   in
   match lowest_bitstream compatible with
   | Some region -> State.assign_to_region state ~task region
@@ -111,7 +111,7 @@ let place_non_critical state ~task =
     let compatible =
       List.filter
         (fun r -> region_compatible_non_critical state ~task r)
-        state.State.regions
+        (State.regions state)
     in
     match lowest_bitstream compatible with
     | Some region -> State.assign_to_region state ~task region

@@ -15,16 +15,21 @@ type region = {
   mutable tasks : int list;
 }
 
+type scratch = { sc_buffers : Cpm.buffers; sc_durations : int array }
+
 type t = {
   inst : Instance.t;
   max_res : Resource.t;
   cost : Cost.t;
   impl_of : int array;
   dep : Graph.t;
-  mutable regions : region list;
+  mutable regions_rev : region list;
+  mutable nregions : int;
+  mutable used : Resource.t;
   region_of : int array;
   processor_of : int array;
   mutable cpm : Cpm.t;
+  scratch : scratch option;
 }
 
 let impl t u = Instance.impl t.inst ~task:u ~idx:t.impl_of.(u)
@@ -33,48 +38,87 @@ let durations t = Array.init (Instance.size t.inst) (duration t)
 let is_hw t u = Impl.is_hw (impl t u)
 
 let refresh_windows t =
-  t.cpm <- Cpm.compute t.dep ~durations:(durations t)
+  match t.scratch with
+  | None -> t.cpm <- Cpm.compute t.dep ~durations:(durations t)
+  | Some s ->
+    (* Arena states recycle one set of CPM arrays: bit-identical windows,
+       no per-refresh allocation. Safe because no pipeline step keeps a
+       [Cpm.t] alive across a refresh (Regions_define copies the critical
+       flags it needs), and a shared [base_cpm] owns separate arrays. *)
+    let n = Instance.size t.inst in
+    for u = 0 to n - 1 do
+      s.sc_durations.(u) <- duration t u
+    done;
+    t.cpm <- Cpm.compute_with s.sc_buffers t.dep ~durations:s.sc_durations
 
-let create inst ?(resource_scale = 1.0) ~impl_of () =
+let initial_cpm inst ~impl_of =
+  let durations =
+    Array.init (Instance.size inst) (fun u ->
+        (Instance.impl inst ~task:u ~idx:impl_of.(u)).Impl.time)
+  in
+  Cpm.compute inst.Instance.graph ~durations
+
+let create inst ?(resource_scale = 1.0) ?cost ?base_cpm ?(scratch = false)
+    ~impl_of () =
   let n = Instance.size inst in
   if Array.length impl_of <> n then
     invalid_arg "State.create: impl_of length mismatch";
   let max_res = Resource.scale (Arch.max_res inst.Instance.arch) resource_scale in
-  let t =
-    {
-      inst;
-      max_res;
-      cost = Cost.make inst ~max_res;
-      impl_of = Array.copy impl_of;
-      dep = Graph.copy inst.Instance.graph;
-      regions = [];
-      region_of = Array.make n (-1);
-      processor_of = Array.make n (-1);
-      cpm =
-        Cpm.compute inst.Instance.graph
-          ~durations:(Array.make n 0) (* replaced just below *);
-    }
+  let cost = match cost with Some c -> c | None -> Cost.make inst ~max_res in
+  let cpm =
+    match base_cpm with Some c -> c | None -> initial_cpm inst ~impl_of
   in
-  refresh_windows t;
-  t
+  let scratch =
+    if scratch then
+      Some { sc_buffers = Cpm.make_buffers n; sc_durations = Array.make n 0 }
+    else None
+  in
+  {
+    inst;
+    max_res;
+    cost;
+    impl_of = Array.copy impl_of;
+    dep = Graph.copy inst.Instance.graph;
+    regions_rev = [];
+    nregions = 0;
+    used = Resource.zero;
+    region_of = Array.make n (-1);
+    processor_of = Array.make n (-1);
+    cpm;
+    scratch;
+  }
+
+let reset t ~impl_of ~base_cpm =
+  let n = Instance.size t.inst in
+  if Array.length impl_of <> n then
+    invalid_arg "State.reset: impl_of length mismatch";
+  Array.blit impl_of 0 t.impl_of 0 n;
+  Graph.restore ~from:t.inst.Instance.graph t.dep;
+  t.regions_rev <- [];
+  t.nregions <- 0;
+  t.used <- Resource.zero;
+  Array.fill t.region_of 0 n (-1);
+  Array.fill t.processor_of 0 n (-1);
+  t.cpm <- base_cpm
 
 let t_min t u = t.cpm.Cpm.t_min.(u)
 let t_max t u = t.cpm.Cpm.t_max.(u)
 
-let used_resources t =
-  List.fold_left (fun acc r -> Resource.add acc r.res) Resource.zero t.regions
+let regions t = List.rev t.regions_rev
+let region_count t = t.nregions
+let used_resources t = t.used
 
 let fits_on_fpga t need =
-  Resource.fits (Resource.add (used_resources t) need) ~within:t.max_res
+  Resource.fits (Resource.add t.used need) ~within:t.max_res
 
 let new_region t need =
   let device = t.inst.Instance.arch.Arch.device in
   let bits = Bitstream.region_bits device.Device.model need in
   let reconf = Arch.reconf_ticks t.inst.Instance.arch need in
-  let region =
-    { id = List.length t.regions; res = need; bits; reconf; tasks = [] }
-  in
-  t.regions <- t.regions @ [ region ];
+  let region = { id = t.nregions; res = need; bits; reconf; tasks = [] } in
+  t.regions_rev <- region :: t.regions_rev;
+  t.nregions <- t.nregions + 1;
+  t.used <- Resource.add t.used need;
   region
 
 let sort_by_t_min t tasks =
@@ -124,7 +168,7 @@ let switch_to_sw t ~task =
        (fun r ->
          if r.id = t.region_of.(task) then
            r.tasks <- List.filter (fun u -> u <> task) r.tasks)
-       t.regions;
+       t.regions_rev;
      t.region_of.(task) <- -1
    end);
   refresh_windows t
@@ -137,6 +181,6 @@ let switch_to_hw t ~task ~impl_idx region =
   refresh_windows t;
   assign_to_region t ~task region
 
-let region_list t = Array.of_list t.regions
+let region_list t = Array.of_list (List.rev t.regions_rev)
 
-let find_region t id = List.find (fun r -> r.id = id) t.regions
+let find_region t id = List.find (fun r -> r.id = id) t.regions_rev

@@ -4,7 +4,12 @@
     dependency graph (application edges plus the ordering edges inserted
     when tasks share a reconfigurable region or a processor), the set of
     reconfigurable regions built so far, and the CPM time windows, which
-    must be refreshed after any change ({!refresh_windows}). *)
+    must be refreshed after any change ({!refresh_windows}).
+
+    A state can be recycled across the restart iterations of the
+    randomized scheduler: {!reset} restores every mutable part to the
+    just-created picture while reusing the existing arrays and graph
+    storage (see {!Pa.Context}). *)
 
 module Graph = Resched_taskgraph.Graph
 module Cpm = Resched_taskgraph.Cpm
@@ -17,6 +22,10 @@ type region = {
   mutable tasks : int list;  (** assigned tasks, kept sorted by [t_min] *)
 }
 
+type scratch
+(** Reusable CPM buffers + durations array for allocation-free window
+    refreshes (restart-arena states only). *)
+
 type t = {
   inst : Resched_platform.Instance.t;
   max_res : Resched_fabric.Resource.t;
@@ -24,17 +33,42 @@ type t = {
   cost : Cost.t;
   impl_of : int array;  (** current implementation index per task *)
   dep : Graph.t;  (** augmented dependency graph (owned copy) *)
-  mutable regions : region list;  (** in creation order *)
+  mutable regions_rev : region list;
+      (** newest first; use {!regions} for creation order *)
+  mutable nregions : int;  (** regions created so far *)
+  mutable used : Resched_fabric.Resource.t;
+      (** running sum of all regions' requirements *)
   region_of : int array;  (** region id or -1 *)
   processor_of : int array;  (** processor id or -1 *)
   mutable cpm : Cpm.t;  (** windows for the current durations/graph *)
+  scratch : scratch option;
+      (** when present, {!refresh_windows} recycles one set of CPM
+          arrays: the record in [cpm] is then only valid until the next
+          refresh (copy what must survive). [Pa.Context] arena states
+          carry scratch; plain states never do. *)
 }
 
 val create : Resched_platform.Instance.t -> ?resource_scale:float ->
-  impl_of:int array -> unit -> t
+  ?cost:Cost.t -> ?base_cpm:Cpm.t -> ?scratch:bool -> impl_of:int array ->
+  unit -> t
 (** Fresh state with the given initial implementation selection; windows
-    are computed immediately. [resource_scale] (default 1.0) virtually
-    scales the device's [maxRes] (floorplan-retry rule, Sec. V-H). *)
+    are computed immediately from the initial durations (no placeholder
+    pass). [resource_scale] (default 1.0) virtually scales the device's
+    [maxRes] (floorplan-retry rule, Sec. V-H). [cost] and [base_cpm]
+    share already-computed iteration-invariant values (the cost weights
+    for this [max_res], and the CPM of the unaugmented graph under the
+    initial durations); when omitted they are computed here. A shared
+    [base_cpm] is never mutated — window refreshes never write into its
+    arrays. [scratch] (default false) equips the state for
+    allocation-free window refreshes; see the [scratch] field. *)
+
+val reset : t -> impl_of:int array -> base_cpm:Cpm.t -> unit
+(** Restore the state to what [create] with the same arguments would
+    build — initial implementations, pristine dependency graph, no
+    regions, no processor assignments, base windows — reusing the
+    existing arrays and adjacency storage instead of reallocating.
+    [impl_of] and [base_cpm] must correspond to this state's
+    [max_res]/[cost] (they come from the same {!Pa.Context} entry). *)
 
 val impl : t -> int -> Resched_platform.Impl.t
 (** The currently selected implementation of a task. *)
@@ -50,16 +84,23 @@ val refresh_windows : t -> unit
 val t_min : t -> int -> int
 val t_max : t -> int -> int
 
+val regions : t -> region list
+(** Regions in creation order (allocates one list per call). *)
+
+val region_count : t -> int
+
 val used_resources : t -> Resched_fabric.Resource.t
-(** Sum of the resource requirements of all regions created so far. *)
+(** Sum of the resource requirements of all regions created so far;
+    maintained incrementally, O(1). *)
 
 val fits_on_fpga : t -> Resched_fabric.Resource.t -> bool
 (** Would a new region with the given requirement still fit [max_res]
-    next to the existing regions? *)
+    next to the existing regions? O(1) against the running total. *)
 
 val new_region : t -> Resched_fabric.Resource.t -> region
 (** Create a region sized for the given requirement (eqs. 1-2 fix its
-    bitstream and reconfiguration time). Does not check capacity. *)
+    bitstream and reconfiguration time). Does not check capacity. O(1)
+    append. *)
 
 val assign_to_region : t -> task:int -> region -> unit
 (** Place the task on the region: records the placement, inserts the

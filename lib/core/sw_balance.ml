@@ -6,7 +6,7 @@ let tot_rec_time state =
   List.fold_left
     (fun acc (r : State.region) ->
       acc + (r.State.reconf * Stdlib.max 0 (List.length r.State.tasks - 1)))
-    0 state.State.regions
+    0 state.State.regions_rev
 
 (* Cheapest hardware implementation of [task] that fits [region]. *)
 let best_fitting_hw state ~task (region : State.region) =
@@ -57,7 +57,7 @@ let try_move state ~task =
           attempt rest
         end)
   in
-  attempt state.State.regions
+  attempt (State.regions state)
 
 let run state =
   let n = Instance.size state.State.inst in

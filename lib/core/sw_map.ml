@@ -20,7 +20,31 @@ let sequence_on_processor state ~task assigned =
       end)
     assigned
 
-let run state =
+(* Same decisions as [sequence_on_processor] without the two full DFS
+   per pair: [fwd] holds the descendants of [task] and [anc] its
+   ancestors *in the current graph*, maintained incrementally as edges
+   go in. An edge [task -> u] can only extend [fwd] (by [u]'s
+   descendants, a DAG admits no new path into [task] from an edge out of
+   it), and an edge [u -> task] only [anc] — so one marking DFS from [u]
+   restores the invariant and total work per task is bounded by one
+   graph traversal instead of one per assigned pair. *)
+let sequence_on_processor_marked state ~task ~fwd ~anc assigned =
+  let dep = state.State.dep in
+  List.iter
+    (fun u ->
+      if not (fwd.(u) || anc.(u)) then begin
+        if State.t_min state u <= State.t_min state task then begin
+          Graph.add_edge dep u task;
+          Graph.mark_coreachable dep u anc
+        end
+        else begin
+          Graph.add_edge dep task u;
+          Graph.mark_reachable dep u fwd
+        end
+      end)
+    assigned
+
+let run ?(incremental = true) state =
   let n = Instance.size state.State.inst in
   let processors =
     state.State.inst.Instance.arch.Resched_platform.Arch.processors
@@ -31,6 +55,8 @@ let run state =
     |> List.sort
          (fun a b -> compare (State.t_min state a) (State.t_min state b))
   in
+  let fwd = if incremental then Array.make n false else [||] in
+  let anc = if incremental then Array.make n false else [||] in
   List.iter
     (fun task ->
       let end_of u = State.t_min state u + State.duration state u in
@@ -47,7 +73,14 @@ let run state =
         end
       done;
       let p = !best_p in
-      sequence_on_processor state ~task on_processor.(p);
+      (if incremental then begin
+         Array.fill fwd 0 n false;
+         Array.fill anc 0 n false;
+         Graph.mark_reachable state.State.dep task fwd;
+         Graph.mark_coreachable state.State.dep task anc;
+         sequence_on_processor_marked state ~task ~fwd ~anc on_processor.(p)
+       end
+       else sequence_on_processor state ~task on_processor.(p));
       state.State.processor_of.(task) <- p;
       on_processor.(p) <- task :: on_processor.(p);
       State.refresh_windows state)

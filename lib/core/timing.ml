@@ -49,7 +49,7 @@ let reconf_specs ?(module_reuse = false) state =
         | [ _ ] | [] -> ()
       in
       pairs r.State.tasks)
-    state.State.regions;
+    (State.regions state);
   Array.of_list (List.rev !specs)
 
 let resolve state ~reconfigs ~sequence =
@@ -83,3 +83,167 @@ let resolve state ~reconfigs ~sequence =
 
 let must_precede state a b =
   a.t_out = b.t_in || (Graph.reachable state.State.dep a.t_out).(b.t_in)
+
+let must_precede_closure closure a b =
+  a.t_out = b.t_in || Graph.in_closure closure a.t_out b.t_in
+
+module Solver = struct
+  (* The augmented graph (data edges, region/processor ordering edges,
+     one node per reconfiguration wired between its in/out tasks) is
+     invariant across the resolves of one [Reconf_sched.run]; only the
+     controller-chain edges over [sequence] change. The base adjacency,
+     in-degrees and durations are therefore built once, the chain is kept
+     as a [chain_next] side array, and every resolve is a single
+     allocation-free Kahn pass that relaxes earliest starts as nodes are
+     dequeued (any topological order yields the same longest-path
+     [t_min], so the result is bit-identical to the from-scratch
+     {!resolve}). *)
+
+  type t = {
+    n : int;  (** task nodes *)
+    nr : int;  (** reconfiguration nodes, ids [n .. n+nr-1] *)
+    reconfigs : reconf_spec array;
+    adj : int array;  (** base augmented adjacency, CSR edge targets *)
+    off : int array;  (** CSR row offsets, [total + 1] entries *)
+    base_indeg : int array;
+    durations : int array;
+    (* scratch, overwritten by every [resolve] *)
+    chain_next : int array;  (** spec index -> next spec in sequence, -1 *)
+    indeg : int array;
+    queue : int array;
+    t_min : int array;
+    task_start : int array;
+    task_end : int array;
+    rec_start : int array;
+    rec_end : int array;
+  }
+
+  let create state ~reconfigs =
+    let n = Instance.size state.State.inst in
+    let nr = Array.length reconfigs in
+    let total = n + nr in
+    let succ = Array.make total [] in
+    let base_indeg = Array.make total 0 in
+    let add u v =
+      succ.(u) <- v :: succ.(u);
+      base_indeg.(v) <- base_indeg.(v) + 1
+    in
+    for u = 0 to n - 1 do
+      List.iter (fun v -> add u v) (Graph.succs state.State.dep u)
+    done;
+    Array.iteri
+      (fun k spec ->
+        add spec.t_in (n + k);
+        add (n + k) spec.t_out)
+      reconfigs;
+    (* Flatten to CSR: the base adjacency never changes after [create],
+       and [resolve] runs many times over it — contiguous int arrays
+       beat chasing cons cells on every pass. *)
+    let edges = Array.fold_left (fun acc bi -> acc + bi) 0 base_indeg in
+    let adj = Array.make (Stdlib.max 1 edges) 0 in
+    let off = Array.make (total + 1) 0 in
+    let c = ref 0 in
+    for u = 0 to total - 1 do
+      off.(u) <- !c;
+      List.iter
+        (fun v ->
+          adj.(!c) <- v;
+          incr c)
+        succ.(u)
+    done;
+    off.(total) <- !c;
+    let durations =
+      Array.init total (fun i ->
+          if i < n then State.duration state i else reconfigs.(i - n).dur)
+    in
+    {
+      n;
+      nr;
+      reconfigs;
+      adj;
+      off;
+      base_indeg;
+      durations;
+      chain_next = Array.make (Stdlib.max 1 nr) (-1);
+      indeg = Array.make total 0;
+      queue = Array.make total 0;
+      t_min = Array.make total 0;
+      task_start = Array.make n 0;
+      task_end = Array.make n 0;
+      rec_start = Array.make (Stdlib.max 1 nr) 0;
+      rec_end = Array.make (Stdlib.max 1 nr) 0;
+    }
+
+  let resolve s ~sequence =
+    let { n; nr; indeg; queue; t_min; chain_next; durations; _ } = s in
+    let total = n + nr in
+    Array.fill chain_next 0 nr (-1);
+    Array.blit s.base_indeg 0 indeg 0 total;
+    let rec chain = function
+      | a :: b :: tl ->
+        chain_next.(a) <- b;
+        indeg.(n + b) <- indeg.(n + b) + 1;
+        chain (b :: tl)
+      | [ _ ] | [] -> ()
+    in
+    chain sequence;
+    Array.fill t_min 0 total 0;
+    let head = ref 0 and tail = ref 0 in
+    for u = 0 to total - 1 do
+      if indeg.(u) = 0 then begin
+        queue.(!tail) <- u;
+        incr tail
+      end
+    done;
+    while !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      (* [u]'s predecessors are all processed: its start is final, so its
+         successors can be relaxed now. *)
+      let finish = t_min.(u) + durations.(u) in
+      (* Node ids in [adj] were validated when the base adjacency was
+         built, so unchecked accesses are safe (cf. [Cpm.compute_with]). *)
+      let relax v =
+        if Array.unsafe_get t_min v < finish then
+          Array.unsafe_set t_min v finish;
+        let d = Array.unsafe_get indeg v - 1 in
+        Array.unsafe_set indeg v d;
+        if d = 0 then begin
+          Array.unsafe_set queue !tail v;
+          incr tail
+        end
+      in
+      let adj = s.adj in
+      for j = Array.unsafe_get s.off u to Array.unsafe_get s.off (u + 1) - 1 do
+        relax (Array.unsafe_get adj j)
+      done;
+      if u >= n then begin
+        let next = chain_next.(u - n) in
+        if next >= 0 then relax (n + next)
+      end
+    done;
+    if !tail < total then begin
+      let stuck = ref [] in
+      for u = total - 1 downto 0 do
+        if indeg.(u) > 0 then stuck := u :: !stuck
+      done;
+      raise (Graph.Cycle !stuck)
+    end;
+    let makespan = ref 0 in
+    for u = 0 to n - 1 do
+      s.task_start.(u) <- t_min.(u);
+      s.task_end.(u) <- t_min.(u) + durations.(u);
+      if s.task_end.(u) > !makespan then makespan := s.task_end.(u)
+    done;
+    for k = 0 to nr - 1 do
+      s.rec_start.(k) <- t_min.(n + k);
+      s.rec_end.(k) <- t_min.(n + k) + s.reconfigs.(k).dur
+    done;
+    {
+      task_start = s.task_start;
+      task_end = s.task_end;
+      rec_start = s.rec_start;
+      rec_end = s.rec_end;
+      makespan = !makespan;
+    }
+end

@@ -41,4 +41,32 @@ val resolve : State.t -> reconfigs:reconf_spec array -> sequence:int list ->
 val must_precede : State.t -> reconf_spec -> reconf_spec -> bool
 (** Dependency-forced ordering between two reconfigurations: [a] must run
     before [b] when [a]'s outgoing task (transitively) precedes [b]'s
-    ingoing task, or they share a region in that order. *)
+    ingoing task, or they share a region in that order. Runs a fresh
+    graph traversal per call; the sequencing hot path uses
+    {!must_precede_closure} instead. *)
+
+val must_precede_closure :
+  Resched_taskgraph.Graph.closure -> reconf_spec -> reconf_spec -> bool
+(** {!must_precede} answered in O(1) from a one-shot
+    {!Resched_taskgraph.Graph.closure} of the state's augmented
+    dependency graph (valid while no further edges are inserted). *)
+
+(** Incremental counterpart of {!resolve} for the sequencing loop of
+    step 7, which resolves once per reconfiguration insertion: the
+    augmented graph and durations are compiled once at {!Solver.create},
+    and each {!Solver.resolve} only re-applies the controller-chain
+    edges and reruns the longest-path pass over reused scratch arrays.
+    Produces bit-identical times to the from-scratch {!resolve}. *)
+module Solver : sig
+  type t
+
+  val create : State.t -> reconfigs:reconf_spec array -> t
+  (** Compile the state's current augmented graph. The solver snapshots
+      dependencies and durations: it must not outlive further mutations
+      of the state. *)
+
+  val resolve : t -> sequence:int list -> resolved
+  (** Same contract as {!resolve} for this solver's state and reconfigs.
+      The arrays of the result are owned by the solver and overwritten
+      by the next [resolve]; callers must copy whatever they retain. *)
+end

@@ -41,6 +41,14 @@ let succs g u =
   check_node g u "succs";
   List.rev g.succ.(u)
 
+let iter_succs g u f =
+  check_node g u "iter_succs";
+  List.iter f g.succ.(u)
+
+let succs_rev g u =
+  check_node g u "succs_rev";
+  g.succ.(u)
+
 let preds g u =
   check_node g u "preds";
   List.rev g.pred.(u)
@@ -129,6 +137,75 @@ let reachable g u =
   in
   go u;
   mark
+
+let check_mark g mark name =
+  if Array.length mark <> g.n then
+    invalid_arg ("Graph." ^ name ^ ": mark length mismatch")
+
+let mark_reachable g u mark =
+  check_node g u "mark_reachable";
+  check_mark g mark "mark_reachable";
+  let rec go v =
+    if not mark.(v) then begin
+      mark.(v) <- true;
+      List.iter go g.succ.(v)
+    end
+  in
+  go u
+
+let mark_coreachable g u mark =
+  check_node g u "mark_coreachable";
+  check_mark g mark "mark_coreachable";
+  let rec go v =
+    if not mark.(v) then begin
+      mark.(v) <- true;
+      List.iter go g.pred.(v)
+    end
+  in
+  go u
+
+type closure = { cn : int; stride : int; bits : Bytes.t }
+
+let closure g =
+  let n = g.n in
+  let stride = (n + 7) / 8 in
+  let bits = Bytes.make (n * stride) '\000' in
+  let set_bit u v =
+    let off = (u * stride) + (v lsr 3) in
+    Bytes.unsafe_set bits off
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get bits off) lor (1 lsl (v land 7))))
+  in
+  let or_row ~into ~from =
+    let a = into * stride and b = from * stride in
+    for i = 0 to stride - 1 do
+      Bytes.unsafe_set bits (a + i)
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get bits (a + i))
+           lor Char.code (Bytes.unsafe_get bits (b + i))))
+    done
+  in
+  let order = topological_order g in
+  (* Reverse topological order: a node's successors' rows are complete
+     before its own row is assembled. *)
+  for i = n - 1 downto 0 do
+    let u = order.(i) in
+    set_bit u u;
+    List.iter (fun v -> or_row ~into:u ~from:v) g.succ.(u)
+  done;
+  { cn = n; stride; bits }
+
+let in_closure c u v =
+  if u < 0 || u >= c.cn || v < 0 || v >= c.cn then
+    invalid_arg "Graph.in_closure: node out of range";
+  let byte = Char.code (Bytes.unsafe_get c.bits ((u * c.stride) + (v lsr 3))) in
+  byte land (1 lsl (v land 7)) <> 0
+
+let restore ~from g =
+  if from.n <> g.n then invalid_arg "Graph.restore: size mismatch";
+  Array.blit from.succ 0 g.succ 0 g.n;
+  Array.blit from.pred 0 g.pred 0 g.n;
+  g.edge_count <- from.edge_count
 
 let pp ppf g =
   Format.fprintf ppf "graph(%d nodes, %d edges)" g.n g.edge_count

@@ -27,6 +27,16 @@ val has_edge : t -> int -> int -> bool
 val succs : t -> int -> int list
 (** Successors in insertion order. *)
 
+val iter_succs : t -> int -> (int -> unit) -> unit
+(** Apply a function to every successor without allocating the reversed
+    list {!succs} builds. Iteration order is unspecified (currently
+    newest insertion first). *)
+
+val succs_rev : t -> int -> int list
+(** The successor list in reverse insertion order, {e shared} with the
+    graph (never mutate it). Allocation-free counterpart of {!succs} for
+    hot read-only loops whose result does not depend on edge order. *)
+
 val preds : t -> int -> int list
 val edge_count : t -> int
 val edges : t -> (int * int) list
@@ -46,5 +56,34 @@ val is_acyclic : t -> bool
 
 val reachable : t -> int -> bool array
 (** [reachable g u] marks every node reachable from [u] (including [u]). *)
+
+val mark_reachable : t -> int -> bool array -> unit
+(** [mark_reachable g u mark] sets [mark.(v)] for every [v] reachable
+    from [u] (including [u]), skipping nodes already marked — so
+    repeated calls on the same array accumulate a union of descendant
+    sets without revisiting shared subgraphs. The array must have one
+    slot per node. *)
+
+val mark_coreachable : t -> int -> bool array -> unit
+(** Dual of {!mark_reachable} along predecessor edges: accumulates the
+    ancestors of [u] (including [u]). *)
+
+type closure
+(** Transitive closure of a DAG, packed as a bitset; answers
+    reachability pairs in O(1) after one O(V*E/w) construction. *)
+
+val closure : t -> closure
+(** Snapshot of the graph's reachability relation. Raises {!Cycle} on
+    cyclic graphs. The snapshot does not follow later edge insertions. *)
+
+val in_closure : closure -> int -> int -> bool
+(** [in_closure c u v] iff [v] was reachable from [u] (including
+    [u = v]) when the closure was taken; agrees with
+    [(reachable g u).(v)]. *)
+
+val restore : from:t -> t -> unit
+(** [restore ~from g] resets [g] to the exact edge set of [from]
+    (a graph over the same node count, typically the pristine graph [g]
+    was [copy]ed from) without reallocating [g]'s arrays. *)
 
 val pp : Format.formatter -> t -> unit

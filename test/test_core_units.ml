@@ -182,6 +182,61 @@ let test_timing_resolve_respects_sequence () =
       Alcotest.(check bool) "no controller overlap" true (e0 <= s1 || e1 <= s0))
     [ resolved01; resolved10 ]
 
+let check_resolved name (a : Timing.resolved) (b : Timing.resolved) =
+  Alcotest.(check (array int))
+    (name ^ ": task_start")
+    a.Timing.task_start b.Timing.task_start;
+  Alcotest.(check (array int))
+    (name ^ ": task_end")
+    a.Timing.task_end b.Timing.task_end;
+  Alcotest.(check (array int))
+    (name ^ ": rec_start")
+    a.Timing.rec_start b.Timing.rec_start;
+  Alcotest.(check (array int))
+    (name ^ ": rec_end")
+    a.Timing.rec_end b.Timing.rec_end;
+  Alcotest.(check int) (name ^ ": makespan") a.Timing.makespan b.Timing.makespan
+
+let test_solver_matches_from_scratch_resolve () =
+  let state = two_region_state () in
+  let r0 = State.new_region state (Resource.make ~clb:100 ~bram:0 ~dsp:0) in
+  let r1 = State.new_region state (Resource.make ~clb:100 ~bram:0 ~dsp:0) in
+  State.assign_to_region state ~task:0 r0;
+  State.assign_to_region state ~task:1 r0;
+  State.assign_to_region state ~task:2 r1;
+  State.assign_to_region state ~task:3 r1;
+  let specs = Timing.reconf_specs state in
+  let solver = Timing.Solver.create state ~reconfigs:specs in
+  (* The solver's scratch arrays are rewound by every resolve: replaying
+     a sequence after another one must reproduce the from-scratch answer
+     bit for bit. *)
+  List.iter
+    (fun sequence ->
+      let name =
+        String.concat "," (List.map string_of_int sequence) |> ( ^ ) "seq "
+      in
+      check_resolved name
+        (Timing.resolve state ~reconfigs:specs ~sequence)
+        (Timing.Solver.resolve solver ~sequence))
+    [ [ 0; 1 ]; [ 1; 0 ]; [ 0; 1 ] ]
+
+let test_solver_matches_resolve_on_pipeline_state () =
+  (* A state shaped by the real pipeline (region + processor ordering
+     edges, software switches) instead of a hand-built fixture. *)
+  let rng = Rng.create 50 in
+  let inst = Suite.instance rng ~tasks:25 in
+  let impl_of = Impl_select.run inst ~max_res:(Arch.max_res inst.Instance.arch) in
+  let state = State.create inst ~impl_of () in
+  Resched_core.Regions_define.run
+    ~ordering:Resched_core.Regions_define.By_efficiency state;
+  Resched_core.Sw_balance.run state;
+  Sw_map.run state;
+  let specs, sequence = Resched_core.Reconf_sched.run state in
+  let solver = Timing.Solver.create state ~reconfigs:specs in
+  check_resolved "pipeline sequence"
+    (Timing.resolve state ~reconfigs:specs ~sequence)
+    (Timing.Solver.resolve solver ~sequence)
+
 let test_timing_reuse_skips_pairs () =
   let graph = Graph.create 2 in
   Graph.add_edge graph 0 1;
@@ -256,6 +311,35 @@ let test_sw_map_balances_processors () =
   let sched, _ = Pa.run inst in
   Validate.check_exn sched;
   Alcotest.(check int) "two rounds" 200 (Schedule.makespan sched)
+
+let test_sw_map_incremental_matches_oracle () =
+  (* The marking-based pair sequencing must insert exactly the edges the
+     pairwise-DFS oracle inserts, hence produce the same assignment and
+     windows. *)
+  let rng = Rng.create 61 in
+  for _ = 1 to 5 do
+    let inst = Suite.instance rng ~tasks:(10 + Rng.int rng 30) in
+    let impl_of =
+      Impl_select.run inst ~max_res:(Arch.max_res inst.Instance.arch)
+    in
+    let build incremental =
+      let state = State.create inst ~impl_of () in
+      Resched_core.Regions_define.run
+        ~ordering:Resched_core.Regions_define.By_efficiency state;
+      Resched_core.Sw_balance.run state;
+      Sw_map.run ~incremental state;
+      state
+    in
+    let a = build true and b = build false in
+    Alcotest.(check (array int))
+      "processor assignment" b.State.processor_of a.State.processor_of;
+    Alcotest.(check (list (pair int int)))
+      "augmented edges" (Graph.edges b.State.dep) (Graph.edges a.State.dep);
+    let n = Instance.size inst in
+    Alcotest.(check (array int)) "t_min"
+      (Array.init n (State.t_min b))
+      (Array.init n (State.t_min a))
+  done
 
 let test_sw_map_delay_formula () =
   let state = two_region_state () in
@@ -464,6 +548,10 @@ let () =
         [
           Alcotest.test_case "controller sequence" `Quick
             test_timing_resolve_respects_sequence;
+          Alcotest.test_case "solver = from-scratch resolve" `Quick
+            test_solver_matches_from_scratch_resolve;
+          Alcotest.test_case "solver on pipeline state" `Quick
+            test_solver_matches_resolve_on_pipeline_state;
           Alcotest.test_case "module reuse skips pairs" `Quick
             test_timing_reuse_skips_pairs;
         ] );
@@ -482,6 +570,8 @@ let () =
           Alcotest.test_case "sw mapping balances processors" `Quick
             test_sw_map_balances_processors;
           Alcotest.test_case "lambda formula" `Quick test_sw_map_delay_formula;
+          Alcotest.test_case "sw_map incremental = oracle" `Quick
+            test_sw_map_incremental_matches_oracle;
         ] );
       ( "schedule-io",
         [

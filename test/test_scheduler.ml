@@ -433,6 +433,81 @@ let prop_cache_matches_fresh_check =
       && placements_ok hit.Floorplanner.verdict
       && st.Fp_cache.hits = 1 && st.Fp_cache.misses = 1)
 
+(* Everything observable about a schedule except the instance pointer:
+   structural equality here is what "bit-identical" means below. *)
+let schedule_fingerprint (s : Schedule.t) =
+  ( s.Schedule.regions,
+    s.Schedule.slots,
+    s.Schedule.reconfigurations,
+    s.Schedule.makespan,
+    s.Schedule.resource_scale )
+
+(* Property: the optimized engine (restart-context arena + incremental
+   timing solver + marking-based mappings) produces bit-identical
+   schedules to the from-scratch oracle path, across repeated arena
+   reuse and across the resource-scale lattice — and they validate. *)
+let prop_incremental_engine_bit_identical =
+  QCheck.Test.make ~count:15
+    ~name:"incremental engine = from-scratch oracle (bit-identical)"
+    QCheck.(pair int (int_range 5 30))
+    (fun (seed, tasks) ->
+      let rng = Rng.create (seed lxor 0x5ca1e) in
+      let inst = Suite.instance rng ~tasks in
+      let ctx = Pa.Context.create inst in
+      let scales =
+        [ 1.0; 0.9; 1.0; 0.81; 0.9; 1.0 ]
+        (* revisits exercise the per-scale memo and State.reset *)
+      in
+      List.for_all
+        (fun (i, resource_scale) ->
+          let config =
+            { Pa.default_config with
+              Pa.ordering = Regions_define.Random (Rng.create (seed + i))
+            }
+          in
+          let fast =
+            Pa.schedule_once ~config ~resource_scale ~ctx ~incremental:true
+              inst
+          in
+          let oracle =
+            Pa.schedule_once
+              ~config:
+                { config with
+                  Pa.ordering = Regions_define.Random (Rng.create (seed + i))
+                }
+              ~resource_scale ~incremental:false inst
+          in
+          schedule_fingerprint fast = schedule_fingerprint oracle
+          && Validate.check fast = Ok ())
+        (List.mapi (fun i s -> (i, s)) scales))
+
+(* Property: the randomized search's candidate stream is unchanged by
+   the engine switch — same best makespan, same iteration count, same
+   improvement trace at a fixed (seed, min_iterations, budget = 0). *)
+let prop_par_stream_identical =
+  QCheck.Test.make ~count:10
+    ~name:"PA-R stream identical under incremental engine"
+    QCheck.(pair int (int_range 5 25))
+    (fun (seed, tasks) ->
+      let rng = Rng.create (seed lxor 0xbeef) in
+      let inst = Suite.instance rng ~tasks in
+      let run incremental =
+        Pa_random.run ~seed ~min_iterations:12 ~incremental ~budget_seconds:0.
+          inst
+      in
+      let a = run true and b = run false in
+      let ms o =
+        match o.Pa_random.schedule with
+        | Some s -> Schedule.makespan s
+        | None -> -1
+      in
+      ms a = ms b
+      && a.Pa_random.iterations = b.Pa_random.iterations
+      && List.map (fun p -> (p.Pa_random.iteration, p.Pa_random.makespan))
+           a.Pa_random.trace
+         = List.map (fun p -> (p.Pa_random.iteration, p.Pa_random.makespan))
+             b.Pa_random.trace)
+
 let () =
   Alcotest.run "scheduler"
     [
@@ -484,5 +559,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_pa_valid;
           QCheck_alcotest.to_alcotest prop_schedule_once_valid_any_ordering;
           QCheck_alcotest.to_alcotest prop_cache_matches_fresh_check;
+          QCheck_alcotest.to_alcotest prop_incremental_engine_bit_identical;
+          QCheck_alcotest.to_alcotest prop_par_stream_identical;
         ] );
     ]

@@ -76,6 +76,83 @@ let test_reachable () =
   Alcotest.(check bool) "1 does not reach 2" false r.(2);
   Alcotest.(check bool) "1 reaches itself" true r.(1)
 
+let test_closure_matches_reachable () =
+  let check_graph name g =
+    let c = Graph.closure g in
+    let n = Graph.size g in
+    for u = 0 to n - 1 do
+      let r = Graph.reachable g u in
+      for v = 0 to n - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: closure %d->%d" name u v)
+          r.(v)
+          (Graph.in_closure c u v)
+      done
+    done
+  in
+  check_graph "diamond" (diamond ());
+  check_graph "empty" (Graph.create 3);
+  let rng = Rng.create 11 in
+  for i = 1 to 10 do
+    let tasks = 2 + Rng.int rng 40 in
+    check_graph
+      (Printf.sprintf "layered-%d" i)
+      (Generator.layered rng ~tasks ~width:4 ~edge_probability:0.15)
+  done
+
+let test_closure_is_a_snapshot () =
+  let g = diamond () in
+  let c = Graph.closure g in
+  Graph.add_edge g 1 2;
+  Alcotest.(check bool) "new edge not in snapshot" false
+    (Graph.in_closure c 1 2);
+  Alcotest.(check bool) "fresh closure sees it" true
+    (Graph.in_closure (Graph.closure g) 1 2)
+
+let test_marking_matches_reachable () =
+  let rng = Rng.create 23 in
+  for _ = 1 to 10 do
+    let tasks = 2 + Rng.int rng 40 in
+    let g = Generator.layered rng ~tasks ~width:4 ~edge_probability:0.15 in
+    let u = Rng.int rng tasks in
+    let fwd = Array.make tasks false in
+    Graph.mark_reachable g u fwd;
+    Alcotest.(check (array bool)) "mark_reachable = reachable"
+      (Graph.reachable g u) fwd;
+    (* Ancestors of u = nodes that reach u. *)
+    let anc = Array.make tasks false in
+    Graph.mark_coreachable g u anc;
+    let expected = Array.init tasks (fun v -> (Graph.reachable g v).(u)) in
+    Alcotest.(check (array bool)) "mark_coreachable = co-reachable" expected
+      anc;
+    (* Accumulation: marking a second root unions without clearing. *)
+    let v = Rng.int rng tasks in
+    Graph.mark_reachable g v fwd;
+    let rv = Graph.reachable g v in
+    let union = Array.mapi (fun i b -> b || rv.(i)) (Graph.reachable g u) in
+    Alcotest.(check (array bool)) "marks accumulate" union fwd
+  done
+
+let test_restore_rewinds_edges () =
+  let pristine = diamond () in
+  let g = Graph.copy pristine in
+  Graph.add_edge g 1 2;
+  Graph.add_edge g 0 3;
+  Alcotest.(check int) "mutated" 6 (Graph.edge_count g);
+  Graph.restore ~from:pristine g;
+  Alcotest.(check int) "edge count rewound" (Graph.edge_count pristine)
+    (Graph.edge_count g);
+  Alcotest.(check bool) "inserted edge gone" false (Graph.has_edge g 1 2);
+  List.iter
+    (fun (u, v) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "edge %d->%d kept" u v)
+        true (Graph.has_edge g u v))
+    (Graph.edges pristine);
+  Alcotest.check_raises "size mismatch rejected"
+    (Invalid_argument "Graph.restore: size mismatch") (fun () ->
+      Graph.restore ~from:(Graph.create 2) g)
+
 let test_cpm_diamond () =
   let g = diamond () in
   let durations = [| 2; 5; 3; 4 |] in
@@ -113,6 +190,50 @@ let test_cpm_rejects_bad_input () =
   Alcotest.check_raises "negative"
     (Invalid_argument "Cpm.compute: negative duration") (fun () ->
       ignore (Cpm.compute g ~durations:[| 1; -2 |]))
+
+let check_cpm_equal name (a : Cpm.t) (b : Cpm.t) =
+  Alcotest.(check (array int)) (name ^ ": t_min") a.Cpm.t_min b.Cpm.t_min;
+  Alcotest.(check (array int)) (name ^ ": t_max") a.Cpm.t_max b.Cpm.t_max;
+  Alcotest.(check int) (name ^ ": makespan") a.Cpm.makespan b.Cpm.makespan;
+  Alcotest.(check (array bool))
+    (name ^ ": critical")
+    a.Cpm.critical b.Cpm.critical;
+  Alcotest.(check (array int)) (name ^ ": order") a.Cpm.order b.Cpm.order
+
+let test_compute_with_matches_compute () =
+  let rng = Rng.create 31 in
+  let tasks = 40 in
+  (* One set of buffers recycled across graphs and edge insertions, as
+     the scheduler's window refresh uses it. *)
+  let b = Cpm.make_buffers tasks in
+  for i = 1 to 10 do
+    let g = Generator.layered rng ~tasks ~width:5 ~edge_probability:0.1 in
+    let durations = Array.init tasks (fun _ -> Rng.int rng 50) in
+    check_cpm_equal
+      (Printf.sprintf "graph %d" i)
+      (Cpm.compute g ~durations)
+      (Cpm.compute_with b g ~durations);
+    (* Mutate the graph (as region/processor ordering edges do) and
+       recompute on the same buffers. *)
+    let order = Graph.topological_order g in
+    for _ = 1 to 5 do
+      let i = Rng.int rng (tasks - 1) in
+      let j = i + 1 + Rng.int rng (tasks - i - 1) in
+      Graph.add_edge g order.(i) order.(j)
+    done;
+    check_cpm_equal
+      (Printf.sprintf "graph %d augmented" i)
+      (Cpm.compute g ~durations)
+      (Cpm.compute_with b g ~durations)
+  done;
+  let wrong = Cpm.make_buffers (tasks + 1) in
+  Alcotest.check_raises "size mismatch rejected"
+    (Invalid_argument "Cpm.compute_with: buffers sized for a different graph")
+    (fun () ->
+      ignore
+        (Cpm.compute_with wrong
+           (Generator.chain tasks)
+           ~durations:(Array.make tasks 1)))
 
 let test_generator_chain () =
   let g = Generator.chain 5 in
@@ -212,6 +333,13 @@ let () =
           Alcotest.test_case "topological order" `Quick test_topological_order;
           Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
           Alcotest.test_case "reachability" `Quick test_reachable;
+          Alcotest.test_case "closure = reachable" `Quick
+            test_closure_matches_reachable;
+          Alcotest.test_case "closure snapshots" `Quick
+            test_closure_is_a_snapshot;
+          Alcotest.test_case "marking = reachable" `Quick
+            test_marking_matches_reachable;
+          Alcotest.test_case "restore" `Quick test_restore_rewinds_edges;
         ] );
       ( "cpm",
         [
@@ -220,6 +348,8 @@ let () =
           Alcotest.test_case "release times" `Quick test_cpm_release;
           Alcotest.test_case "input validation" `Quick
             test_cpm_rejects_bad_input;
+          Alcotest.test_case "compute_with = compute" `Quick
+            test_compute_with_matches_compute;
         ] );
       ( "generators",
         [
