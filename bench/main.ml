@@ -16,6 +16,11 @@
      RESCHED_ITER_MIN            [1000]  iterations per engine for the
                                          incremental-vs-from-scratch
                                          throughput comparison
+     RESCHED_MILP_TIME_LIMIT_MS  [5000]  per-solve budget for the MILP
+                                         engine comparison (tableau vs
+                                         revised simplex)
+     RESCHED_MILP_LP_REPEATS     [30]    timed repetitions per model in
+                                         the LP kernel comparison
      RESCHED_OUT_DIR             [bench_out] where CSV series are written
      RESCHED_BECHAMEL            [unset] set to 1 to also run the Bechamel
                                          micro-benchmarks
@@ -33,6 +38,9 @@ module Suite = Resched_platform.Suite
 module Arch = Resched_platform.Arch
 module Lp = Resched_milp.Lp
 module Simplex = Resched_milp.Simplex
+module Revised = Resched_milp.Revised
+module Branch_bound = Resched_milp.Branch_bound
+module Ilp_exact = Resched_baseline.Ilp_exact
 module Floorplanner = Resched_floorplan.Floorplanner
 module Fp_cache = Resched_floorplan.Fp_cache
 module Domain_pool = Resched_util.Domain_pool
@@ -74,6 +82,9 @@ let isk_node_cap = env_int "RESCHED_ISK_NODE_CAP" 50_000
 let par_budget_cap = float_of_int (env_int "RESCHED_PAR_BUDGET_CAP_MS" 1500) /. 1000.
 let fig6_budget = float_of_int (env_int "RESCHED_FIG6_BUDGET_MS" 4000) /. 1000.
 let iter_min = Stdlib.max 1 (env_int "RESCHED_ITER_MIN" 1000)
+let milp_time_limit =
+  float_of_int (env_int "RESCHED_MILP_TIME_LIMIT_MS" 5000) /. 1000.
+let milp_lp_repeats = Stdlib.max 1 (env_int "RESCHED_MILP_LP_REPEATS" 30)
 let out_dir =
   match Sys.getenv_opt "RESCHED_OUT_DIR" with Some d -> d | None -> "bench_out"
 
@@ -686,6 +697,315 @@ let iteration_comparison () =
   print_endline "  [json] BENCH_iteration.json"
 
 (* ------------------------------------------------------------------ *)
+(* MILP engine: warm-started revised simplex vs dense tableau oracle   *)
+
+(* Tiny homogeneous instances (shared with the ILP-viability section):
+   the monolithic formulation is the only workload in the repo that
+   drives the branch-and-bound for thousands of nodes, so it is the
+   "IS-k chunk"-shaped stress test for the LP engines. *)
+let ilp_tiny_params =
+  { Suite.default_params with
+    Suite.clb_min = 100;
+    clb_max = 260;
+    p_bram_heavy = 0.;
+    p_dsp_heavy = 0.;
+    width_of_tasks = (fun _ -> 2) }
+
+(* Random bounded LP in the size range of the floorplanner's packing
+   models and one IS-k chunk relaxation (tens of variables, most with
+   finite boxes). The rhs is anchored near each row's value at the box
+   midpoint so most draws are feasible and need real pivoting. *)
+let random_lp rng =
+  let nvars = 18 + Rng.int rng 18 in
+  let nrows = 10 + Rng.int rng 14 in
+  let m =
+    Lp.create
+      ~objective:(if Rng.bool rng then Lp.Maximize else Lp.Minimize)
+      ()
+  in
+  let vars =
+    Array.init nvars (fun _ ->
+        let lb = float_of_int (Rng.int rng 3) in
+        let ub = lb +. 1. +. float_of_int (Rng.int rng 7) in
+        Lp.add_var m ~lb ~ub ~obj:(float_of_int (Rng.int_in rng (-9) 9)) ())
+  in
+  for _ = 1 to nrows do
+    let nterms = 2 + Rng.int rng 4 in
+    let terms =
+      List.init nterms (fun _ ->
+          let v = vars.(Rng.int rng nvars) in
+          let c = float_of_int (Rng.int_in rng 1 4) in
+          (v, if Rng.bool rng then c else -.c))
+    in
+    let mid =
+      List.fold_left
+        (fun acc (v, c) -> acc +. (c *. 0.5 *. (Lp.var_lb m v +. Lp.var_ub m v)))
+        0. terms
+    in
+    if Rng.int rng 6 = 0 then Lp.add_constraint m terms Lp.Eq mid
+    else
+      let sense = if Rng.bool rng then Lp.Le else Lp.Ge in
+      let slack = float_of_int (Rng.int_in rng (-4) 8) in
+      let rhs = match sense with Lp.Le -> mid +. slack | _ -> mid -. slack in
+      Lp.add_constraint m terms sense rhs
+  done;
+  m
+
+let lp_results_agree a b =
+  match (a, b) with
+  | Simplex.Optimal x, Simplex.Optimal y ->
+    Float.abs (x.Simplex.objective -. y.Simplex.objective)
+    <= 1e-6 *. (1. +. Float.abs x.Simplex.objective)
+  | Simplex.Infeasible, Simplex.Infeasible
+  | Simplex.Unbounded, Simplex.Unbounded ->
+    true
+  (* an iteration-capped solve is indeterminate, not a verdict *)
+  | Simplex.Limit, _ | _, Simplex.Limit -> true
+  | _ -> false
+
+type milp_engine_row = {
+  me_seconds : float;
+  me_nodes : int;
+  me_objective : float;
+  me_proved : bool;
+  me_makespan : int;  (** -1 when no integer solution was found *)
+}
+
+let milp_bnb_run ?(jobs = 1) ~engine inst =
+  let r, secs =
+    timed (fun () ->
+        Ilp_exact.solve ~node_limit:500_000 ~time_limit:milp_time_limit ~jobs
+          ~engine inst)
+  in
+  match r with
+  | Some r ->
+    must_validate "ILP(bench)" r.Ilp_exact.schedule;
+    {
+      me_seconds = secs;
+      me_nodes = r.Ilp_exact.nodes;
+      me_objective = r.Ilp_exact.ilp_objective;
+      me_proved = r.Ilp_exact.proved_optimal;
+      me_makespan = Schedule.makespan r.Ilp_exact.schedule;
+    }
+  | None ->
+    {
+      me_seconds = secs;
+      me_nodes = 0;
+      me_objective = Float.nan;
+      me_proved = false;
+      me_makespan = -1;
+    }
+
+let milp_comparison () =
+  print_endline "";
+  Printf.printf
+    "== MILP engine: dense tableau oracle vs warm-started revised simplex \
+     (time limit %.1fs per solve) ==\n"
+    milp_time_limit;
+  (* --- LP kernel: floorplan-sized continuous relaxations ----------- *)
+  let rng = Rng.create (seed lxor 0x317) in
+  let models = List.init 24 (fun _ -> random_lp rng) in
+  let nmodels = List.length models in
+  let lp_agree =
+    List.for_all
+      (fun m -> lp_results_agree (Simplex.solve m) (Revised.solve m))
+      models
+  in
+  (* warm-up pass so neither engine pays first-touch allocation *)
+  List.iter (fun m -> ignore (Simplex.solve m); ignore (Revised.solve m)) models;
+  let (), s_tab =
+    timed (fun () ->
+        for _ = 1 to milp_lp_repeats do
+          List.iter (fun m -> ignore (Simplex.solve m)) models
+        done)
+  in
+  let (), s_rev =
+    timed (fun () ->
+        for _ = 1 to milp_lp_repeats do
+          List.iter (fun m -> ignore (Revised.solve m)) models
+        done)
+  in
+  let lp_speedup = s_tab /. Float.max s_rev 1e-9 in
+  Printf.printf
+    "  LP kernel (%d models x %d solves): tableau %.3fs, revised %.3fs \
+     (x%.2f), verdicts %s\n"
+    nmodels milp_lp_repeats s_tab s_rev lp_speedup
+    (if lp_agree then "agree" else "DIVERGE");
+  (* --- Branch-and-bound on the monolithic ILP, jobs = 1 ------------ *)
+  let t =
+    Table.create
+      [ "# Tasks"; "vars"; "rows"; "nodes tab"; "nodes rev"; "s tab";
+        "s rev"; "nodes/s tab"; "nodes/s rev"; "n/s speedup"; "objective" ]
+  in
+  let bnb =
+    List.map
+      (fun tasks ->
+        let inst =
+          Suite.instance ~params:ilp_tiny_params ~arch:Arch.mini
+            (Rng.create (seed + tasks)) ~tasks
+        in
+        let vars, rows = Ilp_exact.model_size inst in
+        let tab = milp_bnb_run ~engine:Branch_bound.Tableau inst in
+        let rev = milp_bnb_run ~engine:Branch_bound.Revised inst in
+        let per_s r = float_of_int r.me_nodes /. Float.max r.me_seconds 1e-9 in
+        Table.add_row t
+          [
+            string_of_int tasks;
+            string_of_int vars;
+            string_of_int rows;
+            string_of_int tab.me_nodes;
+            string_of_int rev.me_nodes;
+            Table.cell_f tab.me_seconds;
+            Table.cell_f rev.me_seconds;
+            Table.cell_f ~decimals:0 (per_s tab);
+            Table.cell_f ~decimals:0 (per_s rev);
+            (if tab.me_nodes = 0 then "-"
+             else Printf.sprintf "x%.2f" (per_s rev /. Float.max (per_s tab) 1e-9));
+            Printf.sprintf "%.1f vs %.1f" tab.me_objective rev.me_objective;
+          ];
+        (tasks, vars, rows, tab, rev))
+      [ 2; 3; 4; 5 ]
+  in
+  Table.print t;
+  let objectives_agree (tab : milp_engine_row) (rev : milp_engine_row) =
+    (* Comparable only when both solves ran to proven optimality; a
+       budget-limited incumbent is a lower-quality answer by design. *)
+    (not (tab.me_proved && rev.me_proved))
+    || Float.abs (tab.me_objective -. rev.me_objective)
+       <= 1e-6 *. (1. +. Float.abs tab.me_objective)
+  in
+  let never_worse (tab : milp_engine_row) (rev : milp_engine_row) =
+    tab.me_makespan < 0 || (rev.me_makespan >= 0 && rev.me_makespan <= tab.me_makespan)
+  in
+  let engines_agree =
+    lp_agree
+    && List.for_all (fun (_, _, _, tab, rev) -> objectives_agree tab rev) bnb
+  in
+  let makespan_ok =
+    List.for_all (fun (_, _, _, tab, rev) -> never_worse tab rev) bnb
+  in
+  (* Aggregate throughput over the instances where BOTH engines produced
+     a solution: on the largest ones the tableau finds nothing at all
+     within the budget (reported per-row above), and counting its 0
+     nodes there would inflate the revised engine's speedup. *)
+  let both =
+    List.filter
+      (fun (_, _, _, tab, rev) -> tab.me_makespan >= 0 && rev.me_makespan >= 0)
+      bnb
+  in
+  let tot_nodes f =
+    List.fold_left (fun a (_, _, _, tab, rev) -> a + (f tab rev).me_nodes) 0 both
+  and tot_secs f =
+    List.fold_left
+      (fun a (_, _, _, tab, rev) -> a +. (f tab rev).me_seconds)
+      0. both
+  in
+  let nps_tab =
+    float_of_int (tot_nodes (fun tab _ -> tab))
+    /. Float.max (tot_secs (fun tab _ -> tab)) 1e-9
+  and nps_rev =
+    float_of_int (tot_nodes (fun _ rev -> rev))
+    /. Float.max (tot_secs (fun _ rev -> rev)) 1e-9
+  in
+  let nps_speedup = nps_rev /. Float.max nps_tab 1e-9 in
+  Printf.printf
+    "  aggregate B&B throughput at jobs=1: tableau %.0f nodes/s, revised \
+     %.0f nodes/s (x%.2f)\n"
+    nps_tab nps_rev nps_speedup;
+  (* --- Parallel B&B: revised engine, jobs=1 vs jobs=N -------------- *)
+  let par_tasks = 5 in
+  let par_inst =
+    Suite.instance ~params:ilp_tiny_params ~arch:Arch.mini
+      (Rng.create (seed + par_tasks)) ~tasks:par_tasks
+  in
+  let j1 = milp_bnb_run ~jobs:1 ~engine:Branch_bound.Revised par_inst in
+  let jn = milp_bnb_run ~jobs:par_jobs ~engine:Branch_bound.Revised par_inst in
+  Printf.printf
+    "  parallel B&B (%d tasks, revised): jobs=1 %d nodes in %.2fs, jobs=%d \
+     %d nodes in %.2fs (nodes/s x%.2f)\n"
+    par_tasks j1.me_nodes j1.me_seconds par_jobs jn.me_nodes jn.me_seconds
+    (float_of_int jn.me_nodes /. Float.max jn.me_seconds 1e-9
+    /. Float.max (float_of_int j1.me_nodes /. Float.max j1.me_seconds 1e-9) 1e-9);
+  (* --- CSV + JSON --------------------------------------------------- *)
+  write_csv "milp.csv"
+    ([ "section"; "label"; "vars"; "rows"; "seconds_tableau";
+       "seconds_revised"; "nodes_tableau"; "nodes_revised";
+       "objective_tableau"; "objective_revised"; "agree" ]
+    :: ([ "lp_kernel";
+          Printf.sprintf "%dx%d" nmodels milp_lp_repeats; ""; "";
+          Printf.sprintf "%.4f" s_tab; Printf.sprintf "%.4f" s_rev;
+          ""; ""; ""; ""; string_of_bool lp_agree ]
+       :: List.map
+            (fun (tasks, vars, rows, tab, rev) ->
+              [ "bnb"; Printf.sprintf "%d_tasks" tasks;
+                string_of_int vars; string_of_int rows;
+                Printf.sprintf "%.4f" tab.me_seconds;
+                Printf.sprintf "%.4f" rev.me_seconds;
+                string_of_int tab.me_nodes; string_of_int rev.me_nodes;
+                Printf.sprintf "%.3f" tab.me_objective;
+                Printf.sprintf "%.3f" rev.me_objective;
+                string_of_bool (objectives_agree tab rev) ])
+            bnb
+       @ [ [ "parallel"; Printf.sprintf "jobs_%d" par_jobs; ""; "";
+             Printf.sprintf "%.4f" j1.me_seconds;
+             Printf.sprintf "%.4f" jn.me_seconds;
+             string_of_int j1.me_nodes; string_of_int jn.me_nodes;
+             Printf.sprintf "%.3f" j1.me_objective;
+             Printf.sprintf "%.3f" jn.me_objective;
+             string_of_bool (objectives_agree j1 jn) ] ]));
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"seed\": %d,\n" seed;
+  Printf.bprintf buf "  \"time_limit_seconds\": %.3f,\n" milp_time_limit;
+  Printf.bprintf buf
+    "  \"lp_kernel\": {\"models\": %d, \"repeats\": %d, \"seconds_tableau\": \
+     %.4f, \"seconds_revised\": %.4f, \"speedup\": %.3f, \"all_agree\": %b},\n"
+    nmodels milp_lp_repeats s_tab s_rev lp_speedup lp_agree;
+  Buffer.add_string buf "  \"bnb\": [\n";
+  (* NaN objectives (no solution) and speedups against a 0-node run are
+     emitted as null: strict JSON has no NaN/Infinity literals. *)
+  let jf fmt v = if Float.is_finite v then Printf.sprintf fmt v else "null" in
+  List.iteri
+    (fun i (tasks, vars, rows, tab, rev) ->
+      let per_s r = float_of_int r.me_nodes /. Float.max r.me_seconds 1e-9 in
+      Printf.bprintf buf
+        "    {\"tasks\": %d, \"vars\": %d, \"rows\": %d, \"tableau\": \
+         {\"seconds\": %.4f, \"nodes\": %d, \"nodes_per_s\": %.1f, \
+         \"objective\": %s, \"proved_optimal\": %b, \"makespan\": %d}, \
+         \"revised\": {\"seconds\": %.4f, \"nodes\": %d, \"nodes_per_s\": \
+         %.1f, \"objective\": %s, \"proved_optimal\": %b, \"makespan\": \
+         %d}, \"nodes_per_s_speedup\": %s, \"objectives_agree\": %b, \
+         \"never_worse\": %b}%s\n"
+        tasks vars rows tab.me_seconds tab.me_nodes (per_s tab)
+        (jf "%.4f" tab.me_objective) tab.me_proved tab.me_makespan
+        rev.me_seconds rev.me_nodes (per_s rev)
+        (jf "%.4f" rev.me_objective) rev.me_proved rev.me_makespan
+        (if tab.me_nodes = 0 then "null"
+         else jf "%.3f" (per_s rev /. Float.max (per_s tab) 1e-9))
+        (objectives_agree tab rev) (never_worse tab rev)
+        (if i = List.length bnb - 1 then "" else ","))
+    bnb;
+  Buffer.add_string buf "  ],\n";
+  Printf.bprintf buf
+    "  \"bnb_totals\": {\"nodes_per_s_tableau\": %.1f, \
+     \"nodes_per_s_revised\": %.1f, \"nodes_per_s_speedup\": %.3f},\n"
+    nps_tab nps_rev nps_speedup;
+  Printf.bprintf buf
+    "  \"parallel\": {\"jobs\": %d, \"tasks\": %d, \"jobs1\": {\"seconds\": \
+     %.4f, \"nodes\": %d, \"makespan\": %d}, \"jobsN\": {\"seconds\": %.4f, \
+     \"nodes\": %d, \"makespan\": %d}, \"objectives_agree\": %b},\n"
+    par_jobs par_tasks j1.me_seconds j1.me_nodes j1.me_makespan jn.me_seconds
+    jn.me_nodes jn.me_makespan (objectives_agree j1 jn);
+  Printf.bprintf buf "  \"engines_agree\": %b,\n" engines_agree;
+  Printf.bprintf buf "  \"never_worse\": %b\n" makespan_ok;
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_milp.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  print_endline "  [json] BENCH_milp.json"
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 
 let ablation_ordering () =
@@ -845,18 +1165,10 @@ let related_work_ilp_viability () =
       [ "# Tasks"; "vars"; "rows"; "outcome"; "ILP time [s]"; "PA time [s]";
         "makespan vs exhaustive" ]
   in
-  let tiny_params =
-    { Suite.default_params with
-      Suite.clb_min = 100;
-      clb_max = 260;
-      p_bram_heavy = 0.;
-      p_dsp_heavy = 0.;
-      width_of_tasks = (fun _ -> 2) }
-  in
   List.iter
     (fun tasks ->
       let inst =
-        Suite.instance ~params:tiny_params ~arch:Arch.mini
+        Suite.instance ~params:ilp_tiny_params ~arch:Arch.mini
           (Rng.create (seed + tasks)) ~tasks
       in
       let vars, rows = Resched_baseline.Ilp_exact.model_size inst in
@@ -1090,6 +1402,7 @@ let () =
   print_fig6 ();
   parallel_comparison ();
   iteration_comparison ();
+  milp_comparison ();
   ablation_ordering ();
   ablation_module_reuse ();
   ablation_floorplan_engines ();

@@ -46,8 +46,8 @@ let seed_arg =
 
 let jobs_arg =
   let doc =
-    "Worker domains for pa-r (1 = sequential; defaults to the available \
-     cores)."
+    "Worker domains for pa-r and for the is1/is5 MILP floorplanner (1 = \
+     sequential; defaults to the available cores)."
   in
   let positive =
     let parse s =
@@ -173,9 +173,25 @@ let run_algo algo ~budget_s ~reuse ~seed ~jobs inst =
         budget_s;
       fst (Pa.run inst))
   | A_is1 ->
-    fst (Isk.run ~config:{ (Isk.config ~k:1) with Isk.module_reuse = reuse } inst)
+    fst
+      (Isk.run
+         ~config:
+           {
+             (Isk.config ~k:1) with
+             Isk.module_reuse = reuse;
+             Isk.floorplan_jobs = jobs;
+           }
+         inst)
   | A_is5 ->
-    fst (Isk.run ~config:{ (Isk.config ~k:5) with Isk.module_reuse = reuse } inst)
+    fst
+      (Isk.run
+         ~config:
+           {
+             (Isk.config ~k:5) with
+             Isk.module_reuse = reuse;
+             Isk.floorplan_jobs = jobs;
+           }
+         inst)
   | A_heft -> List_sched.run ~module_reuse:reuse inst
   | A_sw -> Pa.all_software_schedule inst
 

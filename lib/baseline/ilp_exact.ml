@@ -517,10 +517,10 @@ let extract inst (model : model) values =
     resource_scale = 1.0;
   }
 
-let solve ?(node_limit = 100_000) ?time_limit ?max_slots inst =
+let solve ?(node_limit = 100_000) ?time_limit ?max_slots ?jobs ?engine inst =
   let model = build ?max_slots inst in
   let vars = Lp.num_vars model.m and constraints = Lp.num_constraints model.m in
-  match Branch_bound.solve ~node_limit ?time_limit model.m with
+  match Branch_bound.solve ~node_limit ?time_limit ?jobs ?engine model.m with
   | Branch_bound.Optimal { objective; values; nodes; _ } ->
     Some
       {

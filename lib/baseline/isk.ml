@@ -11,6 +11,7 @@ type config = {
   module_reuse : bool;
   floorplan_engine : Floorplanner.engine;
   floorplan_node_limit : int option;
+  floorplan_jobs : int;
   max_attempts : int;
   shrink_factor : float;
 }
@@ -23,6 +24,7 @@ let config ~k =
     module_reuse = true;
     floorplan_engine = Floorplanner.Backtracking;
     floorplan_node_limit = None;
+    floorplan_jobs = 1;
     max_attempts = 8;
     shrink_factor = 0.9;
   }
@@ -101,7 +103,8 @@ let run ?(config = config ~k:1) inst =
       else begin
         let report =
           Floorplanner.check ~engine:config.floorplan_engine
-            ?node_limit:config.floorplan_node_limit device needs
+            ?node_limit:config.floorplan_node_limit
+            ~jobs:config.floorplan_jobs device needs
         in
         plan_time := !plan_time +. report.Floorplanner.elapsed;
         match report.Floorplanner.verdict with

@@ -15,13 +15,15 @@ type config = {
   module_reuse : bool;  (** default true: [6] supports module reuse *)
   floorplan_engine : Resched_floorplan.Floorplanner.engine;
   floorplan_node_limit : int option;
+  floorplan_jobs : int;
+      (** worker domains for the MILP floorplanner's branch-and-bound *)
   max_attempts : int;
   shrink_factor : float;
 }
 
 val config : k:int -> config
 (** Defaults: 200_000 nodes per chunk, module reuse on, backtracking
-    floorplanner, 8 attempts, shrink 0.9. *)
+    floorplanner, 1 floorplan job, 8 attempts, shrink 0.9. *)
 
 type stats = {
   chunks : int;

@@ -24,17 +24,18 @@ let of_milp = function
   | Milp_model.Infeasible -> Infeasible
   | Milp_model.Unknown -> Unknown
 
-let check ?(engine = Backtracking) ?node_limit device needs =
+let check ?(engine = Backtracking) ?node_limit ?jobs device needs =
   let t0 = Unix.gettimeofday () in
   let verdict, engine_used =
     match engine with
     | Backtracking -> (of_packer (Packer.pack ?node_limit device needs), Backtracking)
-    | Milp -> (of_milp (Milp_model.pack ?node_limit device needs), Milp)
+    | Milp -> (of_milp (Milp_model.pack ?node_limit ?jobs device needs), Milp)
     | Hybrid -> (
       match Packer.pack ?node_limit device needs with
       | Packer.Placed p -> (Feasible p, Backtracking)
       | Packer.Infeasible -> (Infeasible, Backtracking)
-      | Packer.Unknown -> (of_milp (Milp_model.pack ?node_limit device needs), Milp))
+      | Packer.Unknown ->
+        (of_milp (Milp_model.pack ?node_limit ?jobs device needs), Milp))
   in
   { verdict; engine_used; elapsed = Unix.gettimeofday () -. t0 }
 

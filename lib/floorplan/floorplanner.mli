@@ -23,10 +23,12 @@ type report = {
   elapsed : float;  (** wall-clock seconds spent in the check *)
 }
 
-val check : ?engine:engine -> ?node_limit:int ->
+val check : ?engine:engine -> ?node_limit:int -> ?jobs:int ->
   Resched_fabric.Device.t -> Resched_fabric.Resource.t array -> report
 (** [check device needs] runs the requested [engine] (default
-    [Backtracking]). Requirements must all be non-zero. *)
+    [Backtracking]). [jobs] parallelizes the MILP engine's
+    branch-and-bound (ignored by [Backtracking]). Requirements must all
+    be non-zero. *)
 
 val validate : Resched_fabric.Device.t ->
   needs:Resched_fabric.Resource.t array -> Placement.rect array ->

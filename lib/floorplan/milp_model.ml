@@ -15,7 +15,7 @@ let rec take n = function
   | _ when n = 0 -> []
   | x :: tl -> x :: take (n - 1) tl
 
-let pack ?(node_limit = 2_000) device needs =
+let pack ?(node_limit = 2_000) ?jobs device needs =
   let n = Array.length needs in
   if n = 0 then Placed [||]
   else begin
@@ -79,7 +79,7 @@ let pack ?(node_limit = 2_000) device needs =
           | terms -> Lp.add_constraint m terms Lp.Le 1.
         done
       done;
-      match Branch_bound.solve ~node_limit m with
+      match Branch_bound.solve ~node_limit ?jobs m with
       | Branch_bound.Optimal { values; _ }
       | Branch_bound.Feasible { values; _ } ->
         let placements =

@@ -1,0 +1,192 @@
+(* LU-factorized simplex basis with product-form-of-the-inverse updates.
+
+   The revised simplex needs two linear solves per iteration against the
+   current basis matrix B (m x m): FTRAN (B w = a, the pivot column in
+   the basis frame) and BTRAN (B^T y = c, the dual prices). B changes by
+   one column per pivot, so instead of refactorizing we keep
+
+     B_k = B_0 E_1 E_2 ... E_k
+
+   where B_0 carries a dense LU factorization with partial pivoting and
+   every eta matrix E_i is the identity with column [row_i] replaced by
+   the pivot column w_i = B_{i-1}^{-1} a_i. FTRAN applies the LU solve
+   and then the etas oldest-first; BTRAN applies the transposed etas
+   newest-first and then the transposed LU solve. After [refactor_every]
+   updates (or on a dangerously small pivot) the caller refactorizes,
+   which also squashes accumulated floating-point drift. *)
+
+type eta = { e_row : int; e_col : float array }
+
+type t = {
+  m : int;
+  lu : float array array;  (* m x m; unit L strictly below, U on/above *)
+  rowp : int array;  (* rowp.(k) = original row held by pivot position k *)
+  mutable etas : eta array;
+  mutable neta : int;
+  refactor_every : int;
+}
+
+exception Singular
+
+let pivot_floor = 1e-10
+
+let create ?(refactor_every = 48) m =
+  if m < 0 then invalid_arg "Basis.create: negative dimension";
+  if refactor_every < 1 then invalid_arg "Basis.create: refactor_every";
+  {
+    m;
+    lu = Array.init m (fun _ -> Array.make m 0.);
+    rowp = Array.init m (fun i -> i);
+    etas = [||];
+    neta = 0;
+    refactor_every;
+  }
+
+let eta_count t = t.neta
+
+(* Factor the matrix whose k-th column is given (sparsely) by [column k];
+   raises {!Singular} when the columns are linearly dependent to working
+   precision. *)
+let refactor t ~column =
+  let m = t.m in
+  for k = 0 to m - 1 do
+    let col = t.lu.(k) in
+    Array.fill col 0 m 0.;
+    (* lu is stored row-major; stage columns into rows then transpose in
+       place? Cheaper: build B transposed into lu, i.e. lu.(k) holds
+       column k for now, and swap to row-major below. *)
+    let idx, v = column k in
+    Array.iteri (fun p r -> col.(r) <- col.(r) +. v.(p)) idx
+  done;
+  (* Transpose in place so lu.(i).(j) = B_{ij}. *)
+  for i = 0 to m - 1 do
+    for j = i + 1 to m - 1 do
+      let a = t.lu.(i).(j) and b = t.lu.(j).(i) in
+      t.lu.(i).(j) <- b;
+      t.lu.(j).(i) <- a
+    done
+  done;
+  let rowp = t.rowp in
+  for i = 0 to m - 1 do
+    rowp.(i) <- i
+  done;
+  for k = 0 to m - 1 do
+    (* Partial pivoting: bring the largest |entry| of column k into the
+       pivot position. *)
+    let best = ref k and best_v = ref (Float.abs t.lu.(k).(k)) in
+    for i = k + 1 to m - 1 do
+      let v = Float.abs t.lu.(i).(k) in
+      if v > !best_v then begin
+        best := i;
+        best_v := v
+      end
+    done;
+    if !best_v < pivot_floor then raise Singular;
+    if !best <> k then begin
+      let tmp = t.lu.(k) in
+      t.lu.(k) <- t.lu.(!best);
+      t.lu.(!best) <- tmp;
+      let tp = rowp.(k) in
+      rowp.(k) <- rowp.(!best);
+      rowp.(!best) <- tp
+    end;
+    let pivot_row = t.lu.(k) in
+    let p = pivot_row.(k) in
+    for i = k + 1 to m - 1 do
+      let row = t.lu.(i) in
+      let f = row.(k) /. p in
+      if f <> 0. then begin
+        row.(k) <- f;
+        for j = k + 1 to m - 1 do
+          row.(j) <- row.(j) -. (f *. pivot_row.(j))
+        done
+      end
+    done
+  done;
+  t.neta <- 0
+
+(* B x = b. [b] is indexed by original row; the result (written into [b])
+   is indexed by basis position. *)
+let ftran t b =
+  let m = t.m in
+  if m > 0 then begin
+    (* Permute, forward-substitute L, back-substitute U. *)
+    let y = Array.make m 0. in
+    for k = 0 to m - 1 do
+      let row = t.lu.(k) in
+      let acc = ref b.(t.rowp.(k)) in
+      for j = 0 to k - 1 do
+        acc := !acc -. (row.(j) *. y.(j))
+      done;
+      y.(k) <- !acc
+    done;
+    for k = m - 1 downto 0 do
+      let row = t.lu.(k) in
+      let acc = ref y.(k) in
+      for j = k + 1 to m - 1 do
+        acc := !acc -. (row.(j) *. b.(j))
+      done;
+      b.(k) <- !acc /. row.(k)
+    done;
+    (* Etas, oldest first: solving E z = x with E's column r = w gives
+       z_r = x_r / w_r and z_i = x_i - w_i z_r. *)
+    for e = 0 to t.neta - 1 do
+      let { e_row = r; e_col = w } = t.etas.(e) in
+      let zr = b.(r) /. w.(r) in
+      for i = 0 to m - 1 do
+        b.(i) <- b.(i) -. (w.(i) *. zr)
+      done;
+      b.(r) <- zr
+    done
+  end
+
+(* B^T y = c. [c] is indexed by basis position; the result (written into
+   [c]) is indexed by original row. *)
+let btran t c =
+  let m = t.m in
+  if m > 0 then begin
+    (* Transposed etas, newest first: E^T is the identity except row r
+       = w^T, so z_i = c_i for i <> r and z_r solves the r-th row. *)
+    for e = t.neta - 1 downto 0 do
+      let { e_row = r; e_col = w } = t.etas.(e) in
+      let acc = ref c.(r) in
+      for i = 0 to m - 1 do
+        if i <> r then acc := !acc -. (w.(i) *. c.(i))
+      done;
+      c.(r) <- !acc /. w.(r)
+    done;
+    (* U^T z = c (forward), L^T v = z (backward), y = P^T v. *)
+    let z = Array.make m 0. in
+    for k = 0 to m - 1 do
+      let acc = ref c.(k) in
+      for j = 0 to k - 1 do
+        acc := !acc -. (t.lu.(j).(k) *. z.(j))
+      done;
+      z.(k) <- !acc /. t.lu.(k).(k)
+    done;
+    for k = m - 1 downto 0 do
+      let acc = ref z.(k) in
+      for j = k + 1 to m - 1 do
+        acc := !acc -. (t.lu.(j).(k) *. z.(j))
+      done;
+      z.(k) <- !acc
+    done;
+    for k = 0 to m - 1 do
+      c.(t.rowp.(k)) <- z.(k)
+    done
+  end
+
+(* Record the pivot (basis position [row] replaced by the column whose
+   basis-frame image is [w] = B^-1 a). Returns [true] when the caller
+   should refactorize before trusting further solves. *)
+let update t ~row ~w =
+  let col = Array.copy w in
+  if t.neta = Array.length t.etas then begin
+    let cap = Stdlib.max 8 (2 * t.neta) in
+    let bigger = Array.make cap { e_row = row; e_col = col } in
+    Array.blit t.etas 0 bigger 0 t.neta;
+    t.etas <- bigger
+  end;
+  t.etas.(t.neta) <- { e_row = row; e_col = col };
+  t.neta <- t.neta + 1;
+  t.neta >= t.refactor_every || Float.abs w.(row) < 1e-7

@@ -1,0 +1,39 @@
+(** LU-factorized simplex basis with product-form (eta) updates.
+
+    Backs {!Revised}: one dense LU factorization with partial pivoting,
+    then one eta matrix per pivot until the caller refactorizes. FTRAN
+    and BTRAN are the two solves the revised simplex needs each
+    iteration. *)
+
+type t
+
+exception Singular
+(** Raised by {!refactor} when the basis columns are linearly dependent
+    to working precision. *)
+
+val create : ?refactor_every:int -> int -> t
+(** [create m] allocates a basis handle for an [m]-row problem.
+    [refactor_every] (default 48) bounds the eta file length before
+    {!update} starts requesting refactorization. *)
+
+val refactor : t -> column:(int -> int array * float array) -> unit
+(** [refactor t ~column] factors the matrix whose basis position [k]
+    holds the sparse column [column k] (parallel row-index/value arrays).
+    Resets the eta file. Raises {!Singular} on dependent columns. *)
+
+val ftran : t -> float array -> unit
+(** [ftran t b] solves [B x = b] in place. Input is indexed by original
+    constraint row, output by basis position. *)
+
+val btran : t -> float array -> unit
+(** [btran t c] solves [B^T y = c] in place. Input is indexed by basis
+    position, output by original constraint row. *)
+
+val update : t -> row:int -> w:float array -> bool
+(** [update t ~row ~w] appends the eta for a pivot that replaced basis
+    position [row] with a column whose basis-frame image is [w]
+    (= [ftran] of the entering column). Returns [true] when the eta file
+    is full or the pivot is small, i.e. the caller should refactorize. *)
+
+val eta_count : t -> int
+(** Etas applied since the last {!refactor} (for tests and stats). *)

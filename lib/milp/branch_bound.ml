@@ -12,6 +12,8 @@ type result =
   | Unbounded
   | Node_limit
 
+type engine = Revised | Tableau
+
 let is_integral ?(tolerance = 1e-6) model values =
   let ok = ref true in
   Array.iteri
@@ -23,11 +25,12 @@ let is_integral ?(tolerance = 1e-6) model values =
     values;
   !ok
 
-(* Min-heap on LP bound (converted to minimization direction). *)
+(* Min-heap on LP bound (converted to minimization direction). Starts
+   empty and grows lazily, so no placeholder element is ever needed. *)
 module Heap = struct
   type 'a t = { mutable data : (float * 'a) array; mutable size : int }
 
-  let create () = { data = Array.make 16 (0., Obj.magic 0); size = 0 }
+  let create () = { data = [||]; size = 0 }
 
   let swap h i j =
     let tmp = h.data.(i) in
@@ -36,7 +39,8 @@ module Heap = struct
 
   let push h key v =
     if h.size = Array.length h.data then begin
-      let bigger = Array.make (2 * h.size) h.data.(0) in
+      let cap = Stdlib.max 16 (2 * h.size) in
+      let bigger = Array.make cap (key, v) in
       Array.blit h.data 0 bigger 0 h.size;
       h.data <- bigger
     end;
@@ -73,61 +77,401 @@ module Heap = struct
     end
 end
 
-let solve ?(node_limit = 1_000_000) ?time_limit
-    ?(integrality_tolerance = 1e-6) model =
-  let deadline =
-    match time_limit with
-    | None -> infinity
-    | Some s ->
-      if s <= 0. then invalid_arg "Branch_bound.solve: time_limit";
-      Unix.gettimeofday () +. s
+(* A search node stores only the bound it changed relative to its parent
+   (plus the chain to the root), never full bound arrays: materializing
+   on pop is O(depth), where the old copy-per-push was O(2n) per child.
+   [snap] is the parent's optimal basis, shared by both children, so a
+   popped node can warm-start even after a best-first jump across the
+   tree. *)
+type node = {
+  nkey : float;  (* parent LP bound, minimization direction *)
+  nvar : int;  (* branched variable; -1 for the root *)
+  nlower : bool;  (* true: [nvalue] is a new lower bound (up branch) *)
+  nvalue : float;
+  ndist : float;  (* |parent relaxation value - new bound| *)
+  nparent : node option;
+  nsnap : Revised.snapshot option;
+}
+
+let root_node =
+  {
+    nkey = neg_infinity;
+    nvar = -1;
+    nlower = false;
+    nvalue = 0.;
+    ndist = 0.;
+    nparent = None;
+    nsnap = None;
+  }
+
+(* Fill [lb]/[ub] (preloaded with the base bounds) with the node's
+   effective box. Deltas on the same variable only ever tighten, so
+   max/min makes the child-to-root walk order-insensitive. *)
+let materialize nd lb ub =
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+      if n.nvar >= 0 then
+        if n.nlower then lb.(n.nvar) <- Float.max lb.(n.nvar) n.nvalue
+        else ub.(n.nvar) <- Float.min ub.(n.nvar) n.nvalue;
+      walk n.nparent
   in
-  let n = Lp.num_vars model in
-  let base_lb =
-    Array.init n (fun i -> Lp.var_lb model (Lp.var_of_index model i))
+  walk (Some nd)
+
+let make_children parent ~key ~var ~value snap =
+  let floor_v = Float.floor value in
+  let frac = value -. floor_v in
+  let parent = Some parent in
+  let down =
+    {
+      nkey = key;
+      nvar = var;
+      nlower = false;
+      nvalue = floor_v;
+      ndist = frac;
+      nparent = parent;
+      nsnap = snap;
+    }
+  and up =
+    {
+      nkey = key;
+      nvar = var;
+      nlower = true;
+      nvalue = floor_v +. 1.;
+      ndist = 1. -. frac;
+      nparent = parent;
+      nsnap = snap;
+    }
   in
-  let base_ub =
-    Array.init n (fun i -> Lp.var_ub model (Lp.var_of_index model i))
-  in
-  let integer =
-    Array.init n (fun i -> Lp.var_is_integer model (Lp.var_of_index model i))
-  in
+  (down, up)
+
+(* ------------------------------------------------------------------ *)
+(* Pseudo-costs                                                        *)
+
+(* Per-variable average objective degradation per unit of bound motion,
+   one account per direction. Seeded by strong branching at the root;
+   thereafter every solved child updates its parent's branching
+   variable. Workers keep private copies (seeded identically), so no
+   synchronization is needed. *)
+type pseudo = {
+  dsum : float array;
+  dcnt : int array;
+  usum : float array;
+  ucnt : int array;
+}
+
+let pseudo_create n =
+  {
+    dsum = Array.make n 0.;
+    dcnt = Array.make n 0;
+    usum = Array.make n 0.;
+    ucnt = Array.make n 0;
+  }
+
+let pseudo_copy p =
+  {
+    dsum = Array.copy p.dsum;
+    dcnt = Array.copy p.dcnt;
+    usum = Array.copy p.usum;
+    ucnt = Array.copy p.ucnt;
+  }
+
+let pseudo_update p nd child_key =
+  if nd.nvar >= 0 && nd.ndist > 1e-9 && Float.is_finite nd.nkey then begin
+    let unit = Float.max 0. (child_key -. nd.nkey) /. nd.ndist in
+    if nd.nlower then begin
+      p.usum.(nd.nvar) <- p.usum.(nd.nvar) +. unit;
+      p.ucnt.(nd.nvar) <- p.ucnt.(nd.nvar) + 1
+    end
+    else begin
+      p.dsum.(nd.nvar) <- p.dsum.(nd.nvar) +. unit;
+      p.dcnt.(nd.nvar) <- p.dcnt.(nd.nvar) + 1
+    end
+  end
+
+(* Product rule over the estimated down/up degradations; variables with
+   no history use the average of the initialized ones. Returns -1 when
+   the point is integral. When no account is initialized at all (e.g.
+   strong branching disabled by a tiny node budget), falls back to the
+   most fractional variable. *)
+let choose_branch_pc ~tol ~integer pseudo values =
+  let n = Array.length values in
+  let tot_d = ref 0. and ntot_d = ref 0 in
+  let tot_u = ref 0. and ntot_u = ref 0 in
+  for i = 0 to n - 1 do
+    if pseudo.dcnt.(i) > 0 then begin
+      tot_d := !tot_d +. (pseudo.dsum.(i) /. float_of_int pseudo.dcnt.(i));
+      incr ntot_d
+    end;
+    if pseudo.ucnt.(i) > 0 then begin
+      tot_u := !tot_u +. (pseudo.usum.(i) /. float_of_int pseudo.ucnt.(i));
+      incr ntot_u
+    end
+  done;
+  let avg_d = if !ntot_d > 0 then !tot_d /. float_of_int !ntot_d else 0. in
+  let avg_u = if !ntot_u > 0 then !tot_u /. float_of_int !ntot_u else 0. in
+  let have_history = !ntot_d > 0 || !ntot_u > 0 in
+  let best = ref (-1) and best_score = ref neg_infinity in
+  let most_frac = ref (-1) and best_frac = ref tol in
+  for i = 0 to n - 1 do
+    if integer.(i) then begin
+      let v = values.(i) in
+      let frac = Float.abs (v -. Float.round v) in
+      if frac > tol then begin
+        if frac > !best_frac then begin
+          most_frac := i;
+          best_frac := frac
+        end;
+        let fd = v -. Float.floor v in
+        let fu = 1. -. fd in
+        let est_d =
+          (if pseudo.dcnt.(i) > 0 then
+             pseudo.dsum.(i) /. float_of_int pseudo.dcnt.(i)
+           else avg_d)
+          *. fd
+        and est_u =
+          (if pseudo.ucnt.(i) > 0 then
+             pseudo.usum.(i) /. float_of_int pseudo.ucnt.(i)
+           else avg_u)
+          *. fu
+        in
+        let score = Float.max est_d 1e-12 *. Float.max est_u 1e-12 in
+        if score > !best_score then begin
+          best := i;
+          best_score := score
+        end
+      end
+    end
+  done;
+  if !most_frac = -1 then -1 else if have_history then !best else !most_frac
+
+let most_fractional ~tol ~integer values =
+  let best = ref (-1) in
+  let best_frac = ref tol in
   Array.iteri
-    (fun i isint ->
-      if isint && not (Float.is_finite base_ub.(i)) then
-        invalid_arg "Branch_bound.solve: integer variables need finite bounds")
-    integer;
-  let sign = match Lp.objective model with Lp.Minimize -> 1. | Maximize -> -1. in
-  (* All keys below are in minimization direction: key = sign * objective. *)
-  let incumbent = ref None in
-  let incumbent_key = ref infinity in
-  let nodes = ref 0 in
-  let heap = Heap.create () in
-  let most_fractional values =
-    let best = ref (-1) in
-    let best_frac = ref integrality_tolerance in
-    for i = 0 to n - 1 do
+    (fun i v ->
       if integer.(i) then begin
-        let v = values.(i) in
         let frac = Float.abs (v -. Float.round v) in
         if frac > !best_frac then begin
           best := i;
           best_frac := frac
         end
-      end
-    done;
-    !best
+      end)
+    values;
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* Engine-specific node evaluation                                     *)
+
+(* An evaluator owns whatever per-worker solver state its engine needs.
+   [ev_solve] materialized-bounds -> LP result; [ev_snap] the basis to
+   hand to the children of the node just solved (None for Tableau). *)
+type evaluator = {
+  ev_solve : node -> lb:float array -> ub:float array -> Simplex.result;
+  ev_snap : unit -> Revised.snapshot option;
+}
+
+let tableau_evaluator ~deadline model =
+  {
+    ev_solve =
+      (fun _nd ~lb ~ub -> Simplex.solve_with_bounds ~deadline model ~lb ~ub);
+    ev_snap = (fun () -> None);
+  }
+
+(* The revised evaluator tracks which snapshot context the solver is in:
+   popping a node whose [nsnap] is physically the basis we are already
+   at (the common first-child-after-parent case) skips the O(m^3)
+   refactorization entirely, and the dual simplex starts from the
+   parent's optimum. *)
+let revised_evaluator ~deadline solver =
+  let last_snap : Revised.snapshot option ref = ref None in
+  let solver_snap = ref None in
+  {
+    ev_solve =
+      (fun nd ~lb ~ub ->
+        Revised.set_bounds solver ~lb ~ub;
+        let warm =
+          match nd.nsnap with
+          | None -> false
+          | Some s when
+              (match !last_snap with Some l -> l == s | None -> false) ->
+            true (* already in this context; current basis is dual feasible *)
+          | Some s ->
+            last_snap := nd.nsnap;
+            Revised.load_basis solver s
+        in
+        solver_snap := None;
+        let r =
+          if warm then Revised.solve_warm ~deadline solver
+          else Revised.solve_fresh ~deadline solver
+        in
+        (match r with
+        | Simplex.Optimal _ ->
+          (* The solver now sits at this node's optimum. *)
+          ()
+        | _ -> last_snap := None);
+        r);
+    ev_snap =
+      (fun () ->
+        match !solver_snap with
+        | Some s -> Some s
+        | None ->
+          let s = Revised.save_basis solver in
+          solver_snap := Some s;
+          last_snap := Some s;
+          Some s);
+  }
+
+(* Strong branching at the root: actually solve both children of each
+   candidate (most fractional first, capped) and seed the pseudo-cost
+   accounts with the observed per-unit degradations. An infeasible or
+   cut-off child is recorded as a large degradation — branching there
+   closes the subtree outright. *)
+let strong_branch_cap = 8
+let infeasible_degradation = 1e7
+
+let strong_branch ~deadline ~tol ~integer ~base_lb ~base_ub ~sign ~root_key
+    solver pseudo values =
+  let n = Array.length values in
+  let cands = ref [] in
+  for i = n - 1 downto 0 do
+    if integer.(i) then begin
+      let frac = Float.abs (values.(i) -. Float.round values.(i)) in
+      if frac > tol then cands := (frac, i) :: !cands
+    end
+  done;
+  let cands =
+    List.sort (fun (fa, ia) (fb, ib) -> compare (-.fa, ia) (-.fb, ib)) !cands
   in
-  let evaluate lb ub =
+  let cands = List.filteri (fun k _ -> k < strong_branch_cap) cands in
+  let snap0 = Revised.save_basis solver in
+  let lb = Array.copy base_lb and ub = Array.copy base_ub in
+  let probe () =
+    Revised.set_bounds solver ~lb ~ub;
+    Revised.solve_warm ~deadline solver
+  in
+  List.iter
+    (fun (_, v) ->
+      let x = values.(v) in
+      let floor_v = Float.floor x in
+      let fd = x -. floor_v and fu = floor_v +. 1. -. x in
+      (* Down child. *)
+      ub.(v) <- floor_v;
+      let d_down =
+        if not (Revised.load_basis solver snap0) then None
+        else
+          match probe () with
+          | Simplex.Optimal { objective; _ } ->
+            Some (Float.max 0. ((sign *. objective) -. root_key))
+          | Simplex.Infeasible -> Some infeasible_degradation
+          | Simplex.Unbounded | Simplex.Limit -> None
+      in
+      ub.(v) <- base_ub.(v);
+      (* Up child. *)
+      lb.(v) <- floor_v +. 1.;
+      let d_up =
+        if not (Revised.load_basis solver snap0) then None
+        else
+          match probe () with
+          | Simplex.Optimal { objective; _ } ->
+            Some (Float.max 0. ((sign *. objective) -. root_key))
+          | Simplex.Infeasible -> Some infeasible_degradation
+          | Simplex.Unbounded | Simplex.Limit -> None
+      in
+      lb.(v) <- base_lb.(v);
+      (match d_down with
+      | Some d when fd > 1e-9 ->
+        pseudo.dsum.(v) <- pseudo.dsum.(v) +. (d /. fd);
+        pseudo.dcnt.(v) <- pseudo.dcnt.(v) + 1
+      | _ -> ());
+      match d_up with
+      | Some d when fu > 1e-9 ->
+        pseudo.usum.(v) <- pseudo.usum.(v) +. (d /. fu);
+        pseudo.ucnt.(v) <- pseudo.ucnt.(v) + 1
+      | _ -> ())
+    cands;
+  (* Leave the solver back at the root basis and bounds. *)
+  Revised.set_bounds solver ~lb:base_lb ~ub:base_ub;
+  ignore (Revised.load_basis solver snap0);
+  snap0
+
+(* ------------------------------------------------------------------ *)
+(* Shared setup                                                        *)
+
+type problem = {
+  model : Lp.t;
+  n : int;
+  base_lb : float array;
+  base_ub : float array;
+  integer : bool array;
+  sign : float;  (* key = sign * user objective, minimized *)
+}
+
+let problem_of_model model =
+  let n = Lp.num_vars model in
+  let base_lb = Lp.lb_array model in
+  let base_ub = Lp.ub_array model in
+  let integer = Lp.integer_array model in
+  Array.iteri
+    (fun i isint ->
+      if isint && not (Float.is_finite base_ub.(i)) then
+        invalid_arg "Branch_bound.solve: integer variables need finite bounds")
+    integer;
+  let sign =
+    match Lp.objective model with Lp.Minimize -> 1. | Maximize -> -1.
+  in
+  { model; n; base_lb; base_ub; integer; sign }
+
+(* ------------------------------------------------------------------ *)
+(* Sequential search (jobs = 1)                                        *)
+
+let solve_seq ~node_limit ~deadline ~tol ~engine p =
+  let { model; n = _; base_lb; base_ub; integer; sign } = p in
+  let incumbent = ref None in
+  let incumbent_key = ref infinity in
+  let nodes = ref 0 in
+  let exhausted = ref false in
+  let heap = Heap.create () in
+  let pseudo = pseudo_create p.n in
+  let solver =
+    match engine with
+    | Tableau -> None
+    | Revised ->
+      Some
+        (Revised.make ~goal:(Lp.objective model) ~obj:(Lp.obj_coeffs model)
+           ~lb:base_lb ~ub:base_ub ~rows:(Lp.rows model) ())
+  in
+  let ev =
+    match solver with
+    | None -> tableau_evaluator ~deadline model
+    | Some s -> revised_evaluator ~deadline s
+  in
+  let choose values =
+    match engine with
+    | Tableau -> most_fractional ~tol ~integer values
+    | Revised -> choose_branch_pc ~tol ~integer pseudo values
+  in
+  let lbbuf = Array.copy base_lb and ubbuf = Array.copy base_ub in
+  let evaluate nd =
     incr nodes;
-    match Simplex.solve_with_bounds ~deadline model ~lb ~ub with
+    Array.blit base_lb 0 lbbuf 0 p.n;
+    Array.blit base_ub 0 ubbuf 0 p.n;
+    materialize nd lbbuf ubbuf;
+    match ev.ev_solve nd ~lb:lbbuf ~ub:ubbuf with
     | Simplex.Infeasible -> `Pruned
     | Simplex.Unbounded -> `Unbounded
+    | Simplex.Limit ->
+      (* The LP hit its iteration cap or the deadline: the node is
+         unresolved, not infeasible. Give up on proving optimality but
+         never prune the subtree as if it were empty. *)
+      exhausted := true;
+      `Pruned
     | Simplex.Optimal { objective; values } ->
       let key = sign *. objective in
+      pseudo_update pseudo nd key;
       if key >= !incumbent_key -. 1e-9 then `Pruned
       else begin
-        match most_fractional values with
+        match choose values with
         | -1 ->
           incumbent := Some (objective, values);
           incumbent_key := key;
@@ -135,24 +479,28 @@ let solve ?(node_limit = 1_000_000) ?time_limit
         | branch_var -> `Branch (key, branch_var, values)
       end
   in
-  let push_children lb ub branch_var values =
-    let v = values.(branch_var) in
-    let floor_v = Float.floor v in
-    let down_ub = Array.copy ub in
-    down_ub.(branch_var) <- floor_v;
-    let up_lb = Array.copy lb in
-    up_lb.(branch_var) <- floor_v +. 1.;
-    ((Array.copy lb, down_ub), (up_lb, Array.copy ub))
-  in
   let unbounded = ref false in
-  (match evaluate base_lb base_ub with
+  (match evaluate root_node with
   | `Pruned | `Integer -> ()
   | `Unbounded -> unbounded := true
   | `Branch (key, var, values) ->
-    let d, u = push_children base_lb base_ub var values in
+    (match (engine, solver) with
+    | Revised, Some s ->
+      ignore
+        (strong_branch ~deadline ~tol ~integer ~base_lb ~base_ub ~sign
+           ~root_key:key s pseudo values)
+    | _ -> ());
+    (* Re-pick the branching variable with the seeded pseudo-costs. *)
+    let var =
+      match engine with
+      | Tableau -> var
+      | Revised -> (
+        match choose values with -1 -> var | v -> v)
+    in
+    let snap = ev.ev_snap () in
+    let d, u = make_children root_node ~key ~var ~value:values.(var) snap in
     Heap.push heap key d;
     Heap.push heap key u);
-  let exhausted = ref false in
   if not !unbounded then begin
     let continue_ = ref true in
     while !continue_ do
@@ -163,24 +511,25 @@ let solve ?(node_limit = 1_000_000) ?time_limit
       else begin
         match Heap.pop heap with
         | None -> continue_ := false
-        | Some (key, (lb, ub)) ->
+        | Some (key, nd) ->
           if key >= !incumbent_key -. 1e-9 then
             (* Best-first: every remaining node is at least as bad. *)
             continue_ := false
           else begin
-            match evaluate lb ub with
+            match evaluate nd with
             | `Pruned | `Integer -> ()
             | `Unbounded -> ()
             | `Branch (child_key, var, values) ->
-              let d, u = push_children lb ub var values in
+              let snap = ev.ev_snap () in
+              let d, u =
+                make_children nd ~key:child_key ~var ~value:values.(var) snap
+              in
               Heap.push heap child_key d;
               Heap.push heap child_key u
           end
       end
     done
   end;
-  (* An LP aborted by the deadline reports Infeasible; never let that
-     masquerade as a proof. *)
   if Unix.gettimeofday () > deadline then exhausted := true;
   if !unbounded then Unbounded
   else begin
@@ -192,3 +541,203 @@ let solve ?(node_limit = 1_000_000) ?time_limit
       if !exhausted then Feasible sol else Optimal sol
     | None -> if !exhausted then Node_limit else Infeasible
   end
+
+(* ------------------------------------------------------------------ *)
+(* Parallel search (jobs > 1)                                          *)
+
+(* Per-worker best-first heaps behind mutexes, work stealing from the
+   next worker over, a CAS-updated shared incumbent and an atomic
+   outstanding-node counter for termination. The root (plus strong
+   branching) is solved sequentially, so `Unbounded` can only arise
+   there. Node counts are nondeterministic under work stealing, but the
+   incumbent objective matches the sequential solve whenever the search
+   runs to completion. *)
+let solve_par ~node_limit ~deadline ~tol ~engine ~jobs p =
+  let { model; n; base_lb; base_ub; integer; sign } = p in
+  let root_solver =
+    Revised.make ~goal:(Lp.objective model) ~obj:(Lp.obj_coeffs model)
+      ~lb:base_lb ~ub:base_ub ~rows:(Lp.rows model) ()
+  in
+  let pseudo0 = pseudo_create n in
+  let root_result =
+    match engine with
+    | Revised -> Revised.solve_fresh ~deadline root_solver
+    | Tableau -> Simplex.solve_with_bounds ~deadline model ~lb:base_lb ~ub:base_ub
+  in
+  match root_result with
+  | Simplex.Unbounded -> Unbounded
+  | Simplex.Infeasible -> Infeasible
+  | Simplex.Limit -> Node_limit
+  | Simplex.Optimal { objective; values } -> (
+    let root_key = sign *. objective in
+    match most_fractional ~tol ~integer values with
+    | -1 ->
+      Optimal
+        { objective; values; proved_optimal = true; nodes = 1 }
+    | mf_var ->
+      let root_snap =
+        match engine with
+        | Tableau -> None
+        | Revised ->
+          Some
+            (strong_branch ~deadline ~tol ~integer ~base_lb ~base_ub ~sign
+               ~root_key root_solver pseudo0 values)
+      in
+      let var =
+        match engine with
+        | Tableau -> mf_var
+        | Revised -> (
+          match choose_branch_pc ~tol ~integer pseudo0 values with
+          | -1 -> mf_var
+          | v -> v)
+      in
+      let incumbent = Atomic.make None in
+      let incumbent_key () =
+        match Atomic.get incumbent with
+        | None -> infinity
+        | Some (k, _, _) -> k
+      in
+      let rec offer key objective values =
+        let cur = Atomic.get incumbent in
+        let cur_key =
+          match cur with None -> infinity | Some (k, _, _) -> k
+        in
+        if key < cur_key -. 1e-9 then
+          if not (Atomic.compare_and_set incumbent cur
+                    (Some (key, objective, values)))
+          then offer key objective values
+      in
+      let nodes = Atomic.make 1 (* root *) in
+      let outstanding = Atomic.make 0 in
+      let stop = Atomic.make false in
+      let exhausted = Atomic.make false in
+      let heaps = Array.init jobs (fun _ -> Heap.create ()) in
+      let locks = Array.init jobs (fun _ -> Mutex.create ()) in
+      let push wid key nd =
+        Atomic.incr outstanding;
+        Mutex.lock locks.(wid);
+        Heap.push heaps.(wid) key nd;
+        Mutex.unlock locks.(wid)
+      in
+      let try_pop wid =
+        Mutex.lock locks.(wid);
+        let r = Heap.pop heaps.(wid) in
+        Mutex.unlock locks.(wid);
+        r
+      in
+      let pop_any wid =
+        match try_pop wid with
+        | Some _ as r -> r
+        | None ->
+          let r = ref None in
+          let k = ref 1 in
+          while !r = None && !k < jobs do
+            r := try_pop ((wid + !k) mod jobs);
+            incr k
+          done;
+          !r
+      in
+      let d, u =
+        make_children root_node ~key:root_key ~var ~value:values.(var)
+          root_snap
+      in
+      push 0 root_key d;
+      push (1 mod jobs) root_key u;
+      let worker wid =
+        let pseudo = pseudo_copy pseudo0 in
+        let ev =
+          match engine with
+          | Tableau -> tableau_evaluator ~deadline model
+          | Revised ->
+            revised_evaluator ~deadline (Revised.clone root_solver)
+        in
+        let lbbuf = Array.copy base_lb and ubbuf = Array.copy base_ub in
+        let process nd key =
+          if key >= incumbent_key () -. 1e-9 then ()
+          else begin
+            let c = Atomic.fetch_and_add nodes 1 in
+            if c >= node_limit then begin
+              Atomic.set exhausted true;
+              Atomic.set stop true
+            end
+            else begin
+              Array.blit base_lb 0 lbbuf 0 n;
+              Array.blit base_ub 0 ubbuf 0 n;
+              materialize nd lbbuf ubbuf;
+              match ev.ev_solve nd ~lb:lbbuf ~ub:ubbuf with
+              | Simplex.Infeasible | Simplex.Unbounded -> ()
+              | Simplex.Limit -> Atomic.set exhausted true
+              | Simplex.Optimal { objective; values } -> (
+                let child_key = sign *. objective in
+                pseudo_update pseudo nd child_key;
+                if child_key >= incumbent_key () -. 1e-9 then ()
+                else
+                  let bvar =
+                    match engine with
+                    | Tableau -> most_fractional ~tol ~integer values
+                    | Revised -> choose_branch_pc ~tol ~integer pseudo values
+                  in
+                  match bvar with
+                  | -1 -> offer child_key objective values
+                  | bvar ->
+                    let snap = ev.ev_snap () in
+                    let d, u =
+                      make_children nd ~key:child_key ~var:bvar
+                        ~value:values.(bvar) snap
+                    in
+                    push wid child_key d;
+                    push wid child_key u)
+            end
+          end
+        in
+        let running = ref true in
+        while !running do
+          if Atomic.get stop then running := false
+          else if Unix.gettimeofday () > deadline then begin
+            Atomic.set exhausted true;
+            Atomic.set stop true
+          end
+          else begin
+            match pop_any wid with
+            | Some (key, nd) ->
+              process nd key;
+              Atomic.decr outstanding
+            | None ->
+              if Atomic.get outstanding = 0 then running := false
+              else Domain.cpu_relax ()
+          end
+        done
+      in
+      ignore (Resched_util.Domain_pool.run ~jobs worker);
+      if Unix.gettimeofday () > deadline then Atomic.set exhausted true;
+      let exhausted = Atomic.get exhausted in
+      let node_count = Atomic.get nodes in
+      (match Atomic.get incumbent with
+      | Some (_, objective, values) ->
+        let sol =
+          { objective; values; proved_optimal = not exhausted;
+            nodes = node_count }
+        in
+        if exhausted then Feasible sol else Optimal sol
+      | None -> if exhausted then Node_limit else Infeasible))
+
+(* ------------------------------------------------------------------ *)
+
+let default_engine = Revised
+
+let solve ?(node_limit = 1_000_000) ?time_limit
+    ?(integrality_tolerance = 1e-6) ?(jobs = 1) ?(engine = default_engine)
+    model =
+  let deadline =
+    match time_limit with
+    | None -> infinity
+    | Some s ->
+      if s <= 0. then invalid_arg "Branch_bound.solve: time_limit";
+      Unix.gettimeofday () +. s
+  in
+  let p = problem_of_model model in
+  let jobs = Stdlib.max 1 jobs in
+  if jobs = 1 then
+    solve_seq ~node_limit ~deadline ~tol:integrality_tolerance ~engine p
+  else
+    solve_par ~node_limit ~deadline ~tol:integrality_tolerance ~engine ~jobs p

@@ -40,6 +40,16 @@ val objective : t -> objective
 val obj_coeffs : t -> float array
 val var_lb : t -> var -> float
 val var_ub : t -> var -> float
+
+(** Whole-model bound/integrality snapshots in index order; O(n) where
+    the per-variable accessors above are O(n) {e each}. Solvers use
+    these to avoid quadratic model extraction. *)
+
+val lb_array : t -> float array
+
+val ub_array : t -> float array
+
+val integer_array : t -> bool array
 val var_is_integer : t -> var -> bool
 val var_name : t -> var -> string
 val var_of_index : t -> int -> var

@@ -1,0 +1,74 @@
+(** Bounded-variable revised simplex over an LU-factorized basis.
+
+    The default LP engine behind {!Branch_bound}. Unlike {!Simplex} it
+    never adds rows for finite upper bounds — a nonbasic variable sits
+    at either bound and crosses to the other one via a bound flip in the
+    ratio test — so the basis stays [m x m] for an [m]-row model, and it
+    supports warm starts: after a single bound change the previous
+    optimal basis is still dual feasible, and {!solve_warm} reaches the
+    new optimum in a few dual-simplex pivots instead of a full two-phase
+    solve. Results use {!Simplex.result} so callers can switch engines
+    without re-matching. *)
+
+type t
+(** Mutable solver state: model data (shared, immutable) plus bounds,
+    basis, factorization and iterate. One [t] per worker domain; use
+    {!clone} to hand copies to other domains. *)
+
+type snapshot
+(** An immutable basis snapshot ([status] + [basis] arrays) taken by
+    {!save_basis}; cheap to retain per branch-and-bound node. *)
+
+val make :
+  ?refactor_every:int ->
+  goal:Lp.objective ->
+  obj:float array ->
+  lb:float array ->
+  ub:float array ->
+  rows:((int * float) list * Lp.sense * float) array ->
+  unit ->
+  t
+(** Build solver state from raw arrays (same shape as
+    [Simplex.solve_arrays]). Every variable needs a finite lower bound.
+    [refactor_every] bounds the eta file length (default 48). *)
+
+val of_model : Lp.t -> t
+(** [make] from a model's own goal, objective, bounds and rows. *)
+
+val clone : t -> t
+(** Copy with fresh mutable state (bounds, basis, iterate, scratch);
+    the sparse column data is shared. The clone starts unfactored, so
+    its first solve must be {!solve_fresh} or go through {!load_basis}. *)
+
+val set_bounds : t -> lb:float array -> ub:float array -> unit
+(** Overwrite the structural variables' bounds (arrays of length
+    [num_vars]); logical bounds are fixed by the row senses. *)
+
+val save_basis : t -> snapshot
+val load_basis : t -> snapshot -> bool
+(** Restore a snapshot and refactorize; [false] if the snapshot's basis
+    is singular under the current bounds (caller should {!solve_fresh}). *)
+
+val solve_fresh : ?deadline:float -> t -> Simplex.result
+(** Two-phase primal solve from the all-logical basis, ignoring any
+    previous state. [deadline] is an absolute [Unix.gettimeofday]
+    instant; hitting it (or the iteration cap) yields [Limit]. *)
+
+val solve_warm : ?deadline:float -> t -> Simplex.result
+(** Re-solve after bound changes, starting from the current basis: dual
+    simplex to primal feasibility, then a certifying primal cleanup.
+    Falls back to {!solve_fresh} when the warm start stalls, and behaves
+    exactly like it when the state is unfactored. *)
+
+val last_pivots : t -> int
+(** Pivot count of the most recent [solve_fresh]/[solve_warm] call. *)
+
+val num_vars : t -> int
+
+val solve : Lp.t -> Simplex.result
+(** One-shot convenience mirroring [Simplex.solve]. *)
+
+val solve_with_bounds :
+  ?deadline:float -> Lp.t -> lb:float array -> ub:float array ->
+  Simplex.result
+(** One-shot convenience mirroring [Simplex.solve_with_bounds]. *)

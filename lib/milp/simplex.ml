@@ -1,6 +1,6 @@
 type solution = { objective : float; values : float array }
 
-type result = Optimal of solution | Infeasible | Unbounded
+type result = Optimal of solution | Infeasible | Unbounded | Limit
 
 let feasibility_tolerance = 1e-7
 let eps = 1e-9
@@ -208,7 +208,7 @@ let solve_arrays ?deadline ~goal ~obj ~lb ~ub ~rows () =
         | () ->
           if -.t.z > feasibility_tolerance then Some Infeasible else None
         | exception Unbounded_exn -> Some Infeasible (* cannot happen *)
-        | exception Iteration_limit -> Some Infeasible
+        | exception Iteration_limit -> Some Limit
       end
       else None
     in
@@ -259,7 +259,7 @@ let solve_arrays ?deadline ~goal ~obj ~lb ~ub ~rows () =
         let objective = (sign *. -.t.z) +. offset in
         Optimal { objective; values }
       | exception Unbounded_exn -> Unbounded
-      | exception Iteration_limit -> Infeasible)
+      | exception Iteration_limit -> Limit)
   end
 
 let solve_with_bounds ?deadline model ~lb ~ub =
@@ -270,7 +270,4 @@ let solve_with_bounds ?deadline model ~lb ~ub =
     ~lb ~ub ~rows:(Lp.rows model) ()
 
 let solve model =
-  let n = Lp.num_vars model in
-  let lb = Array.init n (fun i -> Lp.var_lb model (Lp.var_of_index model i)) in
-  let ub = Array.init n (fun i -> Lp.var_ub model (Lp.var_of_index model i)) in
-  solve_with_bounds model ~lb ~ub
+  solve_with_bounds model ~lb:(Lp.lb_array model) ~ub:(Lp.ub_array model)

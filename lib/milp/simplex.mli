@@ -14,6 +14,10 @@ type result =
   | Optimal of solution
   | Infeasible
   | Unbounded
+  | Limit
+      (** The iteration cap or the [deadline] cut the solve short: the
+          model's status is unknown. {!Branch_bound} treats this as
+          "node budget exhausted", never as an infeasibility proof. *)
 
 val solve : Lp.t -> result
 (** Solve the continuous relaxation (integrality markers are ignored). *)

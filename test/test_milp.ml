@@ -13,6 +13,7 @@ let opt_exn = function
   | Simplex.Optimal s -> s
   | Simplex.Infeasible -> Alcotest.fail "expected Optimal, got Infeasible"
   | Simplex.Unbounded -> Alcotest.fail "expected Optimal, got Unbounded"
+  | Simplex.Limit -> Alcotest.fail "expected Optimal, got Limit"
 
 (* maximize 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> 36 at (2, 6).
    The classic Dantzig example. *)
@@ -71,6 +72,7 @@ let test_lp_unbounded () =
   | Simplex.Unbounded -> ()
   | Simplex.Optimal s -> Alcotest.failf "expected Unbounded, got %g" s.objective
   | Simplex.Infeasible -> Alcotest.fail "expected Unbounded, got Infeasible"
+  | Simplex.Limit -> Alcotest.fail "expected Unbounded, got Limit"
 
 let test_lp_degenerate () =
   (* A degenerate vertex (redundant constraint through the optimum) must
@@ -219,7 +221,7 @@ let prop_simplex_beats_witness =
       in
       match Simplex.solve m with
       | Simplex.Optimal s -> s.objective <= witness_obj +. 1e-6
-      | Simplex.Infeasible | Simplex.Unbounded -> false)
+      | Simplex.Infeasible | Simplex.Unbounded | Simplex.Limit -> false)
 
 (* Property: branch-and-bound on pure binary knapsacks matches a
    brute-force enumeration. *)
