@@ -21,6 +21,8 @@
                                          revised simplex)
      RESCHED_MILP_LP_REPEATS     [30]    timed repetitions per model in
                                          the LP kernel comparison
+     RESCHED_FAULT_TRIALS        [100]   Monte-Carlo trials per (schedule,
+                                         policy) in the fault campaign
      RESCHED_OUT_DIR             [bench_out] where CSV series are written
      RESCHED_BECHAMEL            [unset] set to 1 to also run the Bechamel
                                          micro-benchmarks
@@ -57,6 +59,8 @@ module Reconf_sched = Resched_core.Reconf_sched
 module Timing = Resched_core.Timing
 module Isk = Resched_baseline.Isk
 module List_sched = Resched_baseline.List_sched
+module Repair = Resched_core.Repair
+module Campaign = Resched_sim.Campaign
 
 (* ------------------------------------------------------------------ *)
 (* Configuration                                                       *)
@@ -85,6 +89,7 @@ let iter_min = Stdlib.max 1 (env_int "RESCHED_ITER_MIN" 1000)
 let milp_time_limit =
   float_of_int (env_int "RESCHED_MILP_TIME_LIMIT_MS" 5000) /. 1000.
 let milp_lp_repeats = Stdlib.max 1 (env_int "RESCHED_MILP_LP_REPEATS" 30)
+let fault_trials = Stdlib.max 1 (env_int "RESCHED_FAULT_TRIALS" 100)
 let out_dir =
   match Sys.getenv_opt "RESCHED_OUT_DIR" with Some d -> d | None -> "bench_out"
 
@@ -1254,6 +1259,134 @@ let ablation_robustness () =
   Table.print t
 
 (* ------------------------------------------------------------------ *)
+(* Fault campaign: survival and degradation per recovery policy        *)
+
+let fault_campaign () =
+  print_endline "";
+  Printf.printf
+    "== Fault campaign: recovery policies under the default fault plan \
+     (%d trials per schedule, jobs=%d) ==\n"
+    fault_trials par_jobs;
+  let policies = [ Repair.Retry; Repair.Sw_fallback; Repair.Resched_tail ] in
+  let t =
+    Table.create
+      [ "# Tasks"; "policy"; "survival"; "mean degr"; "p95 degr";
+        "worst degr"; "fired"; "moot"; "retries"; "migrations"; "retimes" ]
+  in
+  let rows =
+    List.concat_map
+      (fun tasks ->
+        match Suite.group ~seed ~tasks ~count:1 () with
+        | [ inst ] ->
+          let sched, _ = Pa.run inst in
+          must_validate "PA(faults)" sched;
+          List.map
+            (fun policy ->
+              let s =
+                Campaign.run ~jobs:par_jobs ~trials:fault_trials
+                  ~seed:(seed + (17 * tasks)) ~policy sched
+              in
+              let count k =
+                Option.value ~default:0 (List.assoc_opt k s.Campaign.actions)
+              in
+              Table.add_row t
+                [
+                  string_of_int tasks;
+                  Repair.policy_name policy;
+                  Printf.sprintf "%d/%d" s.Campaign.survived s.Campaign.trials;
+                  Printf.sprintf "x%.3f" s.Campaign.mean_degradation;
+                  Printf.sprintf "x%.3f" s.Campaign.p95_degradation;
+                  Printf.sprintf "x%.3f" s.Campaign.worst_degradation;
+                  string_of_int s.Campaign.faults_fired;
+                  string_of_int s.Campaign.faults_moot;
+                  string_of_int (count "retry");
+                  string_of_int (count "migrate");
+                  string_of_int (count "retime");
+                ];
+              (tasks, s))
+            policies
+        | _ -> assert false)
+      [ 20; 40; 60 ]
+  in
+  Table.print t;
+  let sw_full_recovery =
+    List.for_all
+      (fun (_, (s : Campaign.summary)) ->
+        s.Campaign.policy = Repair.Retry || s.Campaign.survival_rate = 1.0)
+      rows
+  and all_valid =
+    List.for_all (fun (_, s) -> s.Campaign.all_valid) rows
+  in
+  Printf.printf
+    "  SW-capable policies recovered every trial: %b; every repaired \
+     schedule validated: %b\n"
+    sw_full_recovery all_valid;
+  write_csv "faults.csv"
+    ([ "tasks"; "policy"; "trials"; "survived"; "survival_rate";
+       "mean_degradation"; "p95_degradation"; "worst_degradation";
+       "faults_fired"; "faults_moot"; "retries"; "migrations"; "retimes";
+       "all_valid" ]
+    :: List.map
+         (fun (tasks, (s : Campaign.summary)) ->
+           let count k =
+             Option.value ~default:0 (List.assoc_opt k s.Campaign.actions)
+           in
+           [
+             string_of_int tasks;
+             Repair.policy_name s.Campaign.policy;
+             string_of_int s.Campaign.trials;
+             string_of_int s.Campaign.survived;
+             Printf.sprintf "%.4f" s.Campaign.survival_rate;
+             Printf.sprintf "%.4f" s.Campaign.mean_degradation;
+             Printf.sprintf "%.4f" s.Campaign.p95_degradation;
+             Printf.sprintf "%.4f" s.Campaign.worst_degradation;
+             string_of_int s.Campaign.faults_fired;
+             string_of_int s.Campaign.faults_moot;
+             string_of_int (count "retry");
+             string_of_int (count "migrate");
+             string_of_int (count "retime");
+             string_of_bool s.Campaign.all_valid;
+           ])
+         rows);
+  (* Machine-readable record; CI's fault-campaign guard reads this. *)
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"seed\": %d,\n" seed;
+  Printf.bprintf buf "  \"trials\": %d,\n" fault_trials;
+  Printf.bprintf buf "  \"jobs\": %d,\n" par_jobs;
+  Buffer.add_string buf "  \"campaigns\": [\n";
+  List.iteri
+    (fun i (tasks, (s : Campaign.summary)) ->
+      Printf.bprintf buf
+        "    {\"tasks\": %d, \"policy\": \"%s\", \"trials\": %d, \
+         \"survived\": %d, \"survival_rate\": %.4f, \"mean_degradation\": \
+         %.4f, \"p95_degradation\": %.4f, \"worst_degradation\": %.4f, \
+         \"faults_fired\": %d, \"faults_moot\": %d, \"actions\": {%s}, \
+         \"all_valid\": %b}%s\n"
+        tasks
+        (Repair.policy_name s.Campaign.policy)
+        s.Campaign.trials s.Campaign.survived s.Campaign.survival_rate
+        s.Campaign.mean_degradation s.Campaign.p95_degradation
+        s.Campaign.worst_degradation s.Campaign.faults_fired
+        s.Campaign.faults_moot
+        (String.concat ", "
+           (List.map
+              (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v)
+              s.Campaign.actions))
+        s.Campaign.all_valid
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Printf.bprintf buf "  \"sw_policies_full_recovery\": %b,\n" sw_full_recovery;
+  Printf.bprintf buf "  \"all_valid\": %b\n" all_valid;
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_faults.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  print_endline "  [json] BENCH_faults.json"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one kernel per table/figure)             *)
 
 let bechamel_suite () =
@@ -1407,6 +1540,7 @@ let () =
   ablation_module_reuse ();
   ablation_floorplan_engines ();
   ablation_robustness ();
+  fault_campaign ();
   related_work_ilp_viability ();
   if env_set "RESCHED_BECHAMEL" then bechamel_suite ()
   else

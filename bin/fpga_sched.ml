@@ -28,6 +28,33 @@ module List_sched = Resched_baseline.List_sched
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
+(* Failure handling
+
+   Operational failures exit with a one-line message and a distinct
+   code so scripts can tell them apart (cmdliner keeps 124/125 for CLI
+   and internal errors):
+     3  input/IO error (missing file, parse error, write failure)
+     4  a schedule failed validation                                   *)
+
+let exit_io = 3
+let exit_invalid = 4
+
+let die code fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "fpga_sched: error: %s\n" msg;
+      exit code)
+    fmt
+
+let check_or_die what sched =
+  match Validate.check sched with
+  | Ok () -> ()
+  | Error vs ->
+    let v = List.hd vs in
+    die exit_invalid "%s failed validation (%d violation(s); first: [%s] %s)"
+      what (List.length vs) v.Validate.code v.Validate.message
+
+(* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
 
 let setup_logs verbose =
@@ -70,9 +97,7 @@ let tasks_arg =
 let load_instance path =
   match Io.load path with
   | Ok inst -> inst
-  | Error msg ->
-    Printf.eprintf "error: cannot load %s: %s\n" path msg;
-    exit 1
+  | Error msg -> die exit_io "cannot load %s: %s" path msg
 
 let instance_arg =
   let doc = "Problem instance file (see lib/platform/io.mli for the format)." in
@@ -204,7 +229,7 @@ let schedule path algo budget_ms reuse seed jobs gantt save svg_gantt
       ~jobs inst
   in
   let elapsed = Unix.gettimeofday () -. t0 in
-  Validate.check_exn sched;
+  check_or_die "computed schedule" sched;
   Format.printf "%a@." Schedule.pp_summary sched;
   Format.printf "%a@." Metrics.pp (Metrics.compute sched);
   Printf.printf "scheduler wall-clock: %.3fs\n" elapsed;
@@ -279,31 +304,62 @@ let schedule_cmd =
 (* ------------------------------------------------------------------ *)
 (* replay                                                              *)
 
-let replay path trials jitter_pct delays_only seed =
+let replay_jitter sched trials jitter_pct delays_only seed =
+  let module Executor = Resched_sim.Executor in
+  let f = float_of_int jitter_pct /. 100. in
+  let jitter =
+    if jitter_pct = 0 then Executor.Deterministic
+    else if delays_only then Executor.Delay_only f
+    else Executor.Uniform f
+  in
+  let rng = Rng.create seed in
+  if trials <= 1 then begin
+    let t = Executor.execute ~rng ~jitter sched in
+    Printf.printf "realized makespan: %d (static %d)\n" t.Executor.makespan
+      (Schedule.makespan sched)
+  end
+  else begin
+    let r = Executor.robustness ~rng ~trials ~jitter sched in
+    Format.printf "%a@." Executor.pp_robustness r
+  end
+
+let replay_faults sched trials seed jobs policy =
+  let module Executor = Resched_sim.Executor in
+  let module Fault = Resched_sim.Fault in
+  let module Campaign = Resched_sim.Campaign in
+  let module Repair = Resched_core.Repair in
+  if trials <= 1 then begin
+    (* Single trial: narrate the run event by event. *)
+    let plan = Fault.sample (Rng.create seed) sched in
+    let t = Executor.replay_faults ~policy ~plan sched in
+    List.iter (fun e -> Format.printf "fired:  %a@." Fault.pp_event e)
+      t.Executor.fired;
+    List.iter (fun a -> Format.printf "action: %a@." Repair.pp_action a)
+      t.Executor.actions;
+    if t.Executor.moot > 0 then
+      Printf.printf "%d sampled event(s) became moot\n" t.Executor.moot;
+    (match t.Executor.failure with
+    | Some msg -> Printf.printf "unrecovered: %s\n" msg
+    | None -> ());
+    Printf.printf "%s under %s: makespan %d -> %d (x%.3f)\n"
+      (if t.Executor.survived then "survived" else "FAILED")
+      (Repair.policy_name policy)
+      t.Executor.static_makespan t.Executor.final_makespan
+      t.Executor.degradation
+  end
+  else begin
+    let s = Campaign.run ~jobs ~trials ~seed ~policy sched in
+    Format.printf "%a@." Campaign.pp_summary s
+  end
+
+let replay path trials jitter_pct delays_only seed faults policy jobs =
   match Resched_core.Schedule_io.load path with
-  | Error msg ->
-    Printf.eprintf "error: cannot load %s: %s\n" path msg;
-    1
+  | Error msg -> die exit_io "cannot load %s: %s" path msg
   | Ok sched ->
-    Validate.check_exn sched;
+    check_or_die "loaded schedule" sched;
     Format.printf "loaded: %a@." Schedule.pp_summary sched;
-    let module Executor = Resched_sim.Executor in
-    let f = float_of_int jitter_pct /. 100. in
-    let jitter =
-      if jitter_pct = 0 then Executor.Deterministic
-      else if delays_only then Executor.Delay_only f
-      else Executor.Uniform f
-    in
-    let rng = Rng.create seed in
-    if trials <= 1 then begin
-      let t = Executor.execute ~rng ~jitter sched in
-      Printf.printf "realized makespan: %d (static %d)\n" t.Executor.makespan
-        (Schedule.makespan sched)
-    end
-    else begin
-      let r = Executor.robustness ~rng ~trials ~jitter sched in
-      Format.printf "%a@." Executor.pp_robustness r
-    end;
+    if faults then replay_faults sched trials seed jobs policy
+    else replay_jitter sched trials jitter_pct delays_only seed;
     0
 
 let replay_cmd =
@@ -323,9 +379,41 @@ let replay_cmd =
     let doc = "Jitter can only delay tasks, never shorten them." in
     Arg.(value & flag & info [ "delays-only" ] ~doc)
   in
-  let doc = "replay a saved schedule under runtime jitter (resched_sim)" in
+  let faults =
+    let doc =
+      "Fault-injection mode: replay against seeded fault plans \
+       (reconfiguration failures, task overruns, region deaths) with \
+       self-healing repair instead of duration jitter. With --trials 1 \
+       the single run is narrated event by event."
+    in
+    Arg.(value & flag & info [ "faults" ] ~doc)
+  in
+  let policy =
+    let policy_conv =
+      let parse s =
+        match Resched_core.Repair.policy_of_string s with
+        | Ok p -> Ok p
+        | Error msg -> Error (`Msg msg)
+      in
+      Arg.conv
+        ( parse,
+          fun ppf p ->
+            Format.pp_print_string ppf (Resched_core.Repair.policy_name p) )
+    in
+    let doc = "Recovery policy: retry, sw-fallback or resched-tail." in
+    Arg.(
+      value
+      & opt policy_conv Resched_core.Repair.Sw_fallback
+      & info [ "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let doc =
+    "replay a saved schedule under runtime jitter or injected faults \
+     (resched_sim)"
+  in
   Cmd.v (Cmd.info "replay" ~doc)
-    Term.(const replay $ file $ trials $ jitter $ delays_only $ seed_arg)
+    Term.(
+      const replay $ file $ trials $ jitter $ delays_only $ seed_arg $ faults
+      $ policy $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)
@@ -346,7 +434,7 @@ let compare_ path budget_ms seed jobs =
           ~seed ~jobs inst
       in
       let elapsed = Unix.gettimeofday () -. t0 in
-      Validate.check_exn sched;
+      check_or_die (name ^ " schedule") sched;
       let m = Metrics.compute sched in
       Table.add_row table
         [
@@ -411,8 +499,22 @@ let () =
      systems"
   in
   let info = Cmd.info "fpga_sched" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [ generate_cmd; show_cmd; schedule_cmd; replay_cmd; compare_cmd;
+        suite_cmd ]
+  in
+  (* [~catch:false] so operational failures surface as one-line errors
+     with our exit codes instead of cmdliner's backtrace dump. *)
   exit
-    (Cmd.eval'
-       (Cmd.group info
-          [ generate_cmd; show_cmd; schedule_cmd; replay_cmd; compare_cmd;
-            suite_cmd ]))
+    (try Cmd.eval' ~catch:false group with
+    | Sys_error msg -> Printf.eprintf "fpga_sched: error: %s\n" msg; exit_io
+    | Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "fpga_sched: error: %s: %s%s\n" fn
+        (Unix.error_message e)
+        (if arg = "" then "" else " (" ^ arg ^ ")");
+      exit_io
+    | Validate.Invalid vs ->
+      Printf.eprintf "fpga_sched: error: invalid schedule (%d violation(s))\n"
+        (List.length vs);
+      exit_invalid)

@@ -118,8 +118,10 @@ module Solver = struct
     rec_end : int array;
   }
 
-  let create state ~reconfigs =
-    let n = Instance.size state.State.inst in
+  let of_plan ~graph ~durations:task_durations ~reconfigs =
+    let n = Graph.size graph in
+    if Array.length task_durations <> n then
+      invalid_arg "Timing.Solver.of_plan: durations length mismatch";
     let nr = Array.length reconfigs in
     let total = n + nr in
     let succ = Array.make total [] in
@@ -129,7 +131,7 @@ module Solver = struct
       base_indeg.(v) <- base_indeg.(v) + 1
     in
     for u = 0 to n - 1 do
-      List.iter (fun v -> add u v) (Graph.succs state.State.dep u)
+      List.iter (fun v -> add u v) (Graph.succs graph u)
     done;
     Array.iteri
       (fun k spec ->
@@ -154,7 +156,7 @@ module Solver = struct
     off.(total) <- !c;
     let durations =
       Array.init total (fun i ->
-          if i < n then State.duration state i else reconfigs.(i - n).dur)
+          if i < n then task_durations.(i) else reconfigs.(i - n).dur)
     in
     {
       n;
@@ -174,7 +176,11 @@ module Solver = struct
       rec_end = Array.make (Stdlib.max 1 nr) 0;
     }
 
-  let resolve s ~sequence =
+  let create state ~reconfigs =
+    of_plan ~graph:state.State.dep ~durations:(State.durations state)
+      ~reconfigs
+
+  let resolve ?release s ~sequence =
     let { n; nr; indeg; queue; t_min; chain_next; durations; _ } = s in
     let total = n + nr in
     Array.fill chain_next 0 nr (-1);
@@ -187,7 +193,12 @@ module Solver = struct
       | [ _ ] | [] -> ()
     in
     chain sequence;
-    Array.fill t_min 0 total 0;
+    (match release with
+    | None -> Array.fill t_min 0 total 0
+    | Some r ->
+      if Array.length r <> total then
+        invalid_arg "Timing.Solver.resolve: release length mismatch";
+      Array.blit r 0 t_min 0 total);
     let head = ref 0 and tail = ref 0 in
     for u = 0 to total - 1 do
       if indeg.(u) = 0 then begin

@@ -65,8 +65,19 @@ module Solver : sig
       dependencies and durations: it must not outlive further mutations
       of the state. *)
 
-  val resolve : t -> sequence:int list -> resolved
+  val of_plan : graph:Resched_taskgraph.Graph.t -> durations:int array ->
+    reconfigs:reconf_spec array -> t
+  (** {!create} decoupled from the scheduler state: compile an explicit
+      precedence graph over the task nodes (one [durations] entry per
+      node) plus the reconfiguration nodes described by [reconfigs].
+      Used by the schedule-repair engine, whose precedence structure
+      comes from a finished {!Schedule.t} rather than a live state. *)
+
+  val resolve : ?release:int array -> t -> sequence:int list -> resolved
   (** Same contract as {!resolve} for this solver's state and reconfigs.
-      The arrays of the result are owned by the solver and overwritten
-      by the next [resolve]; callers must copy whatever they retain. *)
+      [release] (length task nodes + reconfiguration nodes, default all
+      zero) gives a per-node earliest start: no activity begins before
+      its release time, on top of every precedence constraint. The
+      arrays of the result are owned by the solver and overwritten by
+      the next [resolve]; callers must copy whatever they retain. *)
 end

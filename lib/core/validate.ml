@@ -7,7 +7,20 @@ module Floorplanner = Resched_floorplan.Floorplanner
 
 type violation = { code : string; message : string }
 
+exception Invalid of violation list
+
 let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.code v.message
+
+let () =
+  Printexc.register_printer (function
+    | Invalid vs ->
+      Some
+        (Printf.sprintf "invalid schedule:\n  %s"
+           (String.concat "\n  "
+              (List.map
+                 (fun v -> Printf.sprintf "[%s] %s" v.code v.message)
+                 vs)))
+    | _ -> None)
 
 let overlap a_start a_end b_start b_end = a_start < b_end && b_start < a_end
 
@@ -160,17 +173,51 @@ let check (sched : Schedule.t) =
       in
       walk ordered)
     sched.Schedule.regions;
-  (* Processor exclusiveness. *)
-  for u = 0 to n - 1 do
-    for v = u + 1 to n - 1 do
-      match ((slot u).Schedule.placement, (slot v).Schedule.placement) with
-      | Schedule.On_processor p, Schedule.On_processor q when p = q ->
-        if overlap (slot u).Schedule.start_ (slot u).Schedule.end_
-             (slot v).Schedule.start_ (slot v).Schedule.end_
-        then fail "EXCL" "processor %d: tasks %d and %d overlap" p u v
-      | _ -> ()
-    done
+  (* Processor exclusiveness: per-processor sort-and-sweep. Sorted by
+     start time, two slots on the same processor overlap iff a slot
+     starts before its predecessor in the order ends — adjacent pairs
+     suffice, so the all-pairs quadratic scan collapses to sort + one
+     linear walk per processor. *)
+  let procs = inst.Instance.arch.Arch.processors in
+  let per_proc = Array.make (Stdlib.max 1 procs) [] in
+  for u = n - 1 downto 0 do
+    match (slot u).Schedule.placement with
+    | Schedule.On_processor p when p >= 0 && p < procs ->
+      per_proc.(p) <- u :: per_proc.(p)
+    | Schedule.On_processor _ | Schedule.On_region _ -> ()
   done;
+  Array.iteri
+    (fun p tasks ->
+      let ordered =
+        List.sort
+          (fun a b ->
+            let c = compare (slot a).Schedule.start_ (slot b).Schedule.start_ in
+            if c <> 0 then c else compare a b)
+          tasks
+      in
+      (* Walk in start order keeping the slot with the furthest end seen
+         so far: any slot starting before that end overlaps the witness
+         (a zero-length slot never overlaps anything). *)
+      let rec sweep witness = function
+        | u :: tl ->
+          let s = slot u in
+          (match witness with
+          | Some w
+            when s.Schedule.start_ < (slot w).Schedule.end_
+                 && overlap (slot w).Schedule.start_ (slot w).Schedule.end_
+                      s.Schedule.start_ s.Schedule.end_ ->
+            fail "EXCL" "processor %d: tasks %d and %d overlap" p w u
+          | Some _ | None -> ());
+          let witness =
+            match witness with
+            | Some w when (slot w).Schedule.end_ >= s.Schedule.end_ -> Some w
+            | Some _ | None -> Some u
+          in
+          sweep witness tl
+        | [] -> ()
+      in
+      sweep None ordered)
+    per_proc;
   (* Single reconfiguration controller. *)
   let rcs = Array.of_list sched.Schedule.reconfigurations in
   Array.iteri
@@ -211,8 +258,4 @@ let check (sched : Schedule.t) =
   match List.rev !violations with [] -> Ok () | vs -> Error vs
 
 let check_exn sched =
-  match check sched with
-  | Ok () -> ()
-  | Error vs ->
-    let msgs = List.map (fun v -> Printf.sprintf "[%s] %s" v.code v.message) vs in
-    failwith ("invalid schedule:\n  " ^ String.concat "\n  " msgs)
+  match check sched with Ok () -> () | Error vs -> raise (Invalid vs)

@@ -16,11 +16,16 @@ type violation = {
   message : string;
 }
 
+exception Invalid of violation list
+(** Structured failure carrying every violation found; a printer is
+    registered with {!Printexc} so uncaught instances still render a
+    readable report. *)
+
 val check : Schedule.t -> (unit, violation list) result
 (** All violations found, or [Ok ()]. *)
 
 val check_exn : Schedule.t -> unit
-(** Raises [Failure] with a readable report when the schedule is
+(** Raises {!Invalid} with the full violation list when the schedule is
     invalid. *)
 
 val pp_violation : Format.formatter -> violation -> unit

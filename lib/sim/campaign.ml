@@ -1,0 +1,101 @@
+module Rng = Resched_util.Rng
+module Stats = Resched_util.Stats
+module Domain_pool = Resched_util.Domain_pool
+module Schedule = Resched_core.Schedule
+module Validate = Resched_core.Validate
+module Repair = Resched_core.Repair
+
+type summary = {
+  policy : Repair.policy;
+  trials : int;
+  survived : int;
+  survival_rate : float;
+  faults_fired : int;
+  faults_moot : int;
+  mean_degradation : float;
+  p95_degradation : float;
+  worst_degradation : float;
+  actions : (string * int) list;
+  all_valid : bool;
+}
+
+let run ?(jobs = 1) ?(spec = Fault.default_spec) ~trials ~seed ~policy
+    (sched : Schedule.t) =
+  if trials <= 0 then invalid_arg "Campaign.run: trials must be positive";
+  if jobs < 1 then invalid_arg "Campaign.run: jobs must be positive";
+  (* One SplitMix64 sub-seed per trial, drawn sequentially up front:
+     trial [i] is a pure function of [seeds.(i)], so the partition of
+     trials over worker domains cannot influence any result. *)
+  let master = Rng.create seed in
+  let seeds = Array.init trials (fun _ -> Int64.to_int (Rng.bits64 master)) in
+  let results : Executor.fault_trial option array = Array.make trials None in
+  let jobs = Stdlib.min jobs trials in
+  Domain_pool.run ~jobs (fun w ->
+      let i = ref w in
+      while !i < trials do
+        let rng = Rng.create seeds.(!i) in
+        let plan = Fault.sample rng ~spec sched in
+        results.(!i) <- Some (Executor.replay_faults ~policy ~plan sched);
+        i := !i + jobs
+      done)
+  |> ignore;
+  let trial i =
+    match results.(i) with Some t -> t | None -> assert false
+  in
+  let survived = ref 0 in
+  let fired = ref 0 in
+  let moot = ref 0 in
+  let histogram = Hashtbl.create 8 in
+  let degradations = ref [] in
+  let all_valid = ref true in
+  for i = 0 to trials - 1 do
+    let t = trial i in
+    if t.Executor.survived then begin
+      incr survived;
+      degradations := t.Executor.degradation :: !degradations
+    end;
+    fired := !fired + List.length t.Executor.fired;
+    moot := !moot + t.Executor.moot;
+    List.iter
+      (fun a ->
+        let k = Repair.action_key a in
+        Hashtbl.replace histogram k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt histogram k)))
+      t.Executor.actions;
+    (* The repair engine validates every schedule it returns; re-check
+       the survivors here anyway so the campaign's [all_valid] flag is
+       an end-to-end fact, not a restatement of Repair's contract. *)
+    if t.Executor.survived && Validate.check t.Executor.schedule <> Ok () then
+      all_valid := false
+  done;
+  let degr = Array.of_list (List.rev !degradations) in
+  let actions =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) histogram []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    policy;
+    trials;
+    survived = !survived;
+    survival_rate = float_of_int !survived /. float_of_int trials;
+    faults_fired = !fired;
+    faults_moot = !moot;
+    mean_degradation = (if degr = [||] then 0. else Stats.mean degr);
+    p95_degradation = (if degr = [||] then 0. else Stats.percentile degr 95.);
+    worst_degradation = (if degr = [||] then 0. else Stats.max degr);
+    actions;
+    all_valid = !all_valid;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%s: %d/%d survived (%.1f%%), degradation mean x%.3f p95 x%.3f worst \
+     x%.3f, %d fault(s) fired (%d moot), actions [%s]%s"
+    (Repair.policy_name s.policy)
+    s.survived s.trials
+    (100. *. s.survival_rate)
+    s.mean_degradation s.p95_degradation s.worst_degradation s.faults_fired
+    s.faults_moot
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%s:%d" k v) s.actions))
+    (if s.all_valid then "" else " INVALID-REPAIR")

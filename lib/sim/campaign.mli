@@ -1,0 +1,38 @@
+(** Monte-Carlo fault campaigns.
+
+    Runs many independent fault-injection replays of one schedule —
+    each trial samples a fresh {!Fault.plan} from its own SplitMix64
+    sub-seed and executes {!Executor.replay_faults} under the chosen
+    recovery policy — and aggregates survival rate, the
+    makespan-degradation distribution over surviving trials, and a
+    histogram of recovery actions.
+
+    Trials fan out over OCaml domains ({!Resched_util.Domain_pool});
+    each trial is a pure function of its pre-drawn sub-seed, so a
+    campaign is bit-identical for equal seeds at any [jobs]. *)
+
+type summary = {
+  policy : Resched_core.Repair.policy;
+  trials : int;
+  survived : int;
+  survival_rate : float;  (** survived / trials *)
+  faults_fired : int;  (** total events that struck, over all trials *)
+  faults_moot : int;  (** sampled events that no longer applied *)
+  mean_degradation : float;
+      (** mean realized/static makespan over surviving trials *)
+  p95_degradation : float;
+  worst_degradation : float;
+  actions : (string * int) list;
+      (** recovery-action histogram, sorted by key
+          ({!Resched_core.Repair.action_key}) *)
+  all_valid : bool;
+      (** every surviving trial's final schedule re-passed
+          {!Resched_core.Validate.check} *)
+}
+
+val run : ?jobs:int -> ?spec:Fault.spec -> trials:int -> seed:int ->
+  policy:Resched_core.Repair.policy -> Resched_core.Schedule.t -> summary
+(** [jobs] defaults to 1 (sequential); results do not depend on it.
+    Raises [Invalid_argument] on non-positive [trials] or [jobs]. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -17,6 +17,8 @@ type trial = {
   task_end : int array;
 }
 
+exception Replay_error of string
+
 (* Node layout of the replay DAG: tasks 0..n-1, then one node per
    reconfiguration in the schedule's controller order. *)
 let replay_graph (sched : Schedule.t) =
@@ -28,11 +30,22 @@ let replay_graph (sched : Schedule.t) =
   (* Data dependencies. *)
   List.iter (fun (u, v) -> Graph.add_edge g u v) (Graph.edges inst.Instance.graph);
   (* Per-region order with the reconfiguration between each pair (when
-     one exists; with module reuse the pair is chained directly). *)
+     one exists; with module reuse the pair is chained directly). The
+     key (region, t_in, t_out) must be unique: a duplicate would
+     silently collapse under [Hashtbl.replace], replaying one fewer
+     controller occupation than the schedule declares. *)
   let rc_index = Hashtbl.create 16 in
   Array.iteri
     (fun k (rc : Schedule.reconfiguration) ->
-      Hashtbl.replace rc_index (rc.Schedule.region, rc.Schedule.t_in, rc.Schedule.t_out) k)
+      let key = (rc.Schedule.region, rc.Schedule.t_in, rc.Schedule.t_out) in
+      if Hashtbl.mem rc_index key then
+        raise
+          (Replay_error
+             (Printf.sprintf
+                "duplicate reconfiguration (region %d, %d->%d) in the \
+                 controller sequence"
+                rc.Schedule.region rc.Schedule.t_in rc.Schedule.t_out));
+      Hashtbl.replace rc_index key k)
     rcs;
   Array.iteri
     (fun ridx (_ : Schedule.region) ->
@@ -156,3 +169,106 @@ let pp_robustness ppf r =
     "%d trials: static %d, mean %.0f (x%.3f), p95 %.0f, worst %d" r.trials
     r.static_makespan r.mean_makespan r.mean_slowdown r.p95_makespan
     r.worst_makespan
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection replay                                              *)
+
+module Repair = Resched_core.Repair
+
+type fault_trial = {
+  survived : bool;
+  fired : Fault.event list;  (** events that struck, in firing order *)
+  moot : int;  (** sampled events that no longer applied *)
+  actions : Repair.action list;
+  schedule : Schedule.t;  (** last valid schedule (fully repaired iff
+                              [survived]) *)
+  static_makespan : int;
+  final_makespan : int;
+  degradation : float;
+  failure : string option;
+}
+
+(* When does a pending event strike, measured against the *current*
+   (possibly already repaired) schedule? [None] = the event no longer
+   applies: its reconfiguration was dropped by an earlier migration. *)
+let trigger_time (sched : Schedule.t) = function
+  | Fault.Overrun { task; _ } -> Some sched.Schedule.slots.(task).Schedule.end_
+  | Fault.Region_death { at; _ } -> Some at
+  | Fault.Reconf_fail { region; t_in; t_out; _ } ->
+    List.find_map
+      (fun (rc : Schedule.reconfiguration) ->
+        if
+          rc.Schedule.region = region && rc.Schedule.t_in = t_in
+          && rc.Schedule.t_out = t_out
+        then Some rc.Schedule.r_start
+        else None)
+      sched.Schedule.reconfigurations
+
+let fault_of_event (sched : Schedule.t) = function
+  | Fault.Reconf_fail { region; t_in; t_out; failures } ->
+    Repair.Reconf_failed { region; t_in; t_out; failures }
+  | Fault.Region_death { region; _ } -> Repair.Region_dead { region }
+  | Fault.Overrun { task; factor } ->
+    let s = sched.Schedule.slots.(task) in
+    let nominal = s.Schedule.end_ - s.Schedule.start_ in
+    let extra =
+      Stdlib.max 1
+        (int_of_float (Float.round (float_of_int nominal *. (factor -. 1.))))
+    in
+    Repair.Task_overrun { task; end_at = s.Schedule.end_ + extra }
+
+let replay_faults ~policy ~(plan : Fault.plan) (sched0 : Schedule.t) =
+  let static = Schedule.makespan sched0 in
+  let finish sched ~fired ~moot ~actions ~failure =
+    let final = Schedule.makespan sched in
+    {
+      survived = failure = None;
+      fired = List.rev fired;
+      moot;
+      actions = List.rev actions;
+      schedule = sched;
+      static_makespan = static;
+      final_makespan = final;
+      degradation = float_of_int final /. float_of_int (Stdlib.max 1 static);
+      failure;
+    }
+  in
+  (* Event-driven loop: at each step, fire the pending event with the
+     earliest strike time in the current schedule (plan order breaks
+     ties), repair, and continue on the repaired schedule. Strike times
+     are re-read every step because each repair can shift, drop or
+     compact the activities later events reference. *)
+  let rec loop sched pending ~fired ~moot ~actions =
+    let live, newly_moot =
+      List.partition (fun (_, ev) -> trigger_time sched ev <> None) pending
+    in
+    let moot = moot + List.length newly_moot in
+    let next =
+      List.fold_left
+        (fun best (idx, ev) ->
+          match trigger_time sched ev with
+          | None -> best
+          | Some t -> (
+            match best with
+            | Some (bt, bidx, _) when (bt, bidx) <= (t, idx) -> best
+            | Some _ | None -> Some (t, idx, ev)))
+        None live
+    in
+    match next with
+    | None -> finish sched ~fired ~moot ~actions ~failure:None
+    | Some (at, idx, ev) -> (
+      let pending = List.filter (fun (i, _) -> i <> idx) live in
+      let fault = fault_of_event sched ev in
+      match
+        Repair.repair ~max_attempts:plan.Fault.spec.Fault.max_attempts
+          ~backoff:plan.Fault.spec.Fault.backoff ~policy ~at ~fault sched
+      with
+      | Ok (repaired, acts) ->
+        loop repaired pending ~fired:(ev :: fired) ~moot
+          ~actions:(List.rev_append acts actions)
+      | Error msg ->
+        finish sched ~fired:(ev :: fired) ~moot ~actions ~failure:(Some msg))
+  in
+  loop sched0
+    (List.mapi (fun i ev -> (i, ev)) plan.Fault.events)
+    ~fired:[] ~moot:0 ~actions:[]

@@ -32,10 +32,16 @@ type trial = {
   task_end : int array;
 }
 
+exception Replay_error of string
+(** The schedule cannot be replayed faithfully — currently: two
+    reconfigurations share a (region, ingoing, outgoing) identity, which
+    would silently collapse to a single controller occupation. *)
+
 val execute : ?rng:Resched_util.Rng.t -> jitter:jitter ->
   Resched_core.Schedule.t -> trial
 (** One realization. [rng] is required for stochastic jitter kinds
-    (raises [Invalid_argument] when missing). *)
+    (raises [Invalid_argument] when missing). Raises {!Replay_error}
+    when the schedule's reconfiguration list is ambiguous. *)
 
 type robustness = {
   trials : int;
@@ -51,3 +57,36 @@ val robustness : rng:Resched_util.Rng.t -> trials:int -> jitter:jitter ->
 (** Monte-Carlo summary over independent realizations. *)
 
 val pp_robustness : Format.formatter -> robustness -> unit
+
+(** {1 Fault-injection replay}
+
+    Event-driven replay against a {!Fault.plan}: pending fault events
+    strike in order of their trigger time *in the current schedule*
+    (the reconfiguration's start, the task's committed end, the region
+    death instant), each one is handed to the
+    {!Resched_core.Repair} policy, and the run continues on the
+    repaired schedule. A policy that cannot recover a fault ends the
+    trial unsurvived; every intermediate schedule is validated by the
+    repair engine before the run continues on it. *)
+
+type fault_trial = {
+  survived : bool;
+  fired : Fault.event list;  (** events that struck, in firing order *)
+  moot : int;
+      (** sampled events that no longer applied when their turn came
+          (e.g. the reconfiguration was dropped by an earlier
+          migration) *)
+  actions : Resched_core.Repair.action list;
+      (** recovery actions, in execution order *)
+  schedule : Resched_core.Schedule.t;
+      (** last valid schedule — fully repaired iff [survived] *)
+  static_makespan : int;
+  final_makespan : int;
+  degradation : float;  (** final / static *)
+  failure : string option;  (** why the trial ended, when not survived *)
+}
+
+val replay_faults : policy:Resched_core.Repair.policy -> plan:Fault.plan ->
+  Resched_core.Schedule.t -> fault_trial
+(** Deterministic: equal (schedule, plan, policy) triples produce equal
+    trials. *)

@@ -1,0 +1,99 @@
+module Rng = Resched_util.Rng
+module Schedule = Resched_core.Schedule
+
+type spec = {
+  p_reconf_fail : float;
+  p_reconf_permanent : float;
+  p_overrun : float;
+  overrun_factor : float;
+  p_region_death : float;
+  max_attempts : int;
+  backoff : int;
+}
+
+let default_spec =
+  {
+    p_reconf_fail = 0.10;
+    p_reconf_permanent = 0.25;
+    p_overrun = 0.08;
+    overrun_factor = 2.0;
+    p_region_death = 0.05;
+    max_attempts = 3;
+    backoff = 1;
+  }
+
+type event =
+  | Reconf_fail of { region : int; t_in : int; t_out : int; failures : int }
+  | Overrun of { task : int; factor : float }
+  | Region_death of { region : int; at : int }
+
+type plan = { spec : spec; events : event list }
+
+let pp_event ppf = function
+  | Reconf_fail { region; t_in; t_out; failures } ->
+    Format.fprintf ppf "reconf-fail(region %d, %d->%d, %d failure(s))" region
+      t_in t_out failures
+  | Overrun { task; factor } ->
+    Format.fprintf ppf "overrun(task %d, x%.2f)" task factor
+  | Region_death { region; at } ->
+    Format.fprintf ppf "region-death(region %d at %d)" region at
+
+let check_spec spec =
+  let prob name p =
+    if p < 0. || p > 1. then
+      invalid_arg (Printf.sprintf "Fault.sample: %s must be in [0,1]" name)
+  in
+  prob "p_reconf_fail" spec.p_reconf_fail;
+  prob "p_reconf_permanent" spec.p_reconf_permanent;
+  prob "p_overrun" spec.p_overrun;
+  prob "p_region_death" spec.p_region_death;
+  if spec.overrun_factor <= 1. then
+    invalid_arg "Fault.sample: overrun_factor must exceed 1";
+  if spec.max_attempts < 1 then
+    invalid_arg "Fault.sample: max_attempts must be positive";
+  if spec.backoff < 0 then
+    invalid_arg "Fault.sample: backoff must be non-negative"
+
+(* Sampling walks the schedule in a fixed order (tasks ascending, then
+   the reconfiguration list in controller order, then regions ascending)
+   so a plan is a pure function of (seed, schedule). Events carry stable
+   identities — task ids, region ids, (region, t_in, t_out) keys — not
+   list positions, so they survive the structural edits repairs make. *)
+let sample rng ?(spec = default_spec) (sched : Schedule.t) =
+  check_spec spec;
+  let n = Array.length sched.Schedule.slots in
+  let events = ref [] in
+  for u = 0 to n - 1 do
+    if Rng.float rng 1.0 < spec.p_overrun then begin
+      let factor = 1. +. Rng.float rng (spec.overrun_factor -. 1.) in
+      events := Overrun { task = u; factor } :: !events
+    end
+  done;
+  List.iter
+    (fun (rc : Schedule.reconfiguration) ->
+      if Rng.float rng 1.0 < spec.p_reconf_fail then begin
+        let permanent = Rng.float rng 1.0 < spec.p_reconf_permanent in
+        let failures =
+          if permanent || spec.max_attempts = 1 then spec.max_attempts
+          else 1 + Rng.int rng (spec.max_attempts - 1)
+        in
+        events :=
+          Reconf_fail
+            {
+              region = rc.Schedule.region;
+              t_in = rc.Schedule.t_in;
+              t_out = rc.Schedule.t_out;
+              failures;
+            }
+          :: !events
+      end)
+    sched.Schedule.reconfigurations;
+  Array.iteri
+    (fun ridx (_ : Schedule.region) ->
+      if Rng.float rng 1.0 < spec.p_region_death then begin
+        let horizon = Stdlib.max 1 sched.Schedule.makespan in
+        let at = Rng.int rng horizon in
+        events := Region_death { region = ridx; at } :: !events
+      end)
+    sched.Schedule.regions;
+  { spec; events = List.rev !events }

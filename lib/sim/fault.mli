@@ -1,0 +1,50 @@
+(** Seeded fault plans for the executor's fault-injection replay.
+
+    A fault plan is a deterministic function of (seed, schedule): it
+    lists the faults that will strike a particular run — bitstream
+    loads that fail (with a bounded number of retry attempts available
+    before the load is declared permanently broken), tasks that overrun
+    beyond any modelled jitter, and regions that die outright at some
+    instant. The executor replays the schedule against the plan and
+    hands each fault to a {!Resched_core.Repair} policy as it fires.
+
+    Determinism is load-bearing: campaigns fan trials out over domains,
+    and equal seeds must produce bit-identical results at any worker
+    count, so sampling draws from the caller's
+    {!Resched_util.Rng.t} in a fixed schedule-walk order and events
+    reference activities by stable identity (task id, region id,
+    [(region, t_in, t_out)]) rather than by list position. *)
+
+type spec = {
+  p_reconf_fail : float;  (** per-reconfiguration failure probability *)
+  p_reconf_permanent : float;
+      (** probability that a failing load never succeeds (otherwise it
+          succeeds within the retry budget) *)
+  p_overrun : float;  (** per-task overrun probability *)
+  overrun_factor : float;
+      (** overrun durations stretch by a factor drawn uniformly from
+          (1, overrun_factor]; must exceed 1 *)
+  p_region_death : float;  (** per-region permanent-death probability *)
+  max_attempts : int;  (** reconfiguration retry budget (>= 1) *)
+  backoff : int;  (** idle ticks after each failed attempt (>= 0) *)
+}
+
+val default_spec : spec
+(** 10% reconfiguration failures (a quarter of them permanent), 8%
+    overruns up to 2x, 5% region deaths, 3 attempts, backoff 1. *)
+
+type event =
+  | Reconf_fail of { region : int; t_in : int; t_out : int; failures : int }
+      (** [failures >= max_attempts] means the load never succeeds *)
+  | Overrun of { task : int; factor : float }
+  | Region_death of { region : int; at : int }
+
+type plan = { spec : spec; events : event list }
+
+val sample : Resched_util.Rng.t -> ?spec:spec -> Resched_core.Schedule.t ->
+  plan
+(** Draw a fault plan for one run of the schedule. Equal generator
+    states yield equal plans. Raises [Invalid_argument] on a malformed
+    [spec]. *)
+
+val pp_event : Format.formatter -> event -> unit
