@@ -171,23 +171,39 @@ let algo_conv =
   in
   Arg.conv (parse, fun ppf _ -> Format.fprintf ppf "<algo>")
 
-let run_algo algo ~budget_s ~reuse ~seed ~jobs inst =
+let run_algo ?cache algo ~budget_s ~reuse ~seed ~jobs inst =
+  (* All algorithms consult the same floorplan oracle, so one shared
+     [cache] (as in [compare_]) lets PA's shrink attempts, PA-R's
+     iterations and the IS-k/HEFT retry loops reuse each other's
+     verdicts. *)
   match algo with
   | A_pa ->
-    let config = { Pa.default_config with Pa.module_reuse = reuse } in
+    let config =
+      { Pa.default_config with Pa.module_reuse = reuse; floorplan_cache = cache }
+    in
     fst (Pa.run ~config inst)
   | A_par -> (
     let config = { Pa.default_config with Pa.module_reuse = reuse } in
-    let cache = Resched_floorplan.Fp_cache.create () in
+    let cache =
+      match cache with
+      | Some c -> c
+      | None -> Resched_floorplan.Fp_cache.create ()
+    in
+    let before = Resched_floorplan.Fp_cache.stats cache in
     let outcome =
       Pa_random.run_parallel ~config ~seed ~jobs ~cache
         ~budget_seconds:budget_s inst
     in
-    let st = Resched_floorplan.Fp_cache.stats cache in
+    let st =
+      Resched_floorplan.Fp_cache.diff
+        (Resched_floorplan.Fp_cache.stats cache)
+        before
+    in
     Logs.info (fun m ->
-        m "PA-R: %d iterations on %d worker(s); floorplan cache %d hits / %d \
-           misses"
+        m "PA-R: %d iterations on %d worker(s); floorplan cache %d exact + %d \
+           subsumption hits / %d misses"
           outcome.Pa_random.iterations jobs st.Resched_floorplan.Fp_cache.hits
+          st.Resched_floorplan.Fp_cache.sub_hits
           st.Resched_floorplan.Fp_cache.misses);
     match outcome.Pa_random.schedule with
     | Some sched -> sched
@@ -205,6 +221,7 @@ let run_algo algo ~budget_s ~reuse ~seed ~jobs inst =
              (Isk.config ~k:1) with
              Isk.module_reuse = reuse;
              Isk.floorplan_jobs = jobs;
+             Isk.floorplan_cache = cache;
            }
          inst)
   | A_is5 ->
@@ -215,9 +232,10 @@ let run_algo algo ~budget_s ~reuse ~seed ~jobs inst =
              (Isk.config ~k:5) with
              Isk.module_reuse = reuse;
              Isk.floorplan_jobs = jobs;
+             Isk.floorplan_cache = cache;
            }
          inst)
-  | A_heft -> List_sched.run ~module_reuse:reuse inst
+  | A_heft -> List_sched.run ~module_reuse:reuse ?cache inst
   | A_sw -> Pa.all_software_schedule inst
 
 let schedule path algo budget_ms reuse seed jobs gantt save svg_gantt
@@ -424,11 +442,16 @@ let compare_ path budget_ms seed jobs =
     Table.create
       [ "algorithm"; "makespan"; "HW/SW"; "regions"; "reconf %"; "time [s]" ]
   in
+  (* One oracle for the whole comparison: every algorithm probes the same
+     region multisets near the feasibility frontier, so verdicts cross
+     over between algorithms (and the subsumption index answers the
+     shrunken variants). *)
+  let cache = Resched_floorplan.Fp_cache.create () in
   List.iter
     (fun (name, algo) ->
       let t0 = Unix.gettimeofday () in
       let sched =
-        run_algo algo
+        run_algo ~cache algo
           ~budget_s:(float_of_int budget_ms /. 1000.)
           ~reuse:(algo = A_is1 || algo = A_is5)
           ~seed ~jobs inst
@@ -450,6 +473,16 @@ let compare_ path budget_ms seed jobs =
       ("HEFT", A_heft); ("SW-only", A_sw);
     ];
   Table.print table;
+  let st = Resched_floorplan.Fp_cache.stats cache in
+  let module F = Resched_floorplan.Fp_cache in
+  let lookups = st.F.hits + st.F.sub_hits + st.F.misses in
+  if lookups > 0 then
+    Printf.printf
+      "shared floorplan cache: %d lookups, %d exact + %d subsumption hits \
+       (%.0f%%), %d misses\n"
+      lookups st.F.hits st.F.sub_hits
+      (100. *. float_of_int (st.F.hits + st.F.sub_hits) /. float_of_int lookups)
+      st.F.misses;
   0
 
 let compare_cmd =

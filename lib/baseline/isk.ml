@@ -3,6 +3,7 @@ module Instance = Resched_platform.Instance
 module Arch = Resched_platform.Arch
 module Schedule = Resched_core.Schedule
 module Floorplanner = Resched_floorplan.Floorplanner
+module Fp_cache = Resched_floorplan.Fp_cache
 module Pa = Resched_core.Pa
 
 type config = {
@@ -12,6 +13,7 @@ type config = {
   floorplan_engine : Floorplanner.engine;
   floorplan_node_limit : int option;
   floorplan_jobs : int;
+  floorplan_cache : Fp_cache.t option;
   max_attempts : int;
   shrink_factor : float;
 }
@@ -25,6 +27,7 @@ let config ~k =
     floorplan_engine = Floorplanner.Backtracking;
     floorplan_node_limit = None;
     floorplan_jobs = 1;
+    floorplan_cache = None;
     max_attempts = 8;
     shrink_factor = 0.9;
   }
@@ -36,6 +39,7 @@ type stats = {
   attempts : int;
   scheduling_seconds : float;
   floorplanning_seconds : float;
+  cache_stats : Fp_cache.stats option;
 }
 
 let chunks_of_order k order =
@@ -75,12 +79,16 @@ let schedule_once ?(config = config ~k:1) ?(resource_scale = 1.0) inst =
       attempts = 1;
       scheduling_seconds = Unix.gettimeofday () -. t0;
       floorplanning_seconds = 0.;
+      cache_stats = None;
     } )
 
 let run ?(config = config ~k:1) inst =
   let device = inst.Instance.arch.Arch.device in
   let sched_time = ref 0. and plan_time = ref 0. in
   let nodes = ref 0 and chunks = ref 0 and all_optimal = ref true in
+  let stats_before =
+    Option.map Fp_cache.stats config.floorplan_cache
+  in
   let rec attempt k scale =
     if k > config.max_attempts then begin
       let t0 = Unix.gettimeofday () in
@@ -102,9 +110,17 @@ let run ?(config = config ~k:1) inst =
         ({ sched with Schedule.floorplan = Some [||] }, k)
       else begin
         let report =
-          Floorplanner.check ~engine:config.floorplan_engine
-            ?node_limit:config.floorplan_node_limit
-            ~jobs:config.floorplan_jobs device needs
+          match config.floorplan_cache with
+          | Some cache ->
+            (* Note: the cache path cannot thread [floorplan_jobs] to the
+               MILP engine; IS-k only uses jobs > 1 with [Milp], which is
+               not the cached configuration. *)
+            Fp_cache.check cache ~engine:config.floorplan_engine
+              ?node_limit:config.floorplan_node_limit device needs
+          | None ->
+            Floorplanner.check ~engine:config.floorplan_engine
+              ?node_limit:config.floorplan_node_limit
+              ~jobs:config.floorplan_jobs device needs
         in
         plan_time := !plan_time +. report.Floorplanner.elapsed;
         match report.Floorplanner.verdict with
@@ -116,6 +132,11 @@ let run ?(config = config ~k:1) inst =
     end
   in
   let sched, attempts = attempt 1 1.0 in
+  let cache_stats =
+    match (config.floorplan_cache, stats_before) with
+    | Some cache, Some before -> Some (Fp_cache.diff (Fp_cache.stats cache) before)
+    | _ -> None
+  in
   ( sched,
     {
       chunks = !chunks;
@@ -124,4 +145,5 @@ let run ?(config = config ~k:1) inst =
       attempts;
       scheduling_seconds = !sched_time;
       floorplanning_seconds = !plan_time;
+      cache_stats;
     } )

@@ -17,13 +17,17 @@ type config = {
   floorplan_node_limit : int option;
   floorplan_jobs : int;
       (** worker domains for the MILP floorplanner's branch-and-bound *)
+  floorplan_cache : Resched_floorplan.Fp_cache.t option;
+      (** when set, the shrink-retry loop consults this shared cache
+          instead of calling the floorplanner directly (note:
+          [floorplan_jobs] is ignored on the cached path) *)
   max_attempts : int;
   shrink_factor : float;
 }
 
 val config : k:int -> config
 (** Defaults: 200_000 nodes per chunk, module reuse on, backtracking
-    floorplanner, 1 floorplan job, 8 attempts, shrink 0.9. *)
+    floorplanner, 1 floorplan job, no cache, 8 attempts, shrink 0.9. *)
 
 type stats = {
   chunks : int;
@@ -32,6 +36,10 @@ type stats = {
   attempts : int;
   scheduling_seconds : float;
   floorplanning_seconds : float;
+  cache_stats : Resched_floorplan.Fp_cache.stats option;
+      (** this run's cache activity ({!Resched_floorplan.Fp_cache.diff}
+          of the shared cache's counters around the run); [None] when no
+          cache is configured or for {!schedule_once} *)
 }
 
 val schedule_once : ?config:config -> ?resource_scale:float ->

@@ -4,6 +4,7 @@ module Arch = Resched_platform.Arch
 module Impl = Resched_platform.Impl
 module Schedule = Resched_core.Schedule
 module Floorplanner = Resched_floorplan.Floorplanner
+module Fp_cache = Resched_floorplan.Fp_cache
 module Pa = Resched_core.Pa
 
 let mean_time inst u =
@@ -53,8 +54,14 @@ let schedule_once ?(module_reuse = false) ?(resource_scale = 1.0) inst =
   let sched = Partial.to_schedule !state in
   { sched with Schedule.resource_scale }
 
-let run ?(module_reuse = false) inst =
+let run_with_stats ?(module_reuse = false) ?cache inst =
   let device = inst.Instance.arch.Arch.device in
+  let stats_before = Option.map Fp_cache.stats cache in
+  let check needs =
+    match cache with
+    | Some cache -> Fp_cache.check cache device needs
+    | None -> Floorplanner.check device needs
+  in
   let rec attempt k scale =
     if k > 8 then Pa.all_software_schedule inst
     else begin
@@ -66,7 +73,7 @@ let run ?(module_reuse = false) inst =
       if Array.length needs = 0 then
         { sched with Schedule.floorplan = Some [||] }
       else begin
-        match (Floorplanner.check device needs).Floorplanner.verdict with
+        match (check needs).Floorplanner.verdict with
         | Floorplanner.Feasible placements ->
           { sched with Schedule.floorplan = Some placements }
         | Floorplanner.Infeasible | Floorplanner.Unknown ->
@@ -74,4 +81,13 @@ let run ?(module_reuse = false) inst =
       end
     end
   in
-  attempt 1 1.0
+  let sched = attempt 1 1.0 in
+  let cache_stats =
+    match (cache, stats_before) with
+    | Some cache, Some before -> Some (Fp_cache.diff (Fp_cache.stats cache) before)
+    | _ -> None
+  in
+  (sched, cache_stats)
+
+let run ?module_reuse ?cache inst =
+  fst (run_with_stats ?module_reuse ?cache inst)

@@ -14,7 +14,15 @@ val upward_ranks : Resched_platform.Instance.t -> float array
 val schedule_once : ?module_reuse:bool -> ?resource_scale:float ->
   Resched_platform.Instance.t -> Resched_core.Schedule.t
 
-val run : ?module_reuse:bool -> Resched_platform.Instance.t ->
-  Resched_core.Schedule.t
+val run : ?module_reuse:bool -> ?cache:Resched_floorplan.Fp_cache.t ->
+  Resched_platform.Instance.t -> Resched_core.Schedule.t
 (** With the same floorplan-validation/shrink-retry loop as PA and
-    IS-k. *)
+    IS-k. [cache], when given, memoizes the floorplan checks in a cache
+    shared with the other schedulers. *)
+
+val run_with_stats : ?module_reuse:bool ->
+  ?cache:Resched_floorplan.Fp_cache.t -> Resched_platform.Instance.t ->
+  Resched_core.Schedule.t * Resched_floorplan.Fp_cache.stats option
+(** Like {!run}, additionally reporting this run's cache activity (the
+    {!Resched_floorplan.Fp_cache.diff} of the shared cache's counters
+    around the run); [None] when no cache is given. *)

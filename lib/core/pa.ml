@@ -75,6 +75,7 @@ type config = {
   module_reuse : bool;
   floorplan_engine : Floorplanner.engine;
   floorplan_node_limit : int option;
+  floorplan_cache : Resched_floorplan.Fp_cache.t option;
   max_attempts : int;
   shrink_factor : float;
 }
@@ -85,6 +86,7 @@ let default_config =
     module_reuse = false;
     floorplan_engine = Floorplanner.Backtracking;
     floorplan_node_limit = None;
+    floorplan_cache = None;
     max_attempts = 8;
     shrink_factor = 0.9;
   }
@@ -233,8 +235,14 @@ let run ?(config = default_config) ?ctx inst =
         ({ sched with Schedule.floorplan = Some [||] }, k)
       else begin
         let report =
-          Floorplanner.check ~engine:config.floorplan_engine
-            ?node_limit:config.floorplan_node_limit device needs
+          match config.floorplan_cache with
+          | Some cache ->
+            Resched_floorplan.Fp_cache.check cache
+              ~engine:config.floorplan_engine
+              ?node_limit:config.floorplan_node_limit device needs
+          | None ->
+            Floorplanner.check ~engine:config.floorplan_engine
+              ?node_limit:config.floorplan_node_limit device needs
         in
         plan_time := !plan_time +. report.Floorplanner.elapsed;
         match report.Floorplanner.verdict with

@@ -15,6 +15,11 @@ type config = {
           reconfiguration (paper's future work; default false) *)
   floorplan_engine : Resched_floorplan.Floorplanner.engine;
   floorplan_node_limit : int option;
+  floorplan_cache : Resched_floorplan.Fp_cache.t option;
+      (** when set, step H consults this shared {!Resched_floorplan.Fp_cache}
+          instead of calling the floorplanner directly, so shrink-retry
+          attempts (and other schedulers sharing the cache) reuse
+          verdicts (default [None]) *)
   max_attempts : int;
       (** floorplan retries before falling back to all-software *)
   shrink_factor : float;

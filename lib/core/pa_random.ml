@@ -50,6 +50,11 @@ let rec claim shared ms =
 let check_feasible ~config ~cache device needs =
   if Array.length needs = 0 then Some [||]
   else begin
+    (* An explicit [?cache] argument wins; otherwise fall back to the one
+       embedded in the PA config (if any). *)
+    let cache =
+      match cache with Some _ -> cache | None -> config.Pa.floorplan_cache
+    in
     let report =
       match cache with
       | Some cache ->

@@ -1,7 +1,7 @@
 module Device = Resched_fabric.Device
 module Resource = Resched_fabric.Resource
 
-type engine = Backtracking | Milp | Hybrid
+type engine = Backtracking | Backtracking_v1 | Milp | Hybrid
 
 type verdict =
   | Feasible of Placement.rect array
@@ -28,10 +28,17 @@ let check ?(engine = Backtracking) ?node_limit ?jobs device needs =
   let t0 = Unix.gettimeofday () in
   let verdict, engine_used =
     match engine with
-    | Backtracking -> (of_packer (Packer.pack ?node_limit device needs), Backtracking)
+    | Backtracking ->
+      ( of_packer
+          (Packer.pack ~engine:Packer.Column_interval ?node_limit device needs),
+        Backtracking )
+    | Backtracking_v1 ->
+      ( of_packer
+          (Packer.pack ~engine:Packer.Backtracking_v1 ?node_limit device needs),
+        Backtracking_v1 )
     | Milp -> (of_milp (Milp_model.pack ?node_limit ?jobs device needs), Milp)
     | Hybrid -> (
-      match Packer.pack ?node_limit device needs with
+      match Packer.pack ~engine:Packer.Column_interval ?node_limit device needs with
       | Packer.Placed p -> (Feasible p, Backtracking)
       | Packer.Infeasible -> (Infeasible, Backtracking)
       | Packer.Unknown ->
@@ -69,3 +76,4 @@ let validate device ~needs placements =
 let quick_capacity_check device needs =
   let total = Array.fold_left Resource.add Resource.zero needs in
   Resource.fits total ~within:device.Device.total
+  && Packer.capacity_bounds_ok device needs

@@ -8,7 +8,10 @@
     port of [3]'s approach). *)
 
 type engine =
-  | Backtracking
+  | Backtracking  (** the column-interval packer (default, fast) *)
+  | Backtracking_v1
+      (** the original backtracking packer, kept as the equivalence
+          oracle for [Backtracking] *)
   | Milp
   | Hybrid  (** backtracking first; on [Unknown], fall back to MILP *)
 
@@ -39,5 +42,8 @@ val validate : Resched_fabric.Device.t ->
 
 val quick_capacity_check : Resched_fabric.Device.t ->
   Resched_fabric.Resource.t array -> bool
-(** Necessary condition only: total requirements fit the device totals.
-    The scheduler uses this as a cheap pre-filter. *)
+(** Necessary conditions only: total requirements fit the device totals,
+    per-kind column x clock-region tile budgets are respected, and the
+    regions' minimal rectangular footprints fit the device area
+    (see {!Packer.capacity_bounds_ok}). The scheduler uses this as a
+    cheap pre-filter; [false] proves infeasibility. *)

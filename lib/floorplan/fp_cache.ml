@@ -7,35 +7,131 @@ type entry = {
   engine_used : Floorplanner.engine;
 }
 
-type t = {
-  table : (string * string, entry) Hashtbl.t;  (** (device key, needs key) *)
-  lock : Mutex.t;
-  mutable hits : int;
-  mutable misses : int;
-  mutable inserts : int;
-}
+type stats = { hits : int; sub_hits : int; misses : int; inserts : int }
 
-type stats = { hits : int; misses : int; inserts : int }
+let zero_stats = { hits = 0; sub_hits = 0; misses = 0; inserts = 0 }
 
-let create () =
+let diff a b =
   {
-    table = Hashtbl.create 256;
-    lock = Mutex.create ();
-    hits = 0;
-    misses = 0;
-    inserts = 0;
+    hits = a.hits - b.hits;
+    sub_hits = a.sub_hits - b.sub_hits;
+    misses = a.misses - b.misses;
+    inserts = a.inserts - b.inserts;
   }
 
+(* Exact stripes: the permutation-invariant exact-key table, sharded by
+   full-key hash. All counters live here (a subsumption hit is counted on
+   the stripe its exact key hashes to, so [stripe_stats] sums to
+   [stats]). *)
+type exact_stripe = {
+  e_lock : Mutex.t;
+  e_table : (string * string, entry) Hashtbl.t;  (* (device key, needs key) *)
+  mutable e_hits : int;
+  mutable e_sub_hits : int;
+  mutable e_misses : int;
+  mutable e_inserts : int;
+}
+
+(* Subsumption groups: decisive verdicts for one (device, engine,
+   node-limit) class, kept as capped antichains under injective
+   dominance embedding of canonically sorted needs. Feasibility is
+   antimonotone in demands, so a feasible verdict at [s] answers any
+   query that embeds into [s] — each query need charged to a distinct
+   stored need that covers it; the matched subset of the stored rects
+   (disjoint, each big enough) is a valid placement for the query. An
+   infeasible verdict at [s] answers any query [s] embeds into (a
+   packing of the query would contain one of [s]). [Unknown] never
+   enters. *)
+type feas_entry = {
+  f_needs : Resource.t array;  (* canonically sorted *)
+  f_placements : Placement.rect array;  (* in sorted-needs order *)
+  f_engine : Floorplanner.engine;
+}
+
+type group = {
+  mutable g_feas : feas_entry list;
+  mutable g_infeas : Resource.t array list;
+}
+
+type sub_stripe = {
+  s_lock : Mutex.t;
+  s_groups : (string, group) Hashtbl.t;  (* group key -> antichains *)
+}
+
+type t = {
+  exact : exact_stripe array;
+  sub : sub_stripe array;
+  debug : bool;  (** revalidate subsumption-derived placements *)
+}
+
+let antichain_cap = 64
+
+let default_stripes = 16
+
+let create ?(stripes = default_stripes) ?debug () =
+  let stripes = Stdlib.max 1 stripes in
+  let debug =
+    match debug with
+    | Some d -> d
+    | None -> (
+      match Sys.getenv_opt "RESCHED_FP_DEBUG" with
+      | Some ("1" | "true" | "yes") -> true
+      | _ -> false)
+  in
+  {
+    exact =
+      Array.init stripes (fun _ ->
+          {
+            e_lock = Mutex.create ();
+            e_table = Hashtbl.create 64;
+            e_hits = 0;
+            e_sub_hits = 0;
+            e_misses = 0;
+            e_inserts = 0;
+          });
+    sub =
+      Array.init stripes (fun _ ->
+          { s_lock = Mutex.create (); s_groups = Hashtbl.create 32 });
+    debug;
+  }
+
+let stripe_stats t =
+  Array.map
+    (fun s ->
+      Domain_pool.with_lock s.e_lock (fun () ->
+          {
+            hits = s.e_hits;
+            sub_hits = s.e_sub_hits;
+            misses = s.e_misses;
+            inserts = s.e_inserts;
+          }))
+    t.exact
+
 let stats t =
-  Domain_pool.with_lock t.lock (fun () ->
-      { hits = t.hits; misses = t.misses; inserts = t.inserts })
+  Array.fold_left
+    (fun acc s ->
+      {
+        hits = acc.hits + s.hits;
+        sub_hits = acc.sub_hits + s.sub_hits;
+        misses = acc.misses + s.misses;
+        inserts = acc.inserts + s.inserts;
+      })
+    zero_stats (stripe_stats t)
 
 let clear t =
-  Domain_pool.with_lock t.lock (fun () ->
-      Hashtbl.reset t.table;
-      t.hits <- 0;
-      t.misses <- 0;
-      t.inserts <- 0)
+  Array.iter
+    (fun s ->
+      Domain_pool.with_lock s.e_lock (fun () ->
+          Hashtbl.reset s.e_table;
+          s.e_hits <- 0;
+          s.e_sub_hits <- 0;
+          s.e_misses <- 0;
+          s.e_inserts <- 0))
+    t.exact;
+  Array.iter
+    (fun s ->
+      Domain_pool.with_lock s.s_lock (fun () -> Hashtbl.reset s.s_groups))
+    t.sub
 
 (* Devices are keyed by name plus a geometry digest: presets have unique
    names, but [Device.make] can reuse a name with a different fabric. *)
@@ -45,13 +141,26 @@ let device_key device =
 
 let invalidate_device t device =
   let dk = device_key device in
-  Domain_pool.with_lock t.lock (fun () ->
-      Hashtbl.filter_map_inplace
-        (fun (d, _) entry -> if String.equal d dk then None else Some entry)
-        t.table)
+  Array.iter
+    (fun s ->
+      Domain_pool.with_lock s.e_lock (fun () ->
+          Hashtbl.filter_map_inplace
+            (fun (d, _) entry -> if String.equal d dk then None else Some entry)
+            s.e_table))
+    t.exact;
+  let prefix = dk ^ "\x00" in
+  Array.iter
+    (fun s ->
+      Domain_pool.with_lock s.s_lock (fun () ->
+          Hashtbl.filter_map_inplace
+            (fun gk group ->
+              if String.starts_with ~prefix gk then None else Some group)
+            s.s_groups))
+    t.sub
 
 let engine_tag = function
   | Floorplanner.Backtracking -> 'b'
+  | Floorplanner.Backtracking_v1 -> 'o'
   | Floorplanner.Milp -> 'm'
   | Floorplanner.Hybrid -> 'h'
 
@@ -86,6 +195,161 @@ let needs_key ~engine ~node_limit sorted =
     sorted;
   Buffer.contents buf
 
+let group_key ~dk ~engine ~node_limit =
+  Printf.sprintf "%s\x00%c%s" dk (engine_tag engine)
+    (match node_limit with None -> "*" | Some l -> string_of_int l)
+
+let exact_stripe_of t key =
+  t.exact.(Hashtbl.hash key mod Array.length t.exact)
+
+let sub_stripe_of t gk = t.sub.(Hashtbl.hash gk mod Array.length t.sub)
+
+(* Injective dominance embedding: match every need of [small] to a
+   *distinct* need of [big] that covers it component-wise, returning the
+   assignment ([assign.(i)] = index in [big] charged for [small.(i)]).
+   Greedy (largest small needs claim the first unused covering big need,
+   with [big] canonically sorted ascending), so it can miss a matching a
+   full bipartite search would find — that only costs cache hits, never
+   soundness: any embedding returned is a valid witness. The relation is
+   transitive (compose the injections), which the antichain maintenance
+   below relies on. *)
+let embeds small big =
+  let n = Array.length small and m = Array.length big in
+  if n > m then None
+  else begin
+    let order = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        compare (Resource.total_units small.(b))
+          (Resource.total_units small.(a)))
+      order;
+    let used = Array.make m false in
+    let assign = Array.make n (-1) in
+    let ok = ref true in
+    Array.iter
+      (fun i ->
+        if !ok then begin
+          let j = ref 0 in
+          while
+            !j < m
+            && (used.(!j) || not (Resource.fits small.(i) ~within:big.(!j)))
+          do
+            incr j
+          done;
+          if !j = m then ok := false
+          else begin
+            used.(!j) <- true;
+            assign.(i) <- !j
+          end
+        end)
+      order;
+    if !ok then Some assign else None
+  end
+
+let embeds_le a b = embeds a b <> None
+
+(* Antichain insertion. Feasible entries: keep only maximal need-sets
+   (a dominated set is already answered by its dominator). Infeasible
+   entries: keep only minimal ones. The cap bounds memory; eviction drops
+   the oldest survivors, which only costs future hits. *)
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let add_feas group entry =
+  if
+    not
+      (List.exists
+         (fun f -> embeds_le entry.f_needs f.f_needs)
+         group.g_feas)
+  then begin
+    let kept =
+      List.filter
+        (fun f -> not (embeds_le f.f_needs entry.f_needs))
+        group.g_feas
+    in
+    group.g_feas <- take antichain_cap (entry :: kept)
+  end
+
+let add_infeas group needs =
+  if not (List.exists (fun s -> embeds_le s needs) group.g_infeas) then begin
+    let kept =
+      List.filter (fun s -> not (embeds_le needs s)) group.g_infeas
+    in
+    group.g_infeas <- take antichain_cap (needs :: kept)
+  end
+
+let sub_insert t ~gk ~sorted (report : Floorplanner.report) =
+  match report.verdict with
+  | Floorplanner.Unknown -> ()
+  | Floorplanner.Feasible placements ->
+    let stripe = sub_stripe_of t gk in
+    Domain_pool.with_lock stripe.s_lock (fun () ->
+        let group =
+          match Hashtbl.find_opt stripe.s_groups gk with
+          | Some g -> g
+          | None ->
+            let g = { g_feas = []; g_infeas = [] } in
+            Hashtbl.replace stripe.s_groups gk g;
+            g
+        in
+        add_feas group
+          {
+            f_needs = sorted;
+            f_placements = placements;
+            f_engine = report.engine_used;
+          })
+  | Floorplanner.Infeasible ->
+    let stripe = sub_stripe_of t gk in
+    Domain_pool.with_lock stripe.s_lock (fun () ->
+        let group =
+          match Hashtbl.find_opt stripe.s_groups gk with
+          | Some g -> g
+          | None ->
+            let g = { g_feas = []; g_infeas = [] } in
+            Hashtbl.replace stripe.s_groups gk g;
+            g
+        in
+        add_infeas group sorted)
+
+(* Probe the subsumption index for a derived verdict on [sorted]. *)
+let sub_lookup t ~gk ~sorted =
+  let stripe = sub_stripe_of t gk in
+  Domain_pool.with_lock stripe.s_lock (fun () ->
+      match Hashtbl.find_opt stripe.s_groups gk with
+      | None -> None
+      | Some group -> (
+        let feas =
+          List.find_map
+            (fun f ->
+              match embeds sorted f.f_needs with
+              | Some assign -> Some (f, assign)
+              | None -> None)
+            group.g_feas
+        in
+        match feas with
+        | Some (f, assign) ->
+          (* Hand back only the matched subset of the stored rects, in
+             the query's sorted order. *)
+          let placements =
+            Array.init (Array.length sorted) (fun i ->
+                f.f_placements.(assign.(i)))
+          in
+          Some
+            {
+              verdict = Floorplanner.Feasible placements;
+              engine_used = f.f_engine;
+            }
+        | None ->
+          if List.exists (fun s -> embeds_le s sorted) group.g_infeas then
+            Some
+              {
+                verdict = Floorplanner.Infeasible;
+                engine_used = Floorplanner.Backtracking;
+              }
+          else None))
+
 (* Cached placements follow the sorted order; hand them back in the
    caller's order ([sorted.(k) = needs.(order.(k))], so the rectangle
    placed for slot [k] covers original region [order.(k)]). *)
@@ -102,17 +366,17 @@ let check t ?(engine = Floorplanner.Backtracking) ?node_limit device needs =
     Floorplanner.check ~engine ?node_limit device needs
   else begin
     let t0 = Unix.gettimeofday () in
+    let dk = device_key device in
     let sorted, order = canonicalize needs in
-    let key = (device_key device, needs_key ~engine ~node_limit sorted) in
+    let key = (dk, needs_key ~engine ~node_limit sorted) in
+    let stripe = exact_stripe_of t key in
     let cached =
-      Domain_pool.with_lock t.lock (fun () ->
-          match Hashtbl.find_opt t.table key with
+      Domain_pool.with_lock stripe.e_lock (fun () ->
+          match Hashtbl.find_opt stripe.e_table key with
           | Some e ->
-            t.hits <- t.hits + 1;
+            stripe.e_hits <- stripe.e_hits + 1;
             Some e
-          | None ->
-            t.misses <- t.misses + 1;
-            None)
+          | None -> None)
     in
     match cached with
     | Some e ->
@@ -121,19 +385,46 @@ let check t ?(engine = Floorplanner.Backtracking) ?node_limit device needs =
         engine_used = e.engine_used;
         elapsed = Unix.gettimeofday () -. t0;
       }
-    | None ->
-      (* Run outside the lock: feasibility is expensive and other workers
-         must not stall behind it. A racing duplicate check is harmless
-         (both compute the same deterministic verdict). *)
-      let report = Floorplanner.check ~engine ?node_limit device sorted in
-      Domain_pool.with_lock t.lock (fun () ->
-          if not (Hashtbl.mem t.table key) then begin
-            Hashtbl.replace t.table key
-              {
-                verdict = report.Floorplanner.verdict;
-                engine_used = report.Floorplanner.engine_used;
-              };
-            t.inserts <- t.inserts + 1
-          end);
-      { report with Floorplanner.verdict = unpermute order report.verdict }
+    | None -> (
+      let gk = group_key ~dk ~engine ~node_limit in
+      match sub_lookup t ~gk ~sorted with
+      | Some derived ->
+        (match derived.verdict with
+        | Floorplanner.Feasible placements when t.debug ->
+          (* Debug builds re-verify reused placements against the weaker
+             query before trusting the subsumption argument. *)
+          (match Floorplanner.validate device ~needs:sorted placements with
+          | Ok () -> ()
+          | Error msg ->
+            invalid_arg ("Fp_cache: invalid subsumed placement: " ^ msg))
+        | _ -> ());
+        (* Promote the derived verdict to an exact entry so the next
+           identical query is an O(1) exact hit; promotions are not
+           counted as [inserts] (no fresh check ran). *)
+        Domain_pool.with_lock stripe.e_lock (fun () ->
+            stripe.e_sub_hits <- stripe.e_sub_hits + 1;
+            if not (Hashtbl.mem stripe.e_table key) then
+              Hashtbl.replace stripe.e_table key derived);
+        {
+          Floorplanner.verdict = unpermute order derived.verdict;
+          engine_used = derived.engine_used;
+          elapsed = Unix.gettimeofday () -. t0;
+        }
+      | None ->
+        (* Run outside every lock: feasibility is expensive and other
+           workers must not stall behind it. A racing duplicate check is
+           harmless (both compute the same deterministic verdict). *)
+        let report = Floorplanner.check ~engine ?node_limit device sorted in
+        Domain_pool.with_lock stripe.e_lock (fun () ->
+            stripe.e_misses <- stripe.e_misses + 1;
+            if not (Hashtbl.mem stripe.e_table key) then begin
+              Hashtbl.replace stripe.e_table key
+                {
+                  verdict = report.Floorplanner.verdict;
+                  engine_used = report.Floorplanner.engine_used;
+                };
+              stripe.e_inserts <- stripe.e_inserts + 1
+            end);
+        sub_insert t ~gk ~sorted report;
+        { report with Floorplanner.verdict = unpermute order report.verdict })
   end

@@ -5,27 +5,60 @@
     the same multiset of region resource requirements. The cache keys a
     {!Floorplanner.check} verdict on the device, the engine/node-limit
     configuration and the *sorted* needs array, so any permutation of an
-    already-checked region set is a hit: cached placements are permuted
-    back to the query's region order before being returned.
+    already-checked region set is an exact hit: cached placements are
+    permuted back to the query's region order before being returned.
 
-    The structure is thread-safe (a single mutex guards the table and the
-    counters) and is shared by all workers of a parallel PA-R run. *)
+    On top of the exact table sits a *monotone subsumption index*:
+    floorplan feasibility is antimonotone in region demands, so a
+    feasible verdict at needs [R] answers any query [R'] that
+    *dominance-embeds* into [R] — every query need charged to a distinct
+    stored need that covers it component-wise, including queries with
+    fewer regions than [R]. The matched subset of the stored placements
+    is reused directly: the rectangles are disjoint and each still
+    covers its (smaller) matched need. Dually, an infeasible verdict at
+    [R] answers any query that [R] embeds into (a packing of the query
+    would contain a packing of [R]). [Unknown] verdicts are never
+    subsumed. Subsumption-derived verdicts can be *more* decisive than a
+    budget-limited direct check (which might return [Unknown] where the
+    index holds a proof); they are never wrong.
+
+    The table is sharded into mutex-protected stripes (exact entries by
+    full-key hash, subsumption groups by their device/engine/limit
+    class), with per-stripe counters merged on {!stats}, so parallel
+    PA-R workers do not serialize on one lock. *)
 
 type t
 
 type stats = {
-  hits : int;
-  misses : int;
+  hits : int;  (** exact-key hits *)
+  sub_hits : int;  (** hits derived from the subsumption index *)
+  misses : int;  (** full misses: a fresh check ran *)
   inserts : int;  (** misses whose fresh verdict was stored *)
 }
 
-val create : unit -> t
-(** An empty cache with zeroed counters. *)
+val zero_stats : stats
+
+val diff : stats -> stats -> stats
+(** [diff after before] is the component-wise difference — the activity
+    between two snapshots of the same cache. *)
+
+val create : ?stripes:int -> ?debug:bool -> unit -> t
+(** An empty cache with zeroed counters, sharded into [stripes]
+    (default 16, clamped to >= 1) mutex-protected stripes. With
+    [~debug:true] (default: set when the [RESCHED_FP_DEBUG] environment
+    variable is 1/true/yes), placements reused through the subsumption
+    index are revalidated with {!Floorplanner.validate} before being
+    returned. *)
 
 val stats : t -> stats
+(** Counters summed over all stripes. *)
+
+val stripe_stats : t -> stats array
+(** Per-stripe counters; sums to {!stats}. A heavily skewed distribution
+    indicates key-hash contention between parallel workers. *)
 
 val clear : t -> unit
-(** Drop every entry and reset the counters. *)
+(** Drop every entry (exact and subsumption) and reset the counters. *)
 
 val invalidate_device : t -> Resched_fabric.Device.t -> unit
 (** Drop the entries for one device (e.g. after re-targeting an
@@ -34,11 +67,12 @@ val invalidate_device : t -> Resched_fabric.Device.t -> unit
 val check : t -> ?engine:Floorplanner.engine -> ?node_limit:int ->
   Resched_fabric.Device.t -> Resched_fabric.Resource.t array ->
   Floorplanner.report
-(** Drop-in replacement for {!Floorplanner.check}. On a miss the fresh
-    check runs on the canonically sorted needs and its verdict is stored;
-    on a hit the stored verdict is returned with [elapsed] equal to the
-    (negligible) lookup time. Feasible placements are always reported in
-    the caller's region order and satisfy {!Floorplanner.validate}
-    against the queried [needs]. Verdicts are only reused for the same
-    [engine] and [node_limit], so a bounded [Unknown] can never shadow a
-    decisive verdict obtained under a different configuration. *)
+(** Drop-in replacement for {!Floorplanner.check}. Lookup order: exact
+    key, then the subsumption index (a derived verdict is promoted to an
+    exact entry so repeats become exact hits; promotions do not count as
+    [inserts]), then a fresh check whose decisive verdict feeds both
+    structures. Feasible placements are always reported in the caller's
+    region order and satisfy {!Floorplanner.validate} against the
+    queried [needs]. Verdicts are only reused for the same [engine] and
+    [node_limit] configuration, and [Unknown] is never derived by
+    subsumption. *)

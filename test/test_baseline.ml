@@ -155,6 +155,47 @@ let test_list_sched_valid () =
       validate_or_fail sched)
     [ 5; 6; 7 ]
 
+module Fp_cache = Resched_floorplan.Fp_cache
+
+(* A shared floorplan cache must not change either scheduler's output,
+   and both must report the cache activity of their own run. *)
+let test_isk_cache_threading () =
+  let inst = small_instance ~tasks:15 42 in
+  let cache = Fp_cache.create () in
+  let sched_plain, _ = Isk.run ~config:(Isk.config ~k:1) inst in
+  let config = { (Isk.config ~k:1) with Isk.floorplan_cache = Some cache } in
+  let sched_cached, stats = Isk.run ~config inst in
+  Alcotest.(check int) "same makespan" sched_plain.Schedule.makespan
+    sched_cached.Schedule.makespan;
+  (match stats.Isk.cache_stats with
+  | None -> Alcotest.fail "cached run must report cache stats"
+  | Some st ->
+    Alcotest.(check bool) "cache consulted" true
+      (st.Fp_cache.hits + st.Fp_cache.sub_hits + st.Fp_cache.misses > 0));
+  (* A second identical run resolves its checks from the shared cache. *)
+  let _, stats2 = Isk.run ~config inst in
+  match stats2.Isk.cache_stats with
+  | None -> Alcotest.fail "cached run must report cache stats"
+  | Some st ->
+    Alcotest.(check int) "replay is all hits" 0 st.Fp_cache.misses
+
+let test_list_sched_cache_threading () =
+  let inst = small_instance ~tasks:18 5 in
+  let cache = Fp_cache.create () in
+  let plain = List_sched.run inst in
+  let cached, stats = List_sched.run_with_stats ~cache inst in
+  validate_or_fail cached;
+  Alcotest.(check int) "same makespan" plain.Schedule.makespan
+    cached.Schedule.makespan;
+  (match stats with
+  | None -> Alcotest.fail "cached run must report cache stats"
+  | Some st ->
+    Alcotest.(check bool) "cache consulted" true
+      (st.Fp_cache.hits + st.Fp_cache.sub_hits + st.Fp_cache.misses > 0));
+  match List_sched.run_with_stats ~cache inst with
+  | _, Some st -> Alcotest.(check int) "replay is all hits" 0 st.Fp_cache.misses
+  | _, None -> Alcotest.fail "cached run must report cache stats"
+
 let test_upward_ranks_monotone () =
   let inst = small_instance 9 in
   let ranks = List_sched.upward_ranks inst in
@@ -310,6 +351,8 @@ let () =
             test_isk_valid_on_suite;
           Alcotest.test_case "floorplan attached" `Quick
             test_isk_floorplan_attached;
+          Alcotest.test_case "shared floorplan cache" `Quick
+            test_isk_cache_threading;
         ] );
       ( "optimal",
         [
@@ -331,6 +374,8 @@ let () =
       ( "list-sched",
         [
           Alcotest.test_case "valid schedules" `Quick test_list_sched_valid;
+          Alcotest.test_case "shared floorplan cache" `Quick
+            test_list_sched_cache_threading;
           Alcotest.test_case "upward ranks decrease along edges" `Quick
             test_upward_ranks_monotone;
         ] );

@@ -152,7 +152,56 @@ let test_quick_capacity_check () =
   Alcotest.(check bool) "fits" true
     (Floorplanner.quick_capacity_check d [| v ~clb:500 ~bram:10 ~dsp:10 |]);
   Alcotest.(check bool) "too big" false
-    (Floorplanner.quick_capacity_check d [| v ~clb:700 ~bram:0 ~dsp:0 |])
+    (Floorplanner.quick_capacity_check d [| v ~clb:700 ~bram:0 ~dsp:0 |]);
+  (* Per-column-type row-slot condition: four bram:5 regions pass the
+     device-total check (20 <= 20) but each needs its own BRAM
+     column-row slot and minifab has only 1 column x 2 rows. *)
+  Alcotest.(check bool) "row slots exhausted" false
+    (Floorplanner.quick_capacity_check d
+       (Array.make 4 (v ~clb:0 ~bram:5 ~dsp:0)));
+  Alcotest.(check bool) "row slots sufficient" true
+    (Floorplanner.quick_capacity_check d
+       (Array.make 2 (v ~clb:0 ~bram:5 ~dsp:0)))
+
+(* v2-specific dominance / symmetry edge cases. *)
+
+let test_pack_v2_equal_needs () =
+  let d = Device.minifab in
+  (* Identical demands share one candidate array and ordered anchors;
+     the packing must still exist and be disjoint. *)
+  let needs = Array.make 4 (v ~clb:100 ~bram:0 ~dsp:0) in
+  match Packer.pack ~engine:Packer.Column_interval d needs with
+  | Packer.Placed p ->
+    Alcotest.(check (result unit string))
+      "validates" (Ok ())
+      (Floorplanner.validate d ~needs p)
+  | _ -> Alcotest.fail "equal needs should pack"
+
+let test_pack_v2_zero_slack () =
+  let d = Device.minifab in
+  (* Six 100-CLB regions consume exactly minifab's 600 CLBs: feasible
+     with zero slack. A seventh unit anywhere tips it over, and the
+     capacity lower bound must prove that without search. *)
+  let exact = Array.make 6 (v ~clb:100 ~bram:0 ~dsp:0) in
+  (match Packer.pack ~engine:Packer.Column_interval d exact with
+  | Packer.Placed p ->
+    Alcotest.(check (result unit string))
+      "validates" (Ok ())
+      (Floorplanner.validate d ~needs:exact p)
+  | _ -> Alcotest.fail "zero-slack packing should exist");
+  let over = Array.append exact [| v ~clb:1 ~bram:0 ~dsp:0 |] in
+  match Packer.pack ~engine:Packer.Column_interval d over with
+  | Packer.Infeasible -> ()
+  | _ -> Alcotest.fail "601 CLBs on a 600-CLB device must be infeasible"
+
+let test_capacity_bounds_ok () =
+  let d = Device.minifab in
+  Alcotest.(check bool) "sound on feasible" true
+    (Packer.capacity_bounds_ok d [| v ~clb:100 ~bram:2 ~dsp:5 |]);
+  (* 4 x bram:5 passes device totals but not the per-kind row-slot
+     budget (4 slots needed, 1 column x 2 rows available). *)
+  Alcotest.(check bool) "row-slot bound" false
+    (Packer.capacity_bounds_ok d (Array.make 4 (v ~clb:0 ~bram:5 ~dsp:0)))
 
 let test_cache_counters_and_permutation () =
   let d = Device.minifab in
@@ -199,6 +248,100 @@ let test_cache_invalidate_device () =
   Alcotest.(check int) "clear resets counters" 0
     (st.Fp_cache.hits + st.Fp_cache.misses + st.Fp_cache.inserts)
 
+(* Subsumption-index behaviour. *)
+
+let test_cache_subsumption_feasible () =
+  let d = Device.minifab in
+  let cache = Fp_cache.create () in
+  let big = [| v ~clb:300 ~bram:4 ~dsp:8; v ~clb:100 ~bram:2 ~dsp:0 |] in
+  (match (Fp_cache.check cache d big).Floorplanner.verdict with
+  | Floorplanner.Feasible _ -> ()
+  | _ -> Alcotest.fail "base set must be feasible on minifab");
+  (* A smaller query — fewer regions, each dominated by a distinct
+     stored need — must be answered from the index without a fresh
+     check, and the reused placements must cover the smaller needs. *)
+  let small = [| v ~clb:90 ~bram:1 ~dsp:0 |] in
+  (match (Fp_cache.check cache d small).Floorplanner.verdict with
+  | Floorplanner.Feasible p ->
+    Alcotest.(check (result unit string))
+      "reused placements validate" (Ok ())
+      (Floorplanner.validate d ~needs:small p)
+  | _ -> Alcotest.fail "embedded query must derive Feasible");
+  let st = Fp_cache.stats cache in
+  Alcotest.(check int) "one subsumption hit" 1 st.Fp_cache.sub_hits;
+  Alcotest.(check int) "one miss" 1 st.Fp_cache.misses;
+  (* Derived verdicts are promoted: the same query again is an exact
+     hit, not a second subsumption probe. *)
+  ignore (Fp_cache.check cache d small);
+  let st = Fp_cache.stats cache in
+  Alcotest.(check int) "promotion gives exact hit" 1 st.Fp_cache.hits;
+  Alcotest.(check int) "no extra subsumption hit" 1 st.Fp_cache.sub_hits
+
+let test_cache_subsumption_infeasible () =
+  let d = Device.minifab in
+  let cache = Fp_cache.create () in
+  (* Two full-column BRAM regions are provably infeasible (one BRAM
+     column, two rows, 10 BRAM per tile). *)
+  let small = [| v ~clb:0 ~bram:11 ~dsp:0; v ~clb:0 ~bram:11 ~dsp:0 |] in
+  (match (Fp_cache.check cache d small).Floorplanner.verdict with
+  | Floorplanner.Infeasible -> ()
+  | _ -> Alcotest.fail "base set must be infeasible");
+  (* Any superset that the stored set embeds into inherits the proof. *)
+  let bigger =
+    [| v ~clb:50 ~bram:0 ~dsp:0; v ~clb:0 ~bram:11 ~dsp:0;
+       v ~clb:10 ~bram:11 ~dsp:0 |]
+  in
+  (match (Fp_cache.check cache d bigger).Floorplanner.verdict with
+  | Floorplanner.Infeasible -> ()
+  | _ -> Alcotest.fail "dominating query must derive Infeasible");
+  let st = Fp_cache.stats cache in
+  Alcotest.(check int) "one subsumption hit" 1 st.Fp_cache.sub_hits;
+  Alcotest.(check int) "one miss" 1 st.Fp_cache.misses
+
+let test_cache_unknown_never_subsumed () =
+  let d = Device.minifab in
+  let cache = Fp_cache.create () in
+  (* With a zero node budget the greedy pre-pass fails on this set and
+     the search returns Unknown (found by enumeration; re-verified
+     here). Unknown must reach the exact table only — a smaller embedded
+     query must run its own check rather than inherit the non-verdict. *)
+  let vague = [| v ~clb:215 ~bram:10 ~dsp:5; v ~clb:285 ~bram:1 ~dsp:0 |] in
+  (match
+     (Fp_cache.check cache ~node_limit:0 d vague).Floorplanner.verdict
+   with
+  | Floorplanner.Unknown -> ()
+  | _ -> Alcotest.fail "expected Unknown under a zero node budget");
+  let smaller = [| v ~clb:250 ~bram:1 ~dsp:0; v ~clb:100 ~bram:8 ~dsp:3 |] in
+  ignore (Fp_cache.check cache ~node_limit:0 d smaller);
+  let st = Fp_cache.stats cache in
+  Alcotest.(check int) "no subsumption hits" 0 st.Fp_cache.sub_hits;
+  Alcotest.(check int) "both queries miss" 2 st.Fp_cache.misses
+
+let test_cache_stripe_stats_sum () =
+  let d = Device.minifab in
+  let cache = Fp_cache.create ~stripes:4 () in
+  for i = 1 to 8 do
+    ignore (Fp_cache.check cache d [| v ~clb:(40 + (10 * i)) ~bram:0 ~dsp:0 |])
+  done;
+  ignore (Fp_cache.check cache d [| v ~clb:50 ~bram:0 ~dsp:0 |]);
+  let sum =
+    Array.fold_left
+      (fun (h, s, m, i) (st : Fp_cache.stats) ->
+        ( h + st.Fp_cache.hits,
+          s + st.Fp_cache.sub_hits,
+          m + st.Fp_cache.misses,
+          i + st.Fp_cache.inserts ))
+      (0, 0, 0, 0)
+      (Fp_cache.stripe_stats cache)
+  in
+  let st = Fp_cache.stats cache in
+  Alcotest.(check (pair (pair int int) (pair int int)))
+    "stripes sum to totals"
+    ( (st.Fp_cache.hits, st.Fp_cache.sub_hits),
+      (st.Fp_cache.misses, st.Fp_cache.inserts) )
+    (let h, s, m, i = sum in
+     ((h, s), (m, i)))
+
 (* Property: whenever the packer places, the MILP engine never proves
    infeasibility, and vice versa: MILP placement implies the packer does
    not prove infeasibility. Verdicts are cross-validated. *)
@@ -228,6 +371,102 @@ let prop_engines_consistent =
       | Packer.Infeasible, Milp_model.Placed _ -> false
       | _ -> true)
 
+(* The prefix-sum candidate enumeration is a drop-in replacement for the
+   v1 sliding-window scan: same rects, same snuggest-first order. *)
+let prop_grid_candidates_identical =
+  QCheck.Test.make ~count:200 ~name:"grid candidates = v1 candidates"
+    QCheck.(triple int (int_range 0 2) (int_range 0 2))
+    (fun (seed, dev_idx, _) ->
+      let rng = Rng.create seed in
+      let d = [| Device.minifab; Device.xc7z010; Device.xc7z020 |].(dev_idx) in
+      let need =
+        v
+          ~clb:(1 + Rng.int rng 1200)
+          ~bram:(Rng.int rng 20) ~dsp:(Rng.int rng 30)
+      in
+      Placement.grid_candidates (Placement.grid d) need
+      = Placement.candidates d need)
+
+(* The column-interval packer against the v1 oracle: never a
+   contradiction, never less decisive, and placements always validate.
+   (v2 may *refine* a v1 [Unknown] to a decisive verdict — its pruning
+   reaches deeper into the same search space within the node budget.) *)
+let prop_packer_v2_agrees_v1 =
+  QCheck.Test.make ~count:100 ~name:"packer v2 vs v1 oracle"
+    QCheck.(pair int (int_range 1 5))
+    (fun (seed, count) ->
+      let rng = Rng.create seed in
+      let d = Device.minifab in
+      let needs =
+        Array.init count (fun _ ->
+            v
+              ~clb:(50 + Rng.int rng 250)
+              ~bram:(Rng.int rng 11)
+              ~dsp:(Rng.int rng 21))
+      in
+      let v1 = Packer.pack ~engine:Packer.Backtracking_v1 d needs in
+      let v2 = Packer.pack ~engine:Packer.Column_interval d needs in
+      (match v2 with
+      | Packer.Placed pl -> Floorplanner.validate d ~needs pl = Ok ()
+      | _ -> true)
+      &&
+      match (v1, v2) with
+      | Packer.Placed _, Packer.Infeasible
+      | Packer.Infeasible, Packer.Placed _ ->
+        false (* contradiction *)
+      | (Packer.Placed _ | Packer.Infeasible), Packer.Unknown ->
+        false (* v2 lost decisiveness *)
+      | _ -> true)
+
+(* Cached/derived verdicts against a direct check: the subsumption index
+   must never contradict the engine it fronts, and every placement it
+   hands back must validate against the actual query. Sequences of
+   related queries (scaled/truncated variants of a base set) exercise
+   the embedding paths. *)
+let prop_cache_consistent_with_direct =
+  QCheck.Test.make ~count:60 ~name:"subsumption cache vs direct check"
+    QCheck.(pair int (int_range 1 4))
+    (fun (seed, count) ->
+      let rng = Rng.create seed in
+      let d = Device.minifab in
+      let base =
+        Array.init count (fun _ ->
+            v
+              ~clb:(50 + Rng.int rng 250)
+              ~bram:(Rng.int rng 11)
+              ~dsp:(Rng.int rng 21))
+      in
+      let variants =
+        [
+          base;
+          Array.map (fun r -> Resource.scale r 0.9) base;
+          Array.map (fun r -> Resource.scale r 0.81) base;
+          Array.sub base 0 (Stdlib.max 1 (count - 1));
+          Array.map (fun r -> Resource.scale r 1.1) base;
+          base;
+        ]
+      in
+      let cache = Fp_cache.create ~debug:true () in
+      List.for_all
+        (fun needs ->
+          let needs =
+            Array.map (fun (r : Resource.t) -> Resource.max_components r
+              (v ~clb:1 ~bram:0 ~dsp:0)) needs
+          in
+          let cached = (Fp_cache.check cache d needs).Floorplanner.verdict in
+          let direct = (Floorplanner.check d needs).Floorplanner.verdict in
+          (match cached with
+          | Floorplanner.Feasible pl ->
+            Floorplanner.validate d ~needs pl = Ok ()
+          | _ -> true)
+          &&
+          match (cached, direct) with
+          | Floorplanner.Feasible _, Floorplanner.Infeasible
+          | Floorplanner.Infeasible, Floorplanner.Feasible _ ->
+            false
+          | _ -> true)
+        variants)
+
 let () =
   Alcotest.run "floorplan"
     [
@@ -250,6 +489,9 @@ let () =
           Alcotest.test_case "geometric infeasible" `Quick
             test_pack_geometric_infeasible;
           Alcotest.test_case "empty" `Quick test_pack_empty;
+          Alcotest.test_case "v2 equal needs" `Quick test_pack_v2_equal_needs;
+          Alcotest.test_case "v2 zero slack" `Quick test_pack_v2_zero_slack;
+          Alcotest.test_case "capacity bounds" `Quick test_capacity_bounds_ok;
         ] );
       ( "milp-engine",
         [
@@ -273,6 +515,20 @@ let () =
             test_cache_counters_and_permutation;
           Alcotest.test_case "invalidate by device" `Quick
             test_cache_invalidate_device;
+          Alcotest.test_case "subsumption feasible" `Quick
+            test_cache_subsumption_feasible;
+          Alcotest.test_case "subsumption infeasible" `Quick
+            test_cache_subsumption_infeasible;
+          Alcotest.test_case "unknown never subsumed" `Quick
+            test_cache_unknown_never_subsumed;
+          Alcotest.test_case "stripe stats sum" `Quick
+            test_cache_stripe_stats_sum;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_engines_consistent ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_engines_consistent;
+          QCheck_alcotest.to_alcotest prop_grid_candidates_identical;
+          QCheck_alcotest.to_alcotest prop_packer_v2_agrees_v1;
+          QCheck_alcotest.to_alcotest prop_cache_consistent_with_direct;
+        ] );
     ]
