@@ -1,0 +1,97 @@
+(* Champion tracking: the best PA-R makespan ever recorded per task
+   group, with the heuristic-parameter variant (jobs, seed, budget,
+   shrink factor) that achieved it and the run that produced it.
+   [<out_dir>/champions.json] persists across runs, so a parameter
+   experiment can tell at a glance whether it beat the best-known
+   configuration instead of only its own baseline. *)
+
+module Json = Resched_util.Json
+
+type entry = {
+  tasks : int;
+  makespan : int;
+  variant : Json.t;
+  run_id : string;
+}
+
+let path () = Filename.concat Bench_env.out_dir "champions.json"
+
+let entry_json e =
+  Json.Obj
+    [
+      ("tasks", Json.Int e.tasks);
+      ("makespan", Json.Int e.makespan);
+      ("variant", e.variant);
+      ("run_id", Json.String e.run_id);
+    ]
+
+let entry_of_json j =
+  match
+    ( Option.bind (Json.member "tasks" j) Json.get_int,
+      Option.bind (Json.member "makespan" j) Json.get_int,
+      Json.member "variant" j,
+      Option.bind (Json.member "run_id" j) Json.get_string )
+  with
+  | Some tasks, Some makespan, Some variant, Some run_id ->
+    Some { tasks; makespan; variant; run_id }
+  | _ -> None
+
+let load () =
+  if not (Sys.file_exists (path ())) then []
+  else
+    match Json.parse_file (path ()) with
+    | Error _ -> []
+    | Ok j -> (
+      match Option.bind (Json.member "champions" j) Json.to_list with
+      | None -> []
+      | Some l -> List.filter_map entry_of_json l)
+
+let save entries =
+  Bench_env.ensure_out_dir ();
+  Json.write_file (path ())
+    (Json.Obj
+       [
+         ("schema", Json.String "resched-bench-champions/1");
+         ( "champions",
+           Json.List
+             (List.map entry_json
+                (List.sort (fun a b -> compare a.tasks b.tasks) entries)) );
+       ])
+
+(* Fold a run's per-group results into the champions file. A candidate
+   dethrones the stored champion only on a strictly better makespan, so
+   the file is monotone and ties keep the earliest variant. Returns the
+   dethroned groups as (tasks, old, new). *)
+let update ~run_id candidates =
+  let existing = load () in
+  let improved = ref [] in
+  let merged =
+    List.fold_left
+      (fun acc (tasks, makespan, variant) ->
+        let cand = { tasks; makespan; variant; run_id } in
+        match List.partition (fun e -> e.tasks = tasks) acc with
+        | [], rest ->
+          improved := (tasks, None, makespan) :: !improved;
+          cand :: rest
+        | old :: _, rest ->
+          if makespan < old.makespan then begin
+            improved := (tasks, Some old.makespan, makespan) :: !improved;
+            cand :: rest
+          end
+          else old :: rest)
+      existing candidates
+  in
+  save merged;
+  List.rev !improved
+
+let print () =
+  match load () with
+  | [] -> Printf.printf "no champions recorded (%s missing)\n" (path ())
+  | entries ->
+    Printf.printf "PA-R champions (%s):\n" (path ());
+    List.iter
+      (fun e ->
+        Printf.printf "  %3d tasks: makespan %d  (run %s, variant %s)\n"
+          e.tasks e.makespan e.run_id
+          (String.trim (Json.to_string ~indent:0 e.variant)))
+      (List.sort (fun a b -> compare a.tasks b.tasks) entries)

@@ -1,1963 +1,154 @@
-(* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation (Sec. VII) plus the ablations listed in DESIGN.md.
+(* Bench CLI.
 
-   Environment knobs (defaults in brackets):
-     RESCHED_SEED                [42]    suite seed
-     RESCHED_GRAPHS_PER_GROUP    [4]     instances per task-count group
-     RESCHED_GROUPS              [10,20,...,100] comma-separated task counts
-     RESCHED_ISK_NODE_CAP        [50000] IS-k branch&bound nodes per chunk
-     RESCHED_PAR_BUDGET_CAP_MS   [1500]  cap on the PA-R budget (otherwise
-                                         the measured IS-5 time, as in the
-                                         paper)
-     RESCHED_JOBS                [4]     worker domains for the parallel
-                                         PA-R comparison (jobs=1 vs jobs=N
-                                         at equal budget)
-     RESCHED_FIG6_BUDGET_MS      [4000]  PA-R budget for the Fig. 6 traces
-     RESCHED_ITER_MIN            [1000]  iterations per engine for the
-                                         incremental-vs-from-scratch
-                                         throughput comparison (also used
-                                         by its saturated-fabric cache
-                                         batch)
-     RESCHED_FP_CHECKS           [120]   oracle checks per group in the
-                                         floorplan v1-vs-v2 comparison
-     RESCHED_FP_E2E_ITERS        [40]    PA-R iterations per engine in the
-                                         floorplan end-to-end makespan check
-     RESCHED_MILP_TIME_LIMIT_MS  [5000]  per-solve budget for the MILP
-                                         engine comparison (tableau vs
-                                         revised simplex)
-     RESCHED_MILP_LP_REPEATS     [30]    timed repetitions per model in
-                                         the LP kernel comparison
-     RESCHED_FAULT_TRIALS        [100]   Monte-Carlo trials per (schedule,
-                                         policy) in the fault campaign
-     RESCHED_OUT_DIR             [bench_out] where CSV series are written
-     RESCHED_BECHAMEL            [unset] set to 1 to also run the Bechamel
-                                         micro-benchmarks
-*)
+     main run [SECTION,...]     run sections (default: all) in a fresh
+                                run directory under bench_out/runs/
+     main ab [A] [B]            compare two recorded runs (default: the
+                                latest two); nonzero exit on regression
+                                or verdict divergence
+     main check [RUN]           audit one run's recorded logs (default:
+                                latest, falling back to the repo-root
+                                BENCH_*.json); replaces the hand-coded
+                                CI threshold scripts
+     main champions             print the best-known PA-R results
+     main list                  list recorded runs
 
-module Rng = Resched_util.Rng
-module Stats = Resched_util.Stats
-module Table = Resched_util.Table
-module Csv = Resched_util.Csv
-module Resource = Resched_fabric.Resource
-module Cpm = Resched_taskgraph.Cpm
-module Generator = Resched_taskgraph.Generator
-module Instance = Resched_platform.Instance
-module Suite = Resched_platform.Suite
-module Arch = Resched_platform.Arch
-module Lp = Resched_milp.Lp
-module Simplex = Resched_milp.Simplex
-module Revised = Resched_milp.Revised
-module Branch_bound = Resched_milp.Branch_bound
-module Ilp_exact = Resched_baseline.Ilp_exact
-module Floorplanner = Resched_floorplan.Floorplanner
-module Fp_cache = Resched_floorplan.Fp_cache
-module Domain_pool = Resched_util.Domain_pool
-module Pa = Resched_core.Pa
-module Pa_random = Resched_core.Pa_random
-module Schedule = Resched_core.Schedule
-module Validate = Resched_core.Validate
-module Regions_define = Resched_core.Regions_define
-module State = Resched_core.State
-module Impl_select = Resched_core.Impl_select
-module Sw_balance = Resched_core.Sw_balance
-module Sw_map = Resched_core.Sw_map
-module Reconf_sched = Resched_core.Reconf_sched
-module Timing = Resched_core.Timing
-module Isk = Resched_baseline.Isk
-module List_sched = Resched_baseline.List_sched
-module Repair = Resched_core.Repair
-module Campaign = Resched_sim.Campaign
+   Invoking with no arguments runs every section, so `dune exec
+   bench/main.exe` keeps its historical behaviour. *)
 
-(* ------------------------------------------------------------------ *)
-(* Configuration                                                       *)
+open Cmdliner
 
-let env_int name default =
-  match Sys.getenv_opt name with
-  | Some s -> (match int_of_string_opt s with Some v -> v | None -> default)
-  | None -> default
+let sections_arg =
+  let doc =
+    Printf.sprintf "Comma-separated sections to run (known: %s)."
+      (String.concat ", " Sections.section_names)
+  in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"SECTIONS" ~doc)
 
-let env_set name = Sys.getenv_opt name = Some "1"
+let label_arg =
+  let doc = "Label recorded in the run directory name." in
+  Arg.(value & opt string "" & info [ "label" ] ~docv:"LABEL" ~doc)
 
-let seed = env_int "RESCHED_SEED" 42
-let par_jobs_requested = Stdlib.max 2 (env_int "RESCHED_JOBS" 4)
+let no_store_arg =
+  let doc =
+    "Do not create a run directory (only the legacy BENCH_*.json and \
+     bench_out CSVs are written)."
+  in
+  Arg.(value & flag & info [ "no-store" ] ~doc)
 
-(* Domains beyond the core count don't just timeshare under OCaml 5, they
-   stall each other on minor-GC barriers (each stop-the-world rendezvous
-   costs OS scheduling quanta per extra domain). Clamp the effective
-   fan-out like any sane parallel runtime; the JSON records both numbers. *)
-let par_jobs =
-  Stdlib.max 1 (Stdlib.min par_jobs_requested (Domain_pool.available_cores ()))
-let graphs_per_group = env_int "RESCHED_GRAPHS_PER_GROUP" 4
-let isk_node_cap = env_int "RESCHED_ISK_NODE_CAP" 50_000
-let par_budget_cap = float_of_int (env_int "RESCHED_PAR_BUDGET_CAP_MS" 1500) /. 1000.
-let fig6_budget = float_of_int (env_int "RESCHED_FIG6_BUDGET_MS" 4000) /. 1000.
-let iter_min = Stdlib.max 1 (env_int "RESCHED_ITER_MIN" 1000)
-let milp_time_limit =
-  float_of_int (env_int "RESCHED_MILP_TIME_LIMIT_MS" 5000) /. 1000.
-let milp_lp_repeats = Stdlib.max 1 (env_int "RESCHED_MILP_LP_REPEATS" 30)
-let fault_trials = Stdlib.max 1 (env_int "RESCHED_FAULT_TRIALS" 100)
-let out_dir =
-  match Sys.getenv_opt "RESCHED_OUT_DIR" with Some d -> d | None -> "bench_out"
-
-let groups =
-  match Sys.getenv_opt "RESCHED_GROUPS" with
-  | None -> [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ]
-  | Some s ->
-    String.split_on_char ',' s
-    |> List.filter_map int_of_string_opt
-    |> List.filter (fun v -> v > 0)
-
-(* mkdir -p, tolerating concurrent creation: RESCHED_OUT_DIR may be
-   nested (a/b/c) and several writers may race on the same suffix. *)
-let rec mkdir_p dir =
-  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
-  then begin
-    mkdir_p (Filename.dirname dir);
-    try Unix.mkdir dir 0o755
-    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
-
-let ensure_out_dir () = mkdir_p out_dir
-
-let write_csv name rows =
-  ensure_out_dir ();
-  let path = Filename.concat out_dir name in
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Csv.write oc rows);
-  Printf.printf "  [csv] %s\n%!" path
-
-let must_validate label sched =
-  match Validate.check sched with
-  | Ok () -> ()
-  | Error vs ->
-    List.iter
-      (fun (v : Validate.violation) ->
-        Printf.eprintf "VALIDATION [%s] %s\n" label v.Validate.message)
-      vs;
-    failwith (label ^ ": invalid schedule")
-
-(* ------------------------------------------------------------------ *)
-(* Per-instance measurements                                           *)
-
-type run = {
-  tasks : int;
-  pa_makespan : float;
-  pa_sched_s : float;
-  pa_plan_s : float;
-  par_makespan : float;
-  par_budget_s : float;
-  is1_makespan : float;
-  is1_s : float;
-  is5_makespan : float;
-  is5_s : float;
-  heft_makespan : float;
-}
-
-let timed f =
+let run_bench sections label no_store =
+  let names =
+    match sections with
+    | None -> Sections.default_sections
+    | Some s ->
+      String.split_on_char ',' s |> List.map String.trim
+      |> List.filter (fun x -> x <> "")
+  in
+  List.iter
+    (fun n ->
+      if not (List.mem n Sections.section_names) then begin
+        Printf.eprintf "unknown section %s (known: %s)\n" n
+          (String.concat ", " Sections.section_names);
+        exit 2
+      end)
+    names;
+  let run = if no_store then None else Some (Run_store.create ~label) in
   let t0 = Unix.gettimeofday () in
-  let v = f () in
-  (v, Unix.gettimeofday () -. t0)
-
-let evaluate_instance ~tasks ~idx inst =
-  let pa, pa_stats = Pa.run inst in
-  must_validate "PA" pa;
-  let (is1, _), is1_s =
-    timed (fun () ->
-        Isk.run
-          ~config:{ (Isk.config ~k:1) with Isk.chunk_node_limit = isk_node_cap }
-          inst)
-  in
-  must_validate "IS-1" is1;
-  let (is5, _), is5_s =
-    timed (fun () ->
-        Isk.run
-          ~config:{ (Isk.config ~k:5) with Isk.chunk_node_limit = isk_node_cap }
-          inst)
-  in
-  must_validate "IS-5" is5;
-  (* As in the paper, PA-R gets the same budget as IS-5 (here capped so a
-     full sweep stays laptop-sized). *)
-  let par_budget_s = Float.min par_budget_cap is5_s in
-  let outcome =
-    Pa_random.run ~seed:(seed + (1000 * tasks) + idx)
-      ~budget_seconds:par_budget_s inst
-  in
-  let par_makespan =
-    match outcome.Pa_random.schedule with
-    | Some sched ->
-      must_validate "PA-R" sched;
-      float_of_int (Schedule.makespan sched)
-    | None ->
-      (* No floorplannable candidate within the budget: the designer
-         would fall back to PA's result. *)
-      float_of_int (Schedule.makespan pa)
-  in
-  let heft = List_sched.run inst in
-  must_validate "HEFT" heft;
-  {
-    tasks;
-    pa_makespan = float_of_int (Schedule.makespan pa);
-    pa_sched_s = pa_stats.Pa.scheduling_seconds;
-    pa_plan_s = pa_stats.Pa.floorplanning_seconds;
-    par_makespan;
-    par_budget_s;
-    is1_makespan = float_of_int (Schedule.makespan is1);
-    is1_s;
-    is5_makespan = float_of_int (Schedule.makespan is5);
-    is5_s;
-    heft_makespan = float_of_int (Schedule.makespan heft);
-  }
-
-let collect_group tasks =
-  let insts = Suite.group ~seed ~tasks ~count:graphs_per_group () in
-  List.mapi (fun idx inst -> evaluate_instance ~tasks ~idx inst) insts
-
-(* ------------------------------------------------------------------ *)
-(* Table I and Figures 2-5                                             *)
-
-let arr f runs = Array.of_list (List.map f runs)
-
-let print_table1 all =
-  print_endline "";
-  print_endline
-    "== Table I: algorithm execution times [s] (means per group) ==";
-  print_endline
-    "   (PA split into scheduling and floorplanning; the PA-R column is";
-  print_endline
-    "    its time budget, i.e. the capped IS-5 time, as in the paper)";
-  let t =
-    Table.create
-      [ "# Tasks"; "PA sched"; "PA floorplan"; "PA total"; "IS-1"; "PA-R / IS-5" ]
-  in
-  let csv = ref [ [ "tasks"; "pa_sched"; "pa_floorplan"; "pa_total"; "is1"; "is5" ] ] in
-  List.iter
-    (fun (tasks, runs) ->
-      let sched = Stats.mean (arr (fun r -> r.pa_sched_s) runs) in
-      let plan = Stats.mean (arr (fun r -> r.pa_plan_s) runs) in
-      let is1 = Stats.mean (arr (fun r -> r.is1_s) runs) in
-      let is5 = Stats.mean (arr (fun r -> r.is5_s) runs) in
-      let cells =
-        [
-          string_of_int tasks;
-          Table.cell_f sched;
-          Table.cell_f plan;
-          Table.cell_f (sched +. plan);
-          Table.cell_f is1;
-          Table.cell_f is5;
-        ]
-      in
-      Table.add_row t cells;
-      csv := cells :: !csv)
-    all;
-  Table.print t;
-  write_csv "table1.csv" (List.rev !csv)
-
-let print_fig2 all =
-  print_endline "";
-  print_endline
-    "== Figure 2: average schedule execution time [ticks] per group ==";
-  let t =
-    Table.create [ "# Tasks"; "PA"; "PA-R"; "IS-1"; "IS-5"; "HEFT (extra)" ]
-  in
-  let csv = ref [ [ "tasks"; "pa"; "par"; "is1"; "is5"; "heft" ] ] in
-  List.iter
-    (fun (tasks, runs) ->
-      let m f = Stats.mean (arr f runs) in
-      let cells =
-        [
-          string_of_int tasks;
-          Table.cell_f ~decimals:0 (m (fun r -> r.pa_makespan));
-          Table.cell_f ~decimals:0 (m (fun r -> r.par_makespan));
-          Table.cell_f ~decimals:0 (m (fun r -> r.is1_makespan));
-          Table.cell_f ~decimals:0 (m (fun r -> r.is5_makespan));
-          Table.cell_f ~decimals:0 (m (fun r -> r.heft_makespan));
-        ]
-      in
-      Table.add_row t cells;
-      csv := cells :: !csv)
-    all;
-  Table.print t;
-  write_csv "fig2.csv" (List.rev !csv)
-
-let improvement_figure ~title ~csv_name ~baseline ~value all =
-  print_endline "";
-  Printf.printf "== %s ==\n" title;
-  let t = Table.create [ "# Tasks"; "improvement"; "stddev" ] in
-  let csv = ref [ [ "tasks"; "improvement_pct"; "stddev_pct" ] ] in
-  let overall = ref [] in
-  List.iter
-    (fun (tasks, runs) ->
-      let per_instance =
-        Array.of_list
-          (List.map
-             (fun r ->
-               Stats.improvement_pct ~baseline:(baseline r) ~value:(value r))
-             runs)
-      in
-      overall := Array.to_list per_instance @ !overall;
-      let cells =
-        [
-          string_of_int tasks;
-          Table.cell_pct (Stats.mean per_instance);
-          Table.cell_f ~decimals:1 (Stats.stddev per_instance);
-        ]
-      in
-      Table.add_row t cells;
-      csv := cells :: !csv)
-    all;
-  Table.print t;
-  let overall_arr = Array.of_list !overall in
-  (* The paper reports its Fig. 5 headline over graphs with >= 20 tasks. *)
-  let ge20 =
-    List.concat_map
-      (fun (tasks, runs) ->
-        if tasks < 20 then []
-        else
-          List.map
-            (fun r ->
-              Stats.improvement_pct ~baseline:(baseline r) ~value:(value r))
-            runs)
-      all
-  in
-  let ge20_arr = Array.of_list ge20 in
-  Printf.printf
-    "  overall average: %s; for >=20 tasks: %s (paper reference in \
-     EXPERIMENTS.md)\n"
-    (Table.cell_pct (Stats.mean overall_arr))
-    (Table.cell_pct (Stats.mean ge20_arr));
-  write_csv csv_name (List.rev !csv);
-  Stats.mean ge20_arr
-
-(* ------------------------------------------------------------------ *)
-(* Figure 6: PA-R convergence traces                                   *)
-
-let print_fig6 () =
-  print_endline "";
-  Printf.printf
-    "== Figure 6: PA-R best makespan over time (budget %.1fs per graph) ==\n"
-    fig6_budget;
-  let csv = ref [ [ "tasks"; "elapsed_s"; "iteration"; "best_makespan" ] ] in
-  List.iter
-    (fun tasks ->
-      match Suite.group ~seed ~tasks ~count:1 () with
-      | [ inst ] ->
-        let outcome =
-          Pa_random.run ~seed:(seed + tasks) ~budget_seconds:fig6_budget inst
-        in
-        let points = outcome.Pa_random.trace in
-        Printf.printf "  %3d tasks (%d iterations): " tasks
-          outcome.Pa_random.iterations;
-        List.iter
-          (fun (p : Pa_random.trace_point) ->
-            Printf.printf "%.2fs->%d  " p.Pa_random.elapsed p.Pa_random.makespan;
-            csv :=
-              [
-                string_of_int tasks;
-                Printf.sprintf "%.3f" p.Pa_random.elapsed;
-                string_of_int p.Pa_random.iteration;
-                string_of_int p.Pa_random.makespan;
-              ]
-              :: !csv)
-          points;
-        print_newline ()
-      | _ -> assert false)
-    [ 20; 40; 60; 80; 100 ];
-  write_csv "fig6.csv" (List.rev !csv)
-
-(* ------------------------------------------------------------------ *)
-(* Parallel PA-R: jobs=1 vs jobs=N at equal wall-clock budget          *)
-
-type par_row = {
-  pr_tasks : int;
-  pr_iters_seq : int;
-  pr_iters_par : int;
-  pr_ms_seq : int;
-  pr_ms_par : int;
-}
-
-(* Combined (exact + subsumption) hit rate over all lookups. *)
-let cache_hit_rate (st : Fp_cache.stats) =
-  let hits = st.Fp_cache.hits + st.Fp_cache.sub_hits in
-  let total = hits + st.Fp_cache.misses in
-  if total = 0 then 0. else float_of_int hits /. float_of_int total
-
-(* Iterations of the deterministic pre-warm run that seeds the shared
-   parallel cache (see [parallel_comparison]). *)
-let par_prewarm_iters = 32
-
-let parallel_comparison () =
-  print_endline "";
-  Printf.printf
-    "== Parallel PA-R: jobs=1 vs jobs=%d at equal budget (%.2fs), shared \
-     floorplan cache ==\n"
-    par_jobs par_budget_cap;
-  let cores = Domain_pool.available_cores () in
-  if par_jobs < par_jobs_requested then
-    Printf.printf
-      "   (note: %d worker(s) requested but only %d core(s) available; \
-       fan-out clamped to %d — oversubscribed domains stall each other on \
-       GC barriers)\n"
-      par_jobs_requested cores par_jobs;
-  let t =
-    Table.create
-      [ "# Tasks"; "iters j1"; "iters jN"; "iters/s j1"; "iters/s jN";
-        "speedup"; "makespan j1"; "makespan jN" ]
-  in
-  let cache_seq = Fp_cache.create () and cache_par = Fp_cache.create () in
-  (* Total cache activity of the pre-warm runs, subtracted from the
-     parallel cache's counters so the reported jobsN hit rate measures
-     the parallel workers only. *)
-  let prewarm_acc = ref Fp_cache.zero_stats in
-  let add_stats (a : Fp_cache.stats) (b : Fp_cache.stats) =
-    {
-      Fp_cache.hits = a.Fp_cache.hits + b.Fp_cache.hits;
-      sub_hits = a.Fp_cache.sub_hits + b.Fp_cache.sub_hits;
-      misses = a.Fp_cache.misses + b.Fp_cache.misses;
-      inserts = a.Fp_cache.inserts + b.Fp_cache.inserts;
-    }
-  in
-  let rows =
-    List.map
-      (fun tasks ->
-        match Suite.group ~seed ~tasks ~count:1 () with
-        | [ inst ] ->
-          let s = seed + (7 * tasks) in
-          let seq =
-            Pa_random.run ~seed:s ~cache:cache_seq
-              ~budget_seconds:par_budget_cap inst
-          in
-          (* Deterministic pre-warm of the shared parallel cache: a short
-             sequential run with the same seed replays the exact stream
-             worker 0 will draw, so the parallel run starts against a
-             populated table instead of all-cold misses (the jobsN
-             hit_rate 0.000 pathology: N workers on disjoint RNG streams
-             rarely collide within one short budget). The warm-up runs
-             with budget 0 (min_iterations only) and its own counters are
-             subtracted below. *)
-          let before_prewarm = Fp_cache.stats cache_par in
-          ignore
-            (Pa_random.run ~seed:s ~cache:cache_par
-               ~min_iterations:par_prewarm_iters ~budget_seconds:0. inst);
-          prewarm_acc :=
-            add_stats !prewarm_acc
-              (Fp_cache.diff (Fp_cache.stats cache_par) before_prewarm);
-          let par =
-            Pa_random.run_parallel ~jobs:par_jobs ~seed:s ~cache:cache_par
-              ~budget_seconds:par_budget_cap inst
-          in
-          let makespan_of label (o : Pa_random.outcome) =
-            match o.Pa_random.schedule with
-            | Some sched ->
-              must_validate label sched;
-              Schedule.makespan sched
-            | None ->
-              (* fall back to PA, as a designer would *)
-              Schedule.makespan (fst (Pa.run inst))
-          in
-          let row =
-            {
-              pr_tasks = tasks;
-              pr_iters_seq = seq.Pa_random.iterations;
-              pr_iters_par = par.Pa_random.iterations;
-              pr_ms_seq = makespan_of "PA-R j1" seq;
-              pr_ms_par = makespan_of "PA-R jN" par;
-            }
-          in
-          let per_s n = float_of_int n /. par_budget_cap in
-          Table.add_row t
-            [
-              string_of_int tasks;
-              string_of_int row.pr_iters_seq;
-              string_of_int row.pr_iters_par;
-              Table.cell_f ~decimals:0 (per_s row.pr_iters_seq);
-              Table.cell_f ~decimals:0 (per_s row.pr_iters_par);
-              Printf.sprintf "x%.2f"
-                (float_of_int row.pr_iters_par
-                /. float_of_int (Stdlib.max 1 row.pr_iters_seq));
-              string_of_int row.pr_ms_seq;
-              string_of_int row.pr_ms_par;
-            ];
-          row
-        | _ -> assert false)
-      groups
-  in
-  Table.print t;
-  let st_seq = Fp_cache.stats cache_seq in
-  let st_par = Fp_cache.diff (Fp_cache.stats cache_par) !prewarm_acc in
-  let lookups (st : Fp_cache.stats) =
-    st.Fp_cache.hits + st.Fp_cache.sub_hits + st.Fp_cache.misses
-  in
-  Printf.printf
-    "  floorplan cache: jobs=1 %d+%d/%d hits (%.1f%%), jobs=%d %d+%d/%d \
-     hits (%.1f%%, exact+subsumption, after %d pre-warm iters/group)\n"
-    st_seq.Fp_cache.hits st_seq.Fp_cache.sub_hits (lookups st_seq)
-    (100. *. cache_hit_rate st_seq)
-    par_jobs st_par.Fp_cache.hits st_par.Fp_cache.sub_hits (lookups st_par)
-    (100. *. cache_hit_rate st_par)
-    par_prewarm_iters;
-  let stripe_rates =
-    Array.map
-      (fun (st : Fp_cache.stats) -> (lookups st, cache_hit_rate st))
-      (Fp_cache.stripe_stats cache_par)
-  in
-  let busy_stripes =
-    Array.to_list stripe_rates |> List.filter (fun (l, _) -> l > 0)
-  in
-  Printf.printf
-    "  jobs=%d cache stripes: %d/%d active, per-stripe hit rates [%s]\n"
-    par_jobs (List.length busy_stripes) (Array.length stripe_rates)
-    (String.concat "; "
-       (List.map (fun (l, r) -> Printf.sprintf "%d:%.2f" l r) busy_stripes));
-  write_csv "parallel.csv"
-    ([ "tasks"; "iters_jobs1"; "iters_jobsN"; "makespan_jobs1";
-       "makespan_jobsN" ]
-    :: List.map
-         (fun r ->
-           [
-             string_of_int r.pr_tasks;
-             string_of_int r.pr_iters_seq;
-             string_of_int r.pr_iters_par;
-             string_of_int r.pr_ms_seq;
-             string_of_int r.pr_ms_par;
-           ])
-         rows);
-  (* Machine-readable record of the comparison for the repo. *)
-  let total_seq =
-    List.fold_left (fun a r -> a + r.pr_iters_seq) 0 rows
-  and total_par =
-    List.fold_left (fun a r -> a + r.pr_iters_par) 0 rows
-  in
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
-  Printf.bprintf buf "  \"jobs_requested\": %d,\n" par_jobs_requested;
-  Printf.bprintf buf "  \"jobs\": %d,\n" par_jobs;
-  Printf.bprintf buf "  \"cores\": %d,\n" cores;
-  Printf.bprintf buf "  \"budget_seconds\": %.3f,\n" par_budget_cap;
-  Printf.bprintf buf "  \"seed\": %d,\n" seed;
-  Buffer.add_string buf "  \"groups\": [\n";
-  List.iteri
-    (fun i r ->
-      Printf.bprintf buf
-        "    {\"tasks\": %d, \"iters_jobs1\": %d, \"iters_jobsN\": %d, \
-         \"makespan_jobs1\": %d, \"makespan_jobsN\": %d}%s\n"
-        r.pr_tasks r.pr_iters_seq r.pr_iters_par r.pr_ms_seq r.pr_ms_par
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
-  Buffer.add_string buf "  ],\n";
-  Printf.bprintf buf
-    "  \"totals\": {\"iters_jobs1\": %d, \"iters_jobsN\": %d, \
-     \"iteration_speedup\": %.3f},\n"
-    total_seq total_par
-    (float_of_int total_par /. float_of_int (Stdlib.max 1 total_seq));
-  Printf.bprintf buf
-    "  \"never_worse\": %b,\n"
-    (List.for_all (fun r -> r.pr_ms_par <= r.pr_ms_seq) rows);
-  Printf.bprintf buf
-    "  \"cache\": {\"prewarm_iterations\": %d, \"jobs1\": {\"hits\": %d, \
-     \"sub_hits\": %d, \"misses\": %d, \"inserts\": %d, \"hit_rate\": \
-     %.3f}, \"jobsN\": {\"hits\": %d, \"sub_hits\": %d, \"misses\": %d, \
-     \"inserts\": %d, \"hit_rate\": %.3f, \"stripes\": [%s]}}\n"
-    par_prewarm_iters st_seq.Fp_cache.hits st_seq.Fp_cache.sub_hits
-    st_seq.Fp_cache.misses st_seq.Fp_cache.inserts (cache_hit_rate st_seq)
-    st_par.Fp_cache.hits st_par.Fp_cache.sub_hits st_par.Fp_cache.misses
-    st_par.Fp_cache.inserts (cache_hit_rate st_par)
-    (String.concat ", "
-       (Array.to_list
-          (Array.map
-             (fun (l, r) ->
-               Printf.sprintf "{\"lookups\": %d, \"hit_rate\": %.3f}" l r)
-             stripe_rates)));
-  Buffer.add_string buf "}\n";
-  let oc = open_out "BENCH_parallel.json" in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Buffer.contents buf));
-  print_endline "  [json] BENCH_parallel.json"
-
-(* ------------------------------------------------------------------ *)
-(* Iteration throughput: incremental engine vs from-scratch oracle     *)
-
-type iter_row = {
-  ir_tasks : int;
-  ir_iters : int;
-  ir_s_new : float;
-  ir_s_old : float;
-  ir_ms_new : int;
-  ir_ms_old : int;
-  ir_identical : bool;
-  ir_hits : int;
-  ir_sub_hits : int;
-  ir_misses : int;
-}
-
-(* Everything that must coincide between the two engines for a fixed
-   (seed, min_iterations, budget = 0) run — elapsed times excluded. *)
-let iter_fingerprint (o : Pa_random.outcome) =
-  ( o.Pa_random.iterations,
-    (match o.Pa_random.schedule with
-    | Some s -> Schedule.makespan s
-    | None -> -1),
-    List.map
-      (fun (p : Pa_random.trace_point) ->
-        (p.Pa_random.iteration, p.Pa_random.makespan))
-      o.Pa_random.trace )
-
-let iteration_comparison () =
-  print_endline "";
-  Printf.printf
-    "== Restart iteration throughput: incremental solver + context arena \
-     vs from-scratch (jobs=1, %d iterations each, budget 0) ==\n"
-    iter_min;
-  let t =
-    Table.create
-      [ "# Tasks"; "iters"; "new [s]"; "old [s]"; "iters/s new";
-        "iters/s old"; "speedup"; "makespan"; "identical" ]
-  in
-  let rows =
-    List.map
-      (fun tasks ->
-        match Suite.group ~seed ~tasks ~count:1 () with
-        | [ inst ] ->
-          let s = seed + (13 * tasks) in
-          (* One floorplan cache per group, shared between the two runs:
-             both engines emit bit-identical candidate streams, so the
-             second run's floorplan checks replay the first run's keys.
-             The incremental engine runs FIRST so it is the one paying
-             the cold misses — the measured speedup is conservative. *)
-          let cache = Fp_cache.create () in
-          let run incremental =
-            timed (fun () ->
-                Pa_random.run ~seed:s ~min_iterations:iter_min ~cache
-                  ~incremental ~budget_seconds:0. inst)
-          in
-          (* Untimed warm-up (throwaway cache) so neither engine pays the
-             allocator's first-touch growth inside its timed window. *)
-          let warm = Stdlib.min 10 iter_min in
-          ignore
-            (Pa_random.run ~seed:s ~min_iterations:warm
-               ~cache:(Fp_cache.create ()) ~incremental:true
-               ~budget_seconds:0. inst);
-          ignore
-            (Pa_random.run ~seed:s ~min_iterations:warm
-               ~cache:(Fp_cache.create ()) ~incremental:false
-               ~budget_seconds:0. inst);
-          let new_o, s_new = run true in
-          let old_o, s_old = run false in
-          let makespan_of label (o : Pa_random.outcome) =
-            match o.Pa_random.schedule with
-            | Some sched ->
-              must_validate label sched;
-              Schedule.makespan sched
-            | None -> -1
-          in
-          let ms_new = makespan_of "PA-R incremental" new_o in
-          let ms_old = makespan_of "PA-R from-scratch" old_o in
-          let identical = iter_fingerprint new_o = iter_fingerprint old_o in
-          let st = Fp_cache.stats cache in
-          let row =
-            {
-              ir_tasks = tasks;
-              ir_iters = new_o.Pa_random.iterations;
-              ir_s_new = s_new;
-              ir_s_old = s_old;
-              ir_ms_new = ms_new;
-              ir_ms_old = ms_old;
-              ir_identical = identical;
-              ir_hits = st.Fp_cache.hits;
-              ir_sub_hits = st.Fp_cache.sub_hits;
-              ir_misses = st.Fp_cache.misses;
-            }
-          in
-          let per_s sec =
-            float_of_int row.ir_iters /. Float.max sec 1e-9
-          in
-          Table.add_row t
-            [
-              string_of_int tasks;
-              string_of_int row.ir_iters;
-              Table.cell_f s_new;
-              Table.cell_f s_old;
-              Table.cell_f ~decimals:0 (per_s s_new);
-              Table.cell_f ~decimals:0 (per_s s_old);
-              Printf.sprintf "x%.2f" (s_old /. Float.max s_new 1e-9);
-              string_of_int ms_new;
-              (if identical then "yes" else "NO");
-            ];
-          row
-        | _ -> assert false)
-      groups
-  in
-  Table.print t;
-  (* The timed groups above run on the zedboard fabric, which fits every
-     improving candidate at full scale: the shrink lattice never engages
-     and the only cache reuse is the second engine's exact-key replay of
-     the first. On a half-size fabric (microzed, impl areas refitted to
-     it) the device saturates, the lattice oscillates, and the
-     subsumption index answers the re-probes: scaled-down candidates
-     embed into stored feasible sets and scale-up probes dominate stored
-     infeasible ones. Same two-run shared-cache structure, untimed —
-     this batch only measures cache behaviour. *)
-  let sat_params =
-    { Suite.default_params with Suite.clb_min = 1000; clb_max = 2500 }
-  in
-  let sat_rows =
-    List.map
-      (fun tasks ->
-        match
-          Suite.group ~params:sat_params ~arch:Arch.microzed ~seed ~tasks
-            ~count:1 ()
-        with
-        | [ inst ] ->
-          let cache = Fp_cache.create () in
-          let s = seed + (13 * tasks) in
-          List.iter
-            (fun incremental ->
-              ignore
-                (Pa_random.run ~seed:s ~min_iterations:iter_min ~cache
-                   ~incremental ~budget_seconds:0. inst))
-            [ true; false ];
-          (tasks, Fp_cache.stats cache)
-        | _ -> assert false)
-      groups
-  in
-  let timed_hits = List.fold_left (fun a r -> a + r.ir_hits) 0 rows
-  and timed_sub = List.fold_left (fun a r -> a + r.ir_sub_hits) 0 rows
-  and timed_misses = List.fold_left (fun a r -> a + r.ir_misses) 0 rows in
-  let sat_hits =
-    List.fold_left (fun a (_, st) -> a + st.Fp_cache.hits) 0 sat_rows
-  and sat_sub =
-    List.fold_left (fun a (_, st) -> a + st.Fp_cache.sub_hits) 0 sat_rows
-  and sat_misses =
-    List.fold_left (fun a (_, st) -> a + st.Fp_cache.misses) 0 sat_rows
-  in
-  let total_hits = timed_hits + sat_hits
-  and total_sub = timed_sub + sat_sub
-  and total_misses = timed_misses + sat_misses in
-  let total_lookups = total_hits + total_sub + total_misses in
-  let pct h s m =
-    100. *. float_of_int (h + s) /. float_of_int (Stdlib.max 1 (h + s + m))
-  in
-  Printf.printf
-    "  floorplan cache, timed groups (shared per group across both \
-     engines): %d exact + %d subsumption / %d lookups (%.1f%%)\n"
-    timed_hits timed_sub
-    (timed_hits + timed_sub + timed_misses)
-    (pct timed_hits timed_sub timed_misses);
-  Printf.printf
-    "  floorplan cache, saturated fabric (xc7z010): %d exact + %d \
-     subsumption / %d lookups (%.1f%%)\n"
-    sat_hits sat_sub
-    (sat_hits + sat_sub + sat_misses)
-    (pct sat_hits sat_sub sat_misses);
-  Printf.printf
-    "  floorplan cache combined: %d exact + %d subsumption / %d lookups \
-     (%.1f%% combined)\n"
-    total_hits total_sub total_lookups
-    (pct total_hits total_sub total_misses);
-  write_csv "iteration.csv"
-    ([ "tasks"; "iterations"; "seconds_new"; "seconds_old"; "speedup";
-       "makespan_new"; "makespan_old"; "identical"; "cache_hits";
-       "cache_sub_hits"; "cache_misses" ]
-    :: List.map
-         (fun r ->
-           [
-             string_of_int r.ir_tasks;
-             string_of_int r.ir_iters;
-             Printf.sprintf "%.4f" r.ir_s_new;
-             Printf.sprintf "%.4f" r.ir_s_old;
-             Printf.sprintf "%.3f" (r.ir_s_old /. Float.max r.ir_s_new 1e-9);
-             string_of_int r.ir_ms_new;
-             string_of_int r.ir_ms_old;
-             string_of_bool r.ir_identical;
-             string_of_int r.ir_hits;
-             string_of_int r.ir_sub_hits;
-             string_of_int r.ir_misses;
-           ])
-         rows);
-  (* Machine-readable record; CI's never-worse guard reads this. *)
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
-  Printf.bprintf buf "  \"seed\": %d,\n" seed;
-  Printf.bprintf buf "  \"min_iterations\": %d,\n" iter_min;
-  Buffer.add_string buf "  \"groups\": [\n";
-  List.iteri
-    (fun i r ->
-      let hit_rate =
-        float_of_int (r.ir_hits + r.ir_sub_hits)
-        /. float_of_int
-             (Stdlib.max 1 (r.ir_hits + r.ir_sub_hits + r.ir_misses))
-      in
-      Printf.bprintf buf
-        "    {\"tasks\": %d, \"iterations\": %d, \"seconds_new\": %.4f, \
-         \"seconds_old\": %.4f, \"iters_per_s_new\": %.1f, \
-         \"iters_per_s_old\": %.1f, \"speedup\": %.3f, \"makespan_new\": \
-         %d, \"makespan_old\": %d, \"identical\": %b, \"cache\": \
-         {\"hits\": %d, \"sub_hits\": %d, \"misses\": %d, \"hit_rate\": \
-         %.3f}}%s\n"
-        r.ir_tasks r.ir_iters r.ir_s_new r.ir_s_old
-        (float_of_int r.ir_iters /. Float.max r.ir_s_new 1e-9)
-        (float_of_int r.ir_iters /. Float.max r.ir_s_old 1e-9)
-        (r.ir_s_old /. Float.max r.ir_s_new 1e-9)
-        r.ir_ms_new r.ir_ms_old r.ir_identical r.ir_hits r.ir_sub_hits
-        r.ir_misses hit_rate
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
-  Buffer.add_string buf "  ],\n";
-  Printf.bprintf buf "  \"all_identical\": %b,\n"
-    (List.for_all (fun r -> r.ir_identical) rows);
-  Printf.bprintf buf "  \"never_worse\": %b,\n"
-    (List.for_all (fun r -> r.ir_ms_new <= r.ir_ms_old) rows);
-  let largest =
-    List.fold_left (fun acc r -> if r.ir_tasks > acc.ir_tasks then r else acc)
-      (List.hd rows) rows
-  in
-  Printf.bprintf buf
-    "  \"largest_group\": {\"tasks\": %d, \"speedup\": %.3f},\n"
-    largest.ir_tasks
-    (largest.ir_s_old /. Float.max largest.ir_s_new 1e-9);
-  Buffer.add_string buf "  \"saturated_groups\": [\n";
-  List.iteri
-    (fun i (tasks, (st : Fp_cache.stats)) ->
-      Printf.bprintf buf
-        "    {\"tasks\": %d, \"cache\": {\"hits\": %d, \"sub_hits\": %d, \
-         \"misses\": %d, \"hit_rate\": %.3f}}%s\n"
-        tasks st.Fp_cache.hits st.Fp_cache.sub_hits st.Fp_cache.misses
-        (pct st.Fp_cache.hits st.Fp_cache.sub_hits st.Fp_cache.misses
-        /. 100.)
-        (if i = List.length sat_rows - 1 then "" else ","))
-    sat_rows;
-  Buffer.add_string buf "  ],\n";
-  Printf.bprintf buf
-    "  \"cache\": {\"hits\": %d, \"sub_hits\": %d, \"misses\": %d, \
-     \"hit_rate\": %.3f, \"timed\": {\"hits\": %d, \"sub_hits\": %d, \
-     \"misses\": %d}, \"saturated\": {\"hits\": %d, \"sub_hits\": %d, \
-     \"misses\": %d}}\n"
-    total_hits total_sub total_misses
-    (float_of_int (total_hits + total_sub)
-    /. float_of_int (Stdlib.max 1 total_lookups))
-    timed_hits timed_sub timed_misses sat_hits sat_sub sat_misses;
-  Buffer.add_string buf "}\n";
-  let oc = open_out "BENCH_iteration.json" in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Buffer.contents buf));
-  print_endline "  [json] BENCH_iteration.json"
-
-(* ------------------------------------------------------------------ *)
-(* Floorplan oracle: column-interval packer (v2) vs backtracking (v1)  *)
-
-type fp_row = {
-  fr_tasks : int;
-  fr_checks : int;
-  fr_s_v1 : float;
-  fr_s_v2 : float;
-  fr_identical : bool;
-  fr_refined : int;
-  fr_hits : int;
-  fr_sub_hits : int;
-  fr_misses : int;
-  fr_ms_v1 : int;
-  fr_ms_v2 : int;
-}
-
-(* Region need-sets a PA-R search would actually send to the oracle:
-   seeded random-ordering [Pa.schedule_once] passes at the shrink-lattice
-   scales the restart loop visits. *)
-let collect_need_sets ~seed ~count inst =
-  let rng = Rng.create seed in
-  let ctx = Pa.Context.create inst in
-  let lattice = [| 1.0; 0.9; 0.81 |] in
-  let acc = ref [] in
-  for i = 0 to count - 1 do
-    let config =
-      { Pa.default_config with
-        Pa.ordering = Regions_define.Random (Rng.split rng) }
-    in
-    let sched =
-      Pa.schedule_once ~config ~resource_scale:lattice.(i mod 3) ~ctx inst
-    in
-    let needs =
-      Array.map
-        (fun (r : Schedule.region) -> r.Schedule.res)
-        sched.Schedule.regions
-    in
-    if Array.length needs > 0 then acc := needs :: !acc
-  done;
-  List.rev !acc
-
-let fp_checks_per_group = Stdlib.max 12 (env_int "RESCHED_FP_CHECKS" 120)
-let fp_e2e_iters = Stdlib.max 4 (env_int "RESCHED_FP_E2E_ITERS" 40)
-
-let floorplan_oracle_comparison () =
-  print_endline "";
-  Printf.printf
-    "== Floorplan oracle: column-interval packer vs backtracking v1 (%d \
-     checks/group) + subsumption cache ==\n"
-    fp_checks_per_group;
-  let t =
-    Table.create
-      [ "# Tasks"; "checks"; "v1 [s]"; "v2 [s]"; "checks/s v1";
-        "checks/s v2"; "speedup"; "identical"; "hit rate" ]
-  in
-  let verdict_class (r : Floorplanner.report) =
-    match r.Floorplanner.verdict with
-    | Floorplanner.Feasible _ -> 0
-    | Floorplanner.Infeasible -> 1
-    | Floorplanner.Unknown -> 2
-  in
-  (* v2 may be strictly MORE decisive than v1 (its capacity bounds and
-     pruning settle sets where v1's identical node budget runs out); a
-     v1 [Unknown] is therefore compatible with any v2 verdict. What must
-     never happen: a contradiction (Feasible vs Infeasible) or v2 losing
-     decisiveness (v1 decided, v2 Unknown). *)
-  let compatible a b =
-    let ca = verdict_class a and cb = verdict_class b in
-    ca = cb || ca = 2
-  in
-  let refined a b = verdict_class a = 2 && verdict_class b <> 2 in
-  let rows =
-    List.map
-      (fun tasks ->
-        match Suite.group ~seed ~tasks ~count:1 () with
-        | [ inst ] ->
-          let device = inst.Instance.arch.Arch.device in
-          let s = seed + (17 * tasks) in
-          let stream =
-            collect_need_sets ~seed:s ~count:fp_checks_per_group inst
-          in
-          let run_engine engine =
-            List.map
-              (fun needs -> Floorplanner.check ~engine device needs)
-              stream
-          in
-          (* Untimed warm-up so neither engine pays allocator growth. *)
-          ignore (run_engine Floorplanner.Backtracking_v1);
-          ignore (run_engine Floorplanner.Backtracking);
-          let reports_v1, s_v1 =
-            timed (fun () -> run_engine Floorplanner.Backtracking_v1)
-          in
-          let reports_v2, s_v2 =
-            timed (fun () -> run_engine Floorplanner.Backtracking)
-          in
-          let identical = List.for_all2 compatible reports_v1 reports_v2 in
-          let refinements =
-            List.fold_left2
-              (fun acc a b -> if refined a b then acc + 1 else acc)
-              0 reports_v1 reports_v2
-          in
-          (* Every v2 placement must independently validate. *)
-          List.iter2
-            (fun needs (r : Floorplanner.report) ->
-              match r.Floorplanner.verdict with
-              | Floorplanner.Feasible placements -> (
-                match Floorplanner.validate device ~needs placements with
-                | Ok () -> ()
-                | Error msg ->
-                  failwith
-                    (Printf.sprintf "packer-v2 invalid floorplan (%d tasks): %s"
-                       tasks msg))
-              | _ -> ())
-            stream reports_v2;
-          (* Replay the same stream through a fresh subsumption cache. *)
-          let cache = Fp_cache.create () in
-          List.iter
-            (fun needs -> ignore (Fp_cache.check cache device needs))
-            stream;
-          let st = Fp_cache.stats cache in
-          (* End-to-end PA-R must be engine-invariant. *)
-          let e2e engine =
-            let config =
-              { Pa.default_config with Pa.floorplan_engine = engine }
-            in
-            match
-              (Pa_random.run ~config ~seed:s ~min_iterations:fp_e2e_iters
-                 ~budget_seconds:0. inst)
-                .Pa_random.schedule
-            with
-            | Some sched -> Schedule.makespan sched
-            | None -> -1
-          in
-          let ms_v1 = e2e Floorplanner.Backtracking_v1 in
-          let ms_v2 = e2e Floorplanner.Backtracking in
-          let checks = List.length stream in
-          let row =
-            {
-              fr_tasks = tasks;
-              fr_checks = checks;
-              fr_s_v1 = s_v1;
-              fr_s_v2 = s_v2;
-              fr_identical = identical;
-              fr_refined = refinements;
-              fr_hits = st.Fp_cache.hits;
-              fr_sub_hits = st.Fp_cache.sub_hits;
-              fr_misses = st.Fp_cache.misses;
-              fr_ms_v1 = ms_v1;
-              fr_ms_v2 = ms_v2;
-            }
-          in
-          let per_s sec = float_of_int checks /. Float.max sec 1e-9 in
-          Table.add_row t
-            [
-              string_of_int tasks;
-              string_of_int checks;
-              Table.cell_f s_v1;
-              Table.cell_f s_v2;
-              Table.cell_f ~decimals:0 (per_s s_v1);
-              Table.cell_f ~decimals:0 (per_s s_v2);
-              Printf.sprintf "x%.2f" (s_v1 /. Float.max s_v2 1e-9);
-              (if identical then "yes" else "NO");
-              Printf.sprintf "%.0f%%" (100. *. cache_hit_rate st);
-            ];
-          row
-        | _ -> assert false)
-      groups
-  in
-  Table.print t;
-  write_csv "floorplan.csv"
-    ([ "tasks"; "checks"; "seconds_v1"; "seconds_v2"; "speedup";
-       "identical"; "refined"; "cache_hits"; "cache_sub_hits";
-       "cache_misses"; "makespan_v1"; "makespan_v2" ]
-    :: List.map
-         (fun r ->
-           [
-             string_of_int r.fr_tasks;
-             string_of_int r.fr_checks;
-             Printf.sprintf "%.4f" r.fr_s_v1;
-             Printf.sprintf "%.4f" r.fr_s_v2;
-             Printf.sprintf "%.3f" (r.fr_s_v1 /. Float.max r.fr_s_v2 1e-9);
-             string_of_bool r.fr_identical;
-             string_of_int r.fr_refined;
-             string_of_int r.fr_hits;
-             string_of_int r.fr_sub_hits;
-             string_of_int r.fr_misses;
-             string_of_int r.fr_ms_v1;
-             string_of_int r.fr_ms_v2;
-           ])
-         rows);
-  (* Aggregate speedup over the largest groups (>= 60 tasks when present,
-     otherwise all groups): total v1 time over total v2 time. *)
-  let big = List.filter (fun r -> r.fr_tasks >= 60) rows in
-  let agg = if big = [] then rows else big in
-  let sum f l = List.fold_left (fun a r -> a +. f r) 0. l in
-  let speedup_large =
-    sum (fun r -> r.fr_s_v1) agg /. Float.max (sum (fun r -> r.fr_s_v2) agg) 1e-9
-  in
-  let all_identical = List.for_all (fun r -> r.fr_identical) rows in
-  (* -1 means no schedule found; v2 finding one where v1 did not is an
-     improvement, not a regression. *)
-  let makespans_never_worse =
-    List.for_all
-      (fun r ->
-        r.fr_ms_v2 = r.fr_ms_v1
-        || (r.fr_ms_v2 >= 0 && (r.fr_ms_v1 < 0 || r.fr_ms_v2 <= r.fr_ms_v1)))
-      rows
-  in
-  let total_hits = List.fold_left (fun a r -> a + r.fr_hits) 0 rows
-  and total_sub = List.fold_left (fun a r -> a + r.fr_sub_hits) 0 rows
-  and total_misses = List.fold_left (fun a r -> a + r.fr_misses) 0 rows in
-  let combined_rate =
-    float_of_int (total_hits + total_sub)
-    /. float_of_int (Stdlib.max 1 (total_hits + total_sub + total_misses))
-  in
-  let total_refined = List.fold_left (fun a r -> a + r.fr_refined) 0 rows in
-  Printf.printf
-    "  oracle speedup on %s groups: x%.2f; verdicts identical: %b (%d \
-     refined from v1 Unknown); PA-R makespans never worse: %b; cache %d \
-     exact + %d subsumption / %d misses (%.1f%% combined)\n"
-    (if big = [] then "all" else ">=60-task")
-    speedup_large all_identical total_refined makespans_never_worse total_hits
-    total_sub total_misses (100. *. combined_rate);
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
-  Printf.bprintf buf "  \"seed\": %d,\n" seed;
-  Printf.bprintf buf "  \"checks_per_group\": %d,\n" fp_checks_per_group;
-  Printf.bprintf buf "  \"e2e_iterations\": %d,\n" fp_e2e_iters;
-  Buffer.add_string buf "  \"groups\": [\n";
-  List.iteri
-    (fun i r ->
-      Printf.bprintf buf
-        "    {\"tasks\": %d, \"checks\": %d, \"seconds_v1\": %.4f, \
-         \"seconds_v2\": %.4f, \"checks_per_s_v1\": %.1f, \
-         \"checks_per_s_v2\": %.1f, \"speedup\": %.3f, \"identical\": %b, \
-         \"refined\": %d, \"cache\": {\"hits\": %d, \"sub_hits\": %d, \
-         \"misses\": %d, \"hit_rate\": %.3f}, \"makespan_v1\": %d, \
-         \"makespan_v2\": %d}%s\n"
-        r.fr_tasks r.fr_checks r.fr_s_v1 r.fr_s_v2
-        (float_of_int r.fr_checks /. Float.max r.fr_s_v1 1e-9)
-        (float_of_int r.fr_checks /. Float.max r.fr_s_v2 1e-9)
-        (r.fr_s_v1 /. Float.max r.fr_s_v2 1e-9)
-        r.fr_identical r.fr_refined r.fr_hits r.fr_sub_hits r.fr_misses
-        (float_of_int (r.fr_hits + r.fr_sub_hits)
-        /. float_of_int
-             (Stdlib.max 1 (r.fr_hits + r.fr_sub_hits + r.fr_misses)))
-        r.fr_ms_v1 r.fr_ms_v2
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
-  Buffer.add_string buf "  ],\n";
-  Printf.bprintf buf "  \"all_identical\": %b,\n" all_identical;
-  Printf.bprintf buf "  \"refined\": %d,\n" total_refined;
-  Printf.bprintf buf "  \"makespans_never_worse\": %b,\n"
-    makespans_never_worse;
-  Printf.bprintf buf "  \"speedup_large_groups\": %.3f,\n" speedup_large;
-  Printf.bprintf buf
-    "  \"cache\": {\"hits\": %d, \"sub_hits\": %d, \"misses\": %d, \
-     \"combined_hit_rate\": %.3f}\n"
-    total_hits total_sub total_misses combined_rate;
-  Buffer.add_string buf "}\n";
-  let oc = open_out "BENCH_floorplan.json" in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Buffer.contents buf));
-  print_endline "  [json] BENCH_floorplan.json"
-
-(* ------------------------------------------------------------------ *)
-(* MILP engine: warm-started revised simplex vs dense tableau oracle   *)
-
-(* Tiny homogeneous instances (shared with the ILP-viability section):
-   the monolithic formulation is the only workload in the repo that
-   drives the branch-and-bound for thousands of nodes, so it is the
-   "IS-k chunk"-shaped stress test for the LP engines. *)
-let ilp_tiny_params =
-  { Suite.default_params with
-    Suite.clb_min = 100;
-    clb_max = 260;
-    p_bram_heavy = 0.;
-    p_dsp_heavy = 0.;
-    width_of_tasks = (fun _ -> 2) }
-
-(* Random bounded LP in the size range of the floorplanner's packing
-   models and one IS-k chunk relaxation (tens of variables, most with
-   finite boxes). The rhs is anchored near each row's value at the box
-   midpoint so most draws are feasible and need real pivoting. *)
-let random_lp rng =
-  let nvars = 18 + Rng.int rng 18 in
-  let nrows = 10 + Rng.int rng 14 in
-  let m =
-    Lp.create
-      ~objective:(if Rng.bool rng then Lp.Maximize else Lp.Minimize)
-      ()
-  in
-  let vars =
-    Array.init nvars (fun _ ->
-        let lb = float_of_int (Rng.int rng 3) in
-        let ub = lb +. 1. +. float_of_int (Rng.int rng 7) in
-        Lp.add_var m ~lb ~ub ~obj:(float_of_int (Rng.int_in rng (-9) 9)) ())
-  in
-  for _ = 1 to nrows do
-    let nterms = 2 + Rng.int rng 4 in
-    let terms =
-      List.init nterms (fun _ ->
-          let v = vars.(Rng.int rng nvars) in
-          let c = float_of_int (Rng.int_in rng 1 4) in
-          (v, if Rng.bool rng then c else -.c))
-    in
-    let mid =
-      List.fold_left
-        (fun acc (v, c) -> acc +. (c *. 0.5 *. (Lp.var_lb m v +. Lp.var_ub m v)))
-        0. terms
-    in
-    if Rng.int rng 6 = 0 then Lp.add_constraint m terms Lp.Eq mid
-    else
-      let sense = if Rng.bool rng then Lp.Le else Lp.Ge in
-      let slack = float_of_int (Rng.int_in rng (-4) 8) in
-      let rhs = match sense with Lp.Le -> mid +. slack | _ -> mid -. slack in
-      Lp.add_constraint m terms sense rhs
-  done;
-  m
-
-let lp_results_agree a b =
-  match (a, b) with
-  | Simplex.Optimal x, Simplex.Optimal y ->
-    Float.abs (x.Simplex.objective -. y.Simplex.objective)
-    <= 1e-6 *. (1. +. Float.abs x.Simplex.objective)
-  | Simplex.Infeasible, Simplex.Infeasible
-  | Simplex.Unbounded, Simplex.Unbounded ->
-    true
-  (* an iteration-capped solve is indeterminate, not a verdict *)
-  | Simplex.Limit, _ | _, Simplex.Limit -> true
-  | _ -> false
-
-type milp_engine_row = {
-  me_seconds : float;
-  me_nodes : int;
-  me_objective : float;
-  me_proved : bool;
-  me_makespan : int;  (** -1 when no integer solution was found *)
-}
-
-let milp_bnb_run ?(jobs = 1) ~engine inst =
-  let r, secs =
-    timed (fun () ->
-        Ilp_exact.solve ~node_limit:500_000 ~time_limit:milp_time_limit ~jobs
-          ~engine inst)
-  in
-  match r with
+  Sections.run_sections names;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match run with
   | Some r ->
-    must_validate "ILP(bench)" r.Ilp_exact.schedule;
-    {
-      me_seconds = secs;
-      me_nodes = r.Ilp_exact.nodes;
-      me_objective = r.Ilp_exact.ilp_objective;
-      me_proved = r.Ilp_exact.proved_optimal;
-      me_makespan = Schedule.makespan r.Ilp_exact.schedule;
-    }
-  | None ->
-    {
-      me_seconds = secs;
-      me_nodes = 0;
-      me_objective = Float.nan;
-      me_proved = false;
-      me_makespan = -1;
-    }
+    Run_store.finalize r ~elapsed_s:elapsed;
+    Printf.printf "\n[run] completed %s (%.1fs)\n" r.Run_store.dir elapsed
+  | None -> Printf.printf "\n(total %.1fs)\n" elapsed);
+  0
 
-let milp_comparison () =
-  print_endline "";
-  Printf.printf
-    "== MILP engine: dense tableau oracle vs warm-started revised simplex \
-     (time limit %.1fs per solve) ==\n"
-    milp_time_limit;
-  (* --- LP kernel: floorplan-sized continuous relaxations ----------- *)
-  let rng = Rng.create (seed lxor 0x317) in
-  let models = List.init 24 (fun _ -> random_lp rng) in
-  let nmodels = List.length models in
-  let lp_agree =
-    List.for_all
-      (fun m -> lp_results_agree (Simplex.solve m) (Revised.solve m))
-      models
-  in
-  (* warm-up pass so neither engine pays first-touch allocation *)
-  List.iter (fun m -> ignore (Simplex.solve m); ignore (Revised.solve m)) models;
-  let (), s_tab =
-    timed (fun () ->
-        for _ = 1 to milp_lp_repeats do
-          List.iter (fun m -> ignore (Simplex.solve m)) models
-        done)
-  in
-  let (), s_rev =
-    timed (fun () ->
-        for _ = 1 to milp_lp_repeats do
-          List.iter (fun m -> ignore (Revised.solve m)) models
-        done)
-  in
-  let lp_speedup = s_tab /. Float.max s_rev 1e-9 in
-  Printf.printf
-    "  LP kernel (%d models x %d solves): tableau %.3fs, revised %.3fs \
-     (x%.2f), verdicts %s\n"
-    nmodels milp_lp_repeats s_tab s_rev lp_speedup
-    (if lp_agree then "agree" else "DIVERGE");
-  (* --- Branch-and-bound on the monolithic ILP, jobs = 1 ------------ *)
-  let t =
-    Table.create
-      [ "# Tasks"; "vars"; "rows"; "nodes tab"; "nodes rev"; "s tab";
-        "s rev"; "nodes/s tab"; "nodes/s rev"; "n/s speedup"; "objective" ]
-  in
-  let bnb =
-    List.map
-      (fun tasks ->
-        let inst =
-          Suite.instance ~params:ilp_tiny_params ~arch:Arch.mini
-            (Rng.create (seed + tasks)) ~tasks
-        in
-        let vars, rows = Ilp_exact.model_size inst in
-        let tab = milp_bnb_run ~engine:Branch_bound.Tableau inst in
-        let rev = milp_bnb_run ~engine:Branch_bound.Revised inst in
-        let per_s r = float_of_int r.me_nodes /. Float.max r.me_seconds 1e-9 in
-        Table.add_row t
-          [
-            string_of_int tasks;
-            string_of_int vars;
-            string_of_int rows;
-            string_of_int tab.me_nodes;
-            string_of_int rev.me_nodes;
-            Table.cell_f tab.me_seconds;
-            Table.cell_f rev.me_seconds;
-            Table.cell_f ~decimals:0 (per_s tab);
-            Table.cell_f ~decimals:0 (per_s rev);
-            (if tab.me_nodes = 0 then "-"
-             else Printf.sprintf "x%.2f" (per_s rev /. Float.max (per_s tab) 1e-9));
-            Printf.sprintf "%.1f vs %.1f" tab.me_objective rev.me_objective;
-          ];
-        (tasks, vars, rows, tab, rev))
-      [ 2; 3; 4; 5 ]
-  in
-  Table.print t;
-  let objectives_agree (tab : milp_engine_row) (rev : milp_engine_row) =
-    (* Comparable only when both solves ran to proven optimality; a
-       budget-limited incumbent is a lower-quality answer by design. *)
-    (not (tab.me_proved && rev.me_proved))
-    || Float.abs (tab.me_objective -. rev.me_objective)
-       <= 1e-6 *. (1. +. Float.abs tab.me_objective)
-  in
-  let never_worse (tab : milp_engine_row) (rev : milp_engine_row) =
-    tab.me_makespan < 0 || (rev.me_makespan >= 0 && rev.me_makespan <= tab.me_makespan)
-  in
-  let engines_agree =
-    lp_agree
-    && List.for_all (fun (_, _, _, tab, rev) -> objectives_agree tab rev) bnb
-  in
-  let makespan_ok =
-    List.for_all (fun (_, _, _, tab, rev) -> never_worse tab rev) bnb
-  in
-  (* Aggregate throughput over the instances where BOTH engines produced
-     a solution: on the largest ones the tableau finds nothing at all
-     within the budget (reported per-row above), and counting its 0
-     nodes there would inflate the revised engine's speedup. *)
-  let both =
-    List.filter
-      (fun (_, _, _, tab, rev) -> tab.me_makespan >= 0 && rev.me_makespan >= 0)
-      bnb
-  in
-  let tot_nodes f =
-    List.fold_left (fun a (_, _, _, tab, rev) -> a + (f tab rev).me_nodes) 0 both
-  and tot_secs f =
-    List.fold_left
-      (fun a (_, _, _, tab, rev) -> a +. (f tab rev).me_seconds)
-      0. both
-  in
-  let nps_tab =
-    float_of_int (tot_nodes (fun tab _ -> tab))
-    /. Float.max (tot_secs (fun tab _ -> tab)) 1e-9
-  and nps_rev =
-    float_of_int (tot_nodes (fun _ rev -> rev))
-    /. Float.max (tot_secs (fun _ rev -> rev)) 1e-9
-  in
-  let nps_speedup = nps_rev /. Float.max nps_tab 1e-9 in
-  Printf.printf
-    "  aggregate B&B throughput at jobs=1: tableau %.0f nodes/s, revised \
-     %.0f nodes/s (x%.2f)\n"
-    nps_tab nps_rev nps_speedup;
-  (* --- Parallel B&B: revised engine, jobs=1 vs jobs=N -------------- *)
-  let par_tasks = 5 in
-  let par_inst =
-    Suite.instance ~params:ilp_tiny_params ~arch:Arch.mini
-      (Rng.create (seed + par_tasks)) ~tasks:par_tasks
-  in
-  let j1 = milp_bnb_run ~jobs:1 ~engine:Branch_bound.Revised par_inst in
-  let jn = milp_bnb_run ~jobs:par_jobs ~engine:Branch_bound.Revised par_inst in
-  Printf.printf
-    "  parallel B&B (%d tasks, revised): jobs=1 %d nodes in %.2fs, jobs=%d \
-     %d nodes in %.2fs (nodes/s x%.2f)\n"
-    par_tasks j1.me_nodes j1.me_seconds par_jobs jn.me_nodes jn.me_seconds
-    (float_of_int jn.me_nodes /. Float.max jn.me_seconds 1e-9
-    /. Float.max (float_of_int j1.me_nodes /. Float.max j1.me_seconds 1e-9) 1e-9);
-  (* --- CSV + JSON --------------------------------------------------- *)
-  write_csv "milp.csv"
-    ([ "section"; "label"; "vars"; "rows"; "seconds_tableau";
-       "seconds_revised"; "nodes_tableau"; "nodes_revised";
-       "objective_tableau"; "objective_revised"; "agree" ]
-    :: ([ "lp_kernel";
-          Printf.sprintf "%dx%d" nmodels milp_lp_repeats; ""; "";
-          Printf.sprintf "%.4f" s_tab; Printf.sprintf "%.4f" s_rev;
-          ""; ""; ""; ""; string_of_bool lp_agree ]
-       :: List.map
-            (fun (tasks, vars, rows, tab, rev) ->
-              [ "bnb"; Printf.sprintf "%d_tasks" tasks;
-                string_of_int vars; string_of_int rows;
-                Printf.sprintf "%.4f" tab.me_seconds;
-                Printf.sprintf "%.4f" rev.me_seconds;
-                string_of_int tab.me_nodes; string_of_int rev.me_nodes;
-                Printf.sprintf "%.3f" tab.me_objective;
-                Printf.sprintf "%.3f" rev.me_objective;
-                string_of_bool (objectives_agree tab rev) ])
-            bnb
-       @ [ [ "parallel"; Printf.sprintf "jobs_%d" par_jobs; ""; "";
-             Printf.sprintf "%.4f" j1.me_seconds;
-             Printf.sprintf "%.4f" jn.me_seconds;
-             string_of_int j1.me_nodes; string_of_int jn.me_nodes;
-             Printf.sprintf "%.3f" j1.me_objective;
-             Printf.sprintf "%.3f" jn.me_objective;
-             string_of_bool (objectives_agree j1 jn) ] ]));
-  let buf = Buffer.create 2048 in
-  Buffer.add_string buf "{\n";
-  Printf.bprintf buf "  \"seed\": %d,\n" seed;
-  Printf.bprintf buf "  \"time_limit_seconds\": %.3f,\n" milp_time_limit;
-  Printf.bprintf buf
-    "  \"lp_kernel\": {\"models\": %d, \"repeats\": %d, \"seconds_tableau\": \
-     %.4f, \"seconds_revised\": %.4f, \"speedup\": %.3f, \"all_agree\": %b},\n"
-    nmodels milp_lp_repeats s_tab s_rev lp_speedup lp_agree;
-  Buffer.add_string buf "  \"bnb\": [\n";
-  (* NaN objectives (no solution) and speedups against a 0-node run are
-     emitted as null: strict JSON has no NaN/Infinity literals. *)
-  let jf fmt v = if Float.is_finite v then Printf.sprintf fmt v else "null" in
-  List.iteri
-    (fun i (tasks, vars, rows, tab, rev) ->
-      let per_s r = float_of_int r.me_nodes /. Float.max r.me_seconds 1e-9 in
-      Printf.bprintf buf
-        "    {\"tasks\": %d, \"vars\": %d, \"rows\": %d, \"tableau\": \
-         {\"seconds\": %.4f, \"nodes\": %d, \"nodes_per_s\": %.1f, \
-         \"objective\": %s, \"proved_optimal\": %b, \"makespan\": %d}, \
-         \"revised\": {\"seconds\": %.4f, \"nodes\": %d, \"nodes_per_s\": \
-         %.1f, \"objective\": %s, \"proved_optimal\": %b, \"makespan\": \
-         %d}, \"nodes_per_s_speedup\": %s, \"objectives_agree\": %b, \
-         \"never_worse\": %b}%s\n"
-        tasks vars rows tab.me_seconds tab.me_nodes (per_s tab)
-        (jf "%.4f" tab.me_objective) tab.me_proved tab.me_makespan
-        rev.me_seconds rev.me_nodes (per_s rev)
-        (jf "%.4f" rev.me_objective) rev.me_proved rev.me_makespan
-        (if tab.me_nodes = 0 then "null"
-         else jf "%.3f" (per_s rev /. Float.max (per_s tab) 1e-9))
-        (objectives_agree tab rev) (never_worse tab rev)
-        (if i = List.length bnb - 1 then "" else ","))
-    bnb;
-  Buffer.add_string buf "  ],\n";
-  Printf.bprintf buf
-    "  \"bnb_totals\": {\"nodes_per_s_tableau\": %.1f, \
-     \"nodes_per_s_revised\": %.1f, \"nodes_per_s_speedup\": %.3f},\n"
-    nps_tab nps_rev nps_speedup;
-  Printf.bprintf buf
-    "  \"parallel\": {\"jobs\": %d, \"tasks\": %d, \"jobs1\": {\"seconds\": \
-     %.4f, \"nodes\": %d, \"makespan\": %d}, \"jobsN\": {\"seconds\": %.4f, \
-     \"nodes\": %d, \"makespan\": %d}, \"objectives_agree\": %b},\n"
-    par_jobs par_tasks j1.me_seconds j1.me_nodes j1.me_makespan jn.me_seconds
-    jn.me_nodes jn.me_makespan (objectives_agree j1 jn);
-  Printf.bprintf buf "  \"engines_agree\": %b,\n" engines_agree;
-  Printf.bprintf buf "  \"never_worse\": %b\n" makespan_ok;
-  Buffer.add_string buf "}\n";
-  let oc = open_out "BENCH_milp.json" in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Buffer.contents buf));
-  print_endline "  [json] BENCH_milp.json"
+let run_cmd =
+  let info = Cmd.info "run" ~doc:"Run bench sections into a run directory." in
+  Cmd.v info Term.(const run_bench $ sections_arg $ label_arg $ no_store_arg)
 
-(* ------------------------------------------------------------------ *)
-(* Ablations                                                           *)
+let run_a_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"RUN_A"
+         ~doc:"Baseline run (id or directory).")
 
-let ablation_ordering () =
-  print_endline "";
-  print_endline
-    "== Ablation: non-critical task ordering in regions definition ==";
-  let t =
-    Table.create [ "# Tasks"; "efficiency (PA)"; "cost"; "topological"; "random(1)" ]
-  in
-  List.iter
-    (fun tasks ->
-      let insts = Suite.group ~seed ~tasks ~count:graphs_per_group () in
-      let mean_for ordering =
-        let ms =
-          List.map
-            (fun inst ->
-              let config = { Pa.default_config with Pa.ordering } in
-              let sched, _ = Pa.run ~config inst in
-              must_validate "PA(ordering)" sched;
-              float_of_int (Schedule.makespan sched))
-            insts
-        in
-        Stats.mean (Array.of_list ms)
-      in
-      Table.add_row t
-        [
-          string_of_int tasks;
-          Table.cell_f ~decimals:0 (mean_for Regions_define.By_efficiency);
-          Table.cell_f ~decimals:0 (mean_for Regions_define.By_cost);
-          Table.cell_f ~decimals:0 (mean_for Regions_define.Topological);
-          Table.cell_f ~decimals:0
-            (mean_for (Regions_define.Random (Rng.create seed)));
-        ])
-    [ 30; 60 ];
-  Table.print t
+let run_b_arg =
+  Arg.(value & pos 1 (some string) None & info [] ~docv:"RUN_B"
+         ~doc:"Candidate run (id or directory).")
 
-let ablation_module_reuse () =
-  print_endline "";
-  print_endline "== Ablation: module reuse (paper future work) ==";
-  let t = Table.create [ "algorithm"; "reuse off"; "reuse on"; "delta" ] in
-  let insts = Suite.group ~seed ~tasks:40 ~count:graphs_per_group () in
-  let mean ms = Stats.mean (Array.of_list ms) in
-  let pa_off =
-    mean
-      (List.map
-         (fun i -> float_of_int (Schedule.makespan (fst (Pa.run i))))
-         insts)
-  in
-  let pa_on =
-    mean
-      (List.map
-         (fun i ->
-           let config = { Pa.default_config with Pa.module_reuse = true } in
-           float_of_int (Schedule.makespan (fst (Pa.run ~config i))))
-         insts)
-  in
-  let is5 reuse =
-    mean
-      (List.map
-         (fun i ->
-           let config =
-             { (Isk.config ~k:5) with
-               Isk.chunk_node_limit = isk_node_cap;
-               Isk.module_reuse = reuse }
-           in
-           float_of_int (Schedule.makespan (fst (Isk.run ~config i))))
-         insts)
-  in
-  let is5_off = is5 false and is5_on = is5 true in
-  let row name off on =
-    Table.add_row t
-      [
-        name;
-        Table.cell_f ~decimals:0 off;
-        Table.cell_f ~decimals:0 on;
-        Table.cell_pct (Stats.improvement_pct ~baseline:off ~value:on);
-      ]
-  in
-  row "PA (40 tasks)" pa_off pa_on;
-  row "IS-5 (40 tasks)" is5_off is5_on;
-  Table.print t
+let ab_out_arg =
+  let doc = "Write the A/B report JSON to this path." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"PATH" ~doc)
 
-let ablation_floorplan_engines () =
-  print_endline "";
-  print_endline
-    "== Ablation: floorplan engines (random region sets on minifab, where \
-     both engines can decide) ==";
-  let t =
-    Table.create
-      [ "engine"; "feasible"; "infeasible"; "unknown"; "avg time [ms]" ]
+let ab_cmd =
+  let doc = "Compare two recorded runs; fail on regression/divergence." in
+  let f a b out =
+    try Ab.ab ?run_a:a ?run_b:b ?out ()
+    with Failure m ->
+      Printf.eprintf "%s\n" m;
+      2
   in
-  let rng = Rng.create (seed lxor 0xF100) in
-  let needs_sets =
-    List.init 24 (fun _ ->
-        let count = 1 + Rng.int rng 4 in
-        Array.init count (fun _ ->
-            Resource.make
-              ~clb:(50 + Rng.int rng 220)
-              ~bram:(Rng.int rng 9)
-              ~dsp:(Rng.int rng 14)))
-  in
-  let agreement = ref 0 and comparable = ref 0 in
-  let verdicts engine =
-    List.map
-      (fun needs ->
-        let device = Resched_fabric.Device.minifab in
-        let report = Floorplanner.check ~engine device needs in
-        (report.Floorplanner.verdict, report.Floorplanner.elapsed))
-      needs_sets
-  in
-  let back = verdicts Floorplanner.Backtracking in
-  let milp = verdicts Floorplanner.Milp in
-  List.iter2
-    (fun (vb, _) (vm, _) ->
-      match (vb, vm) with
-      | Floorplanner.Feasible _, Floorplanner.Feasible _
-      | Floorplanner.Infeasible, Floorplanner.Infeasible ->
-        incr comparable;
-        incr agreement
-      | Floorplanner.Unknown, _ | _, Floorplanner.Unknown -> ()
-      | _ -> incr comparable)
-    back milp;
-  let summarize name results =
-    let feas = ref 0 and infeas = ref 0 and unk = ref 0 and time = ref 0. in
-    List.iter
-      (fun (v, s) ->
-        time := !time +. s;
-        match v with
-        | Floorplanner.Feasible _ -> incr feas
-        | Floorplanner.Infeasible -> incr infeas
-        | Floorplanner.Unknown -> incr unk)
-      results;
-    Table.add_row t
-      [
-        name;
-        string_of_int !feas;
-        string_of_int !infeas;
-        string_of_int !unk;
-        Table.cell_f ~decimals:2
-          (1000. *. !time /. float_of_int (List.length results));
-      ]
-  in
-  summarize "backtracking" back;
-  summarize "milp" milp;
-  Table.print t;
-  Printf.printf "  decided-verdict agreement: %d/%d\n" !agreement !comparable
+  Cmd.v (Cmd.info "ab" ~doc)
+    Term.(const f $ run_a_arg $ run_b_arg $ ab_out_arg)
 
-let related_work_ilp_viability () =
-  print_endline "";
-  print_endline
-    "== Related work: monolithic ILP [8] viability (time limit 5s/size) ==";
-  print_endline
-    "   (the paper dismisses the exact ILP as 'not viable even for small\n\
-    \    problem instances'; this section reproduces that observation)";
-  let t =
-    Table.create
-      [ "# Tasks"; "vars"; "rows"; "outcome"; "ILP time [s]"; "PA time [s]";
-        "makespan vs exhaustive" ]
-  in
-  List.iter
-    (fun tasks ->
-      let inst =
-        Suite.instance ~params:ilp_tiny_params ~arch:Arch.mini
-          (Rng.create (seed + tasks)) ~tasks
-      in
-      let vars, rows = Resched_baseline.Ilp_exact.model_size inst in
-      let (ilp, ilp_s) =
-        timed (fun () ->
-            Resched_baseline.Ilp_exact.solve ~node_limit:500_000
-              ~time_limit:5. inst)
-      in
-      let (_, pa_s) = timed (fun () -> Pa.run inst) in
-      let opt = Resched_baseline.Optimal.schedule inst in
-      let outcome, gap =
-        match ilp with
-        | Some r when r.Resched_baseline.Ilp_exact.proved_optimal ->
-          must_validate "ILP" r.Resched_baseline.Ilp_exact.schedule;
-          ( "proved optimal",
-            Printf.sprintf "%d vs %d"
-              (Schedule.makespan r.Resched_baseline.Ilp_exact.schedule)
-              (Schedule.makespan opt.Resched_baseline.Optimal.schedule) )
-        | Some r ->
-          must_validate "ILP" r.Resched_baseline.Ilp_exact.schedule;
-          ( "feasible only",
-            Printf.sprintf "%d vs %d"
-              (Schedule.makespan r.Resched_baseline.Ilp_exact.schedule)
-              (Schedule.makespan opt.Resched_baseline.Optimal.schedule) )
-        | None -> ("no solution", "-")
-      in
-      Table.add_row t
-        [
-          string_of_int tasks;
-          string_of_int vars;
-          string_of_int rows;
-          outcome;
-          Table.cell_f ilp_s;
-          Table.cell_f pa_s;
-          gap;
-        ])
-    [ 2; 3; 4; 5; 6 ];
-  Table.print t
+let check_run_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"RUN"
+         ~doc:"Run to audit (id or directory; default: latest, then the \
+               repo-root BENCH_*.json).")
 
-let ablation_robustness () =
-  print_endline "";
-  print_endline
-    "== Ablation: schedule robustness under runtime jitter (resched_sim) ==";
-  let insts = Suite.group ~seed ~tasks:30 ~count:graphs_per_group () in
-  let t =
-    Table.create
-      [ "scheduler"; "mean slowdown (±20%)"; "mean slowdown (+40% delays)" ]
+let min_cores_arg =
+  let doc =
+    "Fail unless the recorded parallel run had at least this many cores and \
+     a matching effective width."
   in
-  let schedules =
-    List.map
-      (fun inst ->
-        let pa, _ = Pa.run inst in
-        let is5, _ =
-          Isk.run
-            ~config:{ (Isk.config ~k:5) with Isk.chunk_node_limit = isk_node_cap }
-            inst
-        in
-        let heft = List_sched.run inst in
-        [ ("PA", pa); ("IS-5", is5); ("HEFT", heft) ])
-      insts
-  in
-  List.iter
-    (fun name ->
-      let slowdown jitter =
-        let samples =
-          List.map
-            (fun per_inst ->
-              let sched = List.assoc name per_inst in
-              let rng = Rng.create (seed lxor 0x51) in
-              (Resched_sim.Executor.robustness ~rng ~trials:60 ~jitter sched)
-                .Resched_sim.Executor.mean_slowdown)
-            schedules
-        in
-        Stats.mean (Array.of_list samples)
-      in
-      Table.add_row t
-        [
-          name;
-          Printf.sprintf "x%.3f" (slowdown (Resched_sim.Executor.Uniform 0.2));
-          Printf.sprintf "x%.3f" (slowdown (Resched_sim.Executor.Delay_only 0.4));
-        ])
-    [ "PA"; "IS-5"; "HEFT" ];
-  Table.print t
+  Arg.(value & opt (some int) None & info [ "min-cores" ] ~docv:"N" ~doc)
 
-(* ------------------------------------------------------------------ *)
-(* Fault campaign: survival and degradation per recovery policy        *)
+let min_speedup_arg =
+  let doc =
+    "Fail unless the recorded large-group iteration speedup is at least this."
+  in
+  Arg.(value & opt (some float) None & info [ "min-speedup" ] ~docv:"X" ~doc)
 
-let fault_campaign () =
-  print_endline "";
-  Printf.printf
-    "== Fault campaign: recovery policies under the default fault plan \
-     (%d trials per schedule, jobs=%d) ==\n"
-    fault_trials par_jobs;
-  let policies = [ Repair.Retry; Repair.Sw_fallback; Repair.Resched_tail ] in
-  let t =
-    Table.create
-      [ "# Tasks"; "policy"; "survival"; "mean degr"; "p95 degr";
-        "worst degr"; "fired"; "moot"; "retries"; "migrations"; "retimes" ]
-  in
-  let rows =
-    List.concat_map
-      (fun tasks ->
-        match Suite.group ~seed ~tasks ~count:1 () with
-        | [ inst ] ->
-          let sched, _ = Pa.run inst in
-          must_validate "PA(faults)" sched;
-          List.map
-            (fun policy ->
-              let s =
-                Campaign.run ~jobs:par_jobs ~trials:fault_trials
-                  ~seed:(seed + (17 * tasks)) ~policy sched
-              in
-              let count k =
-                Option.value ~default:0 (List.assoc_opt k s.Campaign.actions)
-              in
-              Table.add_row t
-                [
-                  string_of_int tasks;
-                  Repair.policy_name policy;
-                  Printf.sprintf "%d/%d" s.Campaign.survived s.Campaign.trials;
-                  Printf.sprintf "x%.3f" s.Campaign.mean_degradation;
-                  Printf.sprintf "x%.3f" s.Campaign.p95_degradation;
-                  Printf.sprintf "x%.3f" s.Campaign.worst_degradation;
-                  string_of_int s.Campaign.faults_fired;
-                  string_of_int s.Campaign.faults_moot;
-                  string_of_int (count "retry");
-                  string_of_int (count "migrate");
-                  string_of_int (count "retime");
-                ];
-              (tasks, s))
-            policies
-        | _ -> assert false)
-      [ 20; 40; 60 ]
-  in
-  Table.print t;
-  let sw_full_recovery =
-    List.for_all
-      (fun (_, (s : Campaign.summary)) ->
-        s.Campaign.policy = Repair.Retry || s.Campaign.survival_rate = 1.0)
-      rows
-  and all_valid =
-    List.for_all (fun (_, s) -> s.Campaign.all_valid) rows
-  in
-  Printf.printf
-    "  SW-capable policies recovered every trial: %b; every repaired \
-     schedule validated: %b\n"
-    sw_full_recovery all_valid;
-  write_csv "faults.csv"
-    ([ "tasks"; "policy"; "trials"; "survived"; "survival_rate";
-       "mean_degradation"; "p95_degradation"; "worst_degradation";
-       "faults_fired"; "faults_moot"; "retries"; "migrations"; "retimes";
-       "all_valid" ]
-    :: List.map
-         (fun (tasks, (s : Campaign.summary)) ->
-           let count k =
-             Option.value ~default:0 (List.assoc_opt k s.Campaign.actions)
-           in
-           [
-             string_of_int tasks;
-             Repair.policy_name s.Campaign.policy;
-             string_of_int s.Campaign.trials;
-             string_of_int s.Campaign.survived;
-             Printf.sprintf "%.4f" s.Campaign.survival_rate;
-             Printf.sprintf "%.4f" s.Campaign.mean_degradation;
-             Printf.sprintf "%.4f" s.Campaign.p95_degradation;
-             Printf.sprintf "%.4f" s.Campaign.worst_degradation;
-             string_of_int s.Campaign.faults_fired;
-             string_of_int s.Campaign.faults_moot;
-             string_of_int (count "retry");
-             string_of_int (count "migrate");
-             string_of_int (count "retime");
-             string_of_bool s.Campaign.all_valid;
-           ])
-         rows);
-  (* Machine-readable record; CI's fault-campaign guard reads this. *)
-  let buf = Buffer.create 2048 in
-  Buffer.add_string buf "{\n";
-  Printf.bprintf buf "  \"seed\": %d,\n" seed;
-  Printf.bprintf buf "  \"trials\": %d,\n" fault_trials;
-  Printf.bprintf buf "  \"jobs\": %d,\n" par_jobs;
-  Buffer.add_string buf "  \"campaigns\": [\n";
-  List.iteri
-    (fun i (tasks, (s : Campaign.summary)) ->
-      Printf.bprintf buf
-        "    {\"tasks\": %d, \"policy\": \"%s\", \"trials\": %d, \
-         \"survived\": %d, \"survival_rate\": %.4f, \"mean_degradation\": \
-         %.4f, \"p95_degradation\": %.4f, \"worst_degradation\": %.4f, \
-         \"faults_fired\": %d, \"faults_moot\": %d, \"actions\": {%s}, \
-         \"all_valid\": %b}%s\n"
-        tasks
-        (Repair.policy_name s.Campaign.policy)
-        s.Campaign.trials s.Campaign.survived s.Campaign.survival_rate
-        s.Campaign.mean_degradation s.Campaign.p95_degradation
-        s.Campaign.worst_degradation s.Campaign.faults_fired
-        s.Campaign.faults_moot
-        (String.concat ", "
-           (List.map
-              (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v)
-              s.Campaign.actions))
-        s.Campaign.all_valid
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
-  Buffer.add_string buf "  ],\n";
-  Printf.bprintf buf "  \"sw_policies_full_recovery\": %b,\n" sw_full_recovery;
-  Printf.bprintf buf "  \"all_valid\": %b\n" all_valid;
-  Buffer.add_string buf "}\n";
-  let oc = open_out "BENCH_faults.json" in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Buffer.contents buf));
-  print_endline "  [json] BENCH_faults.json"
+let require_all_arg =
+  let doc = "Fail if any checkable section log is missing." in
+  Arg.(value & flag & info [ "require-all" ] ~doc)
 
-(* ------------------------------------------------------------------ *)
-(* Bechamel micro-benchmarks (one kernel per table/figure)             *)
+let check_cmd =
+  let doc = "Audit a run's recorded logs (the CI release gate)." in
+  let f run min_cores min_speedup require_all =
+    Ab.check ?run ?min_cores ?min_speedup ~require_all ()
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const f $ check_run_arg $ min_cores_arg $ min_speedup_arg
+      $ require_all_arg)
 
-let bechamel_suite () =
-  let open Bechamel in
-  let rng = Rng.create seed in
-  let inst30 = Suite.instance rng ~tasks:30 in
-  let inst100 = Suite.instance rng ~tasks:100 in
-  let pa_needs =
-    let sched = Pa.schedule_once ~resource_scale:0.9 inst30 in
-    Array.map (fun (r : Schedule.region) -> r.Schedule.res)
-      sched.Schedule.regions
-  in
-  let durations =
-    Array.init (Instance.size inst100) (fun u -> Instance.min_time inst100 u)
-  in
-  (* A state shaped by the real pipeline, frozen after step 7's input is
-     ready: the from-scratch [Timing.resolve] and the incremental
-     [Timing.Solver] replay the same augmented graph and sequence. *)
-  let timing_state =
-    let impl_of =
-      Impl_select.run inst100 ~max_res:(Arch.max_res inst100.Instance.arch)
-    in
-    let st = State.create inst100 ~impl_of () in
-    Regions_define.run ~ordering:Regions_define.By_efficiency st;
-    Sw_balance.run st;
-    Sw_map.run st;
-    st
-  in
-  let specs, sequence = Reconf_sched.run timing_state in
-  let solver = Timing.Solver.create timing_state ~reconfigs:specs in
-  let ctx100 = Pa.Context.create inst100 in
-  let tests =
-    [
-      Test.make ~name:"table1/pa_schedule_once_30"
-        (Staged.stage (fun () -> ignore (Pa.schedule_once inst30)));
-      Test.make ~name:"table1/is1_schedule_once_30"
-        (Staged.stage (fun () ->
-             ignore (Isk.schedule_once ~config:(Isk.config ~k:1) inst30)));
-      Test.make ~name:"table1/floorplan_backtracking_30"
-        (Staged.stage (fun () ->
-             ignore (Floorplanner.check Arch.zedboard.Arch.device pa_needs)));
-      Test.make ~name:"fig2/heft_30"
-        (Staged.stage (fun () -> ignore (List_sched.schedule_once inst30)));
-      Test.make ~name:"fig6/par_iteration_30"
-        (Staged.stage (fun () ->
-             let config =
-               { Pa.default_config with
-                 Pa.ordering = Regions_define.Random (Rng.create 1) }
-             in
-             ignore (Pa.schedule_once ~config inst30)));
-      Test.make ~name:"substrate/cpm_100"
-        (Staged.stage (fun () ->
-             ignore (Cpm.compute inst100.Instance.graph ~durations)));
-      Test.make ~name:"iteration/timing_resolve_scratch_100"
-        (Staged.stage (fun () ->
-             ignore
-               (Timing.resolve timing_state ~reconfigs:specs ~sequence)));
-      Test.make ~name:"iteration/timing_solver_resolve_100"
-        (Staged.stage (fun () ->
-             ignore (Timing.Solver.resolve solver ~sequence)));
-      Test.make ~name:"iteration/schedule_once_scratch_100"
-        (Staged.stage (fun () ->
-             ignore (Pa.schedule_once ~incremental:false inst100)));
-      Test.make ~name:"iteration/schedule_once_ctx_100"
-        (Staged.stage (fun () -> ignore (Pa.schedule_once ~ctx:ctx100 inst100)));
-      Test.make ~name:"substrate/simplex_textbook"
-        (Staged.stage (fun () ->
-             let m = Lp.create ~objective:Lp.Maximize () in
-             let x = Lp.add_var m ~obj:3. () in
-             let y = Lp.add_var m ~obj:5. () in
-             Lp.add_constraint m [ (x, 1.) ] Lp.Le 4.;
-             Lp.add_constraint m [ (y, 2.) ] Lp.Le 12.;
-             Lp.add_constraint m [ (x, 3.); (y, 2.) ] Lp.Le 18.;
-             ignore (Simplex.solve m)));
-    ]
-  in
-  let benchmark test =
-    let ols =
-      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
-    in
-    let instances = Toolkit.Instance.[ monotonic_clock ] in
-    let cfg =
-      Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) ()
-    in
-    let raw = Benchmark.all cfg instances test in
-    List.map (fun i -> Analyze.all ols i raw) instances
-  in
-  print_endline "";
-  print_endline "== Bechamel micro-benchmarks (ns per run) ==";
-  let results = benchmark (Test.make_grouped ~name:"resched" tests) in
-  List.iter
-    (fun tbl ->
-      Hashtbl.iter
-        (fun name ols ->
-          match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.printf "  %-45s %14.0f ns/run\n" name est
-          | Some _ | None -> Printf.printf "  %-45s (no estimate)\n" name)
-        tbl)
-    results
+let champions_cmd =
+  let doc = "Print the best-known PA-R results per task group." in
+  Cmd.v (Cmd.info "champions" ~doc)
+    Term.(
+      const (fun () ->
+          Champions.print ();
+          0)
+      $ const ())
 
-(* ------------------------------------------------------------------ *)
+let list_cmd =
+  let doc = "List recorded run directories." in
+  Cmd.v (Cmd.info "list" ~doc)
+    Term.(
+      const (fun () ->
+          (match Run_store.list_runs () with
+          | [] -> print_endline "no recorded runs"
+          | rs ->
+            List.iter (fun r -> print_endline r.Run_store.dir) rs);
+          0)
+      $ const ())
+
+let default =
+  (* No subcommand: run everything, like the historical monolith. *)
+  Term.(const (fun () -> run_bench None "" false) $ const ())
 
 let () =
-  Printf.printf
-    "resched benchmark harness: seed=%d, %d graphs/group, groups=[%s],\n\
-     IS-k node cap=%d, PA-R budget cap=%.1fs\n%!"
-    seed graphs_per_group
-    (String.concat "," (List.map string_of_int groups))
-    isk_node_cap par_budget_cap;
-  let t0 = Unix.gettimeofday () in
-  let all =
-    List.map
-      (fun tasks ->
-        Printf.printf "running group %d...\n%!" tasks;
-        (tasks, collect_group tasks))
-      groups
-  in
-  print_table1 all;
-  print_fig2 all;
-  let fig3 =
-    improvement_figure
-      ~title:"Figure 3: average improvement of PA vs IS-1 (paper: ~14.8% avg)"
-      ~csv_name:"fig3.csv"
-      ~baseline:(fun r -> r.is1_makespan)
-      ~value:(fun r -> r.pa_makespan)
-      all
-  in
-  let fig4 =
-    improvement_figure
-      ~title:
-        "Figure 4: average improvement of PA vs IS-5 (paper: smaller than Fig. 3)"
-      ~csv_name:"fig4.csv"
-      ~baseline:(fun r -> r.is5_makespan)
-      ~value:(fun r -> r.pa_makespan)
-      all
-  in
-  let fig5 =
-    improvement_figure
-      ~title:
-        "Figure 5: average improvement of PA-R vs IS-5 at equal budget (paper: ~22.3% for >=20 tasks)"
-      ~csv_name:"fig5.csv"
-      ~baseline:(fun r -> r.is5_makespan)
-      ~value:(fun r -> r.par_makespan)
-      all
-  in
-  print_fig6 ();
-  parallel_comparison ();
-  iteration_comparison ();
-  floorplan_oracle_comparison ();
-  milp_comparison ();
-  ablation_ordering ();
-  ablation_module_reuse ();
-  ablation_floorplan_engines ();
-  ablation_robustness ();
-  fault_campaign ();
-  related_work_ilp_viability ();
-  if env_set "RESCHED_BECHAMEL" then bechamel_suite ()
-  else
-    print_endline
-      "\n(set RESCHED_BECHAMEL=1 to also run the Bechamel micro-benchmarks)";
-  Printf.printf
-    "\nsummary: PA-vs-IS1 %+.1f%%, PA-vs-IS5 %+.1f%%, PAR-vs-IS5 %+.1f%% \
-     (total %.1fs)\n"
-    fig3 fig4 fig5
-    (Unix.gettimeofday () -. t0)
+  let info = Cmd.info "bench" ~doc:"resched benchmark harness" in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [ run_cmd; ab_cmd; check_cmd; champions_cmd; list_cmd ]))

@@ -200,9 +200,11 @@ let run_algo ?cache algo ~budget_s ~reuse ~seed ~jobs inst =
         before
     in
     Logs.info (fun m ->
-        m "PA-R: %d iterations on %d worker(s); floorplan cache %d exact + %d \
-           subsumption hits / %d misses"
-          outcome.Pa_random.iterations jobs st.Resched_floorplan.Fp_cache.hits
+        m "PA-R: %d iterations on %d worker(s); floorplan cache %d L1 + %d \
+           exact + %d subsumption hits / %d misses"
+          outcome.Pa_random.iterations jobs
+          st.Resched_floorplan.Fp_cache.l1_hits
+          st.Resched_floorplan.Fp_cache.hits
           st.Resched_floorplan.Fp_cache.sub_hits
           st.Resched_floorplan.Fp_cache.misses);
     match outcome.Pa_random.schedule with
@@ -475,13 +477,13 @@ let compare_ path budget_ms seed jobs =
   Table.print table;
   let st = Resched_floorplan.Fp_cache.stats cache in
   let module F = Resched_floorplan.Fp_cache in
-  let lookups = st.F.hits + st.F.sub_hits + st.F.misses in
+  let lookups = F.lookups st in
   if lookups > 0 then
     Printf.printf
-      "shared floorplan cache: %d lookups, %d exact + %d subsumption hits \
-       (%.0f%%), %d misses\n"
-      lookups st.F.hits st.F.sub_hits
-      (100. *. float_of_int (st.F.hits + st.F.sub_hits) /. float_of_int lookups)
+      "shared floorplan cache: %d lookups, %d L1 + %d exact + %d subsumption \
+       hits (%.0f%%), %d misses\n"
+      lookups st.F.l1_hits st.F.hits st.F.sub_hits
+      (100. *. F.hit_rate st)
       st.F.misses;
   0
 

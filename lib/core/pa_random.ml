@@ -74,6 +74,35 @@ type worker_result = {
   w_trace : trace_point list;  (** newest first *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* Per-domain restart arenas, reused across calls                      *)
+
+(* A resident pool worker serves a whole batch of PA-R runs; rebuilding
+   the restart arena on every call rediscovers the same per-scale memo
+   entries from scratch. Each domain keeps its few most recent arenas,
+   keyed by physical instance identity (an [Instance.t] is immutable and
+   interned by the caller, so [==] is the right notion of "same
+   instance"). Arena reuse is bit-identical by construction: the memo
+   returns exactly what recomputation would, and [State.reset] clears
+   iteration state (property-tested in test_scheduler). The cap bounds
+   how much a long-lived domain roots against the GC. *)
+let context_cache_cap = 4
+
+let context_cache : (Instance.t * Pa.Context.t) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let get_context inst =
+  let cache = Domain.DLS.get context_cache in
+  match List.find_opt (fun (i, _) -> i == inst) !cache with
+  | Some (_, ctx) ->
+    cache := (inst, ctx) :: List.filter (fun (i, _) -> i != inst) !cache;
+    ctx
+  | None ->
+    let ctx = Pa.Context.create inst in
+    let kept = List.filteri (fun k _ -> k < context_cache_cap - 1) !cache in
+    cache := (inst, ctx) :: kept;
+    ctx
+
 (* The adaptive virtual scale is quantized onto the [shrink_factor^k]
    lattice (k in [0 .. max_shrink_exp]); only the integer exponent moves.
    The previous continuous policy ([scale /. sqrt shrink] on success)
@@ -91,8 +120,9 @@ let worker ~config ~cache ~incremental ~rng ~start ~deadline ~min_iterations
      and a domain-private arena also keeps the iteration's working set
      out of the minor heap (OCaml 5 minor collections are stop-the-world
      rendezvous across domains, so per-domain allocation churn taxes
-     every other worker). *)
-  let ctx = if incremental then Some (Pa.Context.create inst) else None in
+     every other worker). Fetched through the domain-local cache so a
+     resident pool worker reuses a warm arena across a batch of runs. *)
+  let ctx = if incremental then Some (get_context inst) else None in
   (* Virtual FPGA-resource scale for the inner doSchedule. Algorithm 1
      never shrinks, but when the region definition saturates the device
      no random order yields a floorplannable region set; adapting the
@@ -173,12 +203,21 @@ let merge_traces results =
   List.rev rev
 
 let run_parallel ?(config = Pa.default_config) ?(seed = 1) ?(min_iterations = 1)
-    ?jobs ?cache ?(incremental = true) ~budget_seconds inst =
+    ?jobs ?pool ?cache ?(incremental = true) ~budget_seconds inst =
   let jobs =
-    match jobs with
-    | Some j when j >= 1 -> j
-    | Some j -> invalid_arg (Printf.sprintf "Pa_random.run_parallel: jobs=%d" j)
-    | None -> Domain_pool.available_cores ()
+    match (pool, jobs) with
+    | Some p, Some j ->
+      if j <> Domain_pool.Pool.jobs p then
+        invalid_arg
+          (Printf.sprintf
+             "Pa_random.run_parallel: jobs=%d but the pool has %d worker(s)" j
+             (Domain_pool.Pool.jobs p));
+      j
+    | Some p, None -> Domain_pool.Pool.jobs p
+    | None, Some j when j >= 1 -> j
+    | None, Some j ->
+      invalid_arg (Printf.sprintf "Pa_random.run_parallel: jobs=%d" j)
+    | None, None -> Domain_pool.available_cores ()
   in
   if jobs = 1 then
     run ~config ~seed ~min_iterations ?cache ~incremental ~budget_seconds inst
@@ -195,10 +234,14 @@ let run_parallel ?(config = Pa.default_config) ?(seed = 1) ?(min_iterations = 1)
           if i = 0 then Rng.create seed else Rng.split root)
     in
     let min_per_worker = (min_iterations + jobs - 1) / jobs in
+    let job i =
+      worker ~config ~cache ~incremental ~rng:rngs.(i) ~start ~deadline
+        ~min_iterations:min_per_worker ~shared inst
+    in
     let results =
-      Domain_pool.run ~jobs (fun i ->
-          worker ~config ~cache ~incremental ~rng:rngs.(i) ~start ~deadline
-            ~min_iterations:min_per_worker ~shared inst)
+      match pool with
+      | Some p -> Domain_pool.Pool.map p job
+      | None -> Domain_pool.run ~jobs job
     in
     let iterations =
       Array.fold_left (fun acc r -> acc + r.w_iterations) 0 results

@@ -53,12 +53,23 @@ val run : ?config:Pa.config -> ?seed:int -> ?min_iterations:int ->
     [(seed, min_iterations, budget_seconds = 0.)] configuration. *)
 
 val run_parallel : ?config:Pa.config -> ?seed:int -> ?min_iterations:int ->
-  ?jobs:int -> ?cache:Resched_floorplan.Fp_cache.t -> ?incremental:bool ->
+  ?jobs:int -> ?pool:Resched_util.Domain_pool.Pool.t ->
+  ?cache:Resched_floorplan.Fp_cache.t -> ?incremental:bool ->
   budget_seconds:float -> Resched_platform.Instance.t -> outcome
 (** [run] fanned out over [jobs] worker domains (default
     {!Resched_util.Domain_pool.available_cores}) sharing one atomic
     incumbent makespan — a worker floorplans a candidate only if it beats
     the best found by {e any} worker — and, when given, one [cache].
+
+    With [pool], the fan-out reuses that persistent pool's resident
+    domains instead of spawning fresh ones per call — across a batch of
+    runs this amortizes domain spawn/join and keeps per-domain state
+    warm: each worker's {!Pa.Context} restart arena (cached in
+    domain-local storage, keyed by instance identity) and its floorplan
+    cache L1 memo survive between calls. [jobs] then defaults to the
+    pool's width, and giving both with different values is an error.
+    Pool reuse never changes results: worker 0 still runs on the calling
+    domain, and arena reuse is bit-identical by construction.
 
     Reproducibility: worker 0 replays exactly the stream [run] would use
     for [seed]; workers 1..jobs-1 use independent streams split from

@@ -1,35 +1,52 @@
 module Device = Resched_fabric.Device
 module Resource = Resched_fabric.Resource
 module Domain_pool = Resched_util.Domain_pool
+module Seqlock = Resched_util.Seqlock
+module Smap = Map.Make (String)
 
 type entry = {
   verdict : Floorplanner.verdict;  (** placements in sorted-needs order *)
   engine_used : Floorplanner.engine;
 }
 
-type stats = { hits : int; sub_hits : int; misses : int; inserts : int }
+type stats = {
+  l1_hits : int;
+  hits : int;
+  sub_hits : int;
+  misses : int;
+  inserts : int;
+}
 
-let zero_stats = { hits = 0; sub_hits = 0; misses = 0; inserts = 0 }
+let zero_stats = { l1_hits = 0; hits = 0; sub_hits = 0; misses = 0; inserts = 0 }
 
 let diff a b =
   {
+    l1_hits = a.l1_hits - b.l1_hits;
     hits = a.hits - b.hits;
     sub_hits = a.sub_hits - b.sub_hits;
     misses = a.misses - b.misses;
     inserts = a.inserts - b.inserts;
   }
 
+let lookups s = s.l1_hits + s.hits + s.sub_hits + s.misses
+
+let hit_rate s =
+  let n = lookups s in
+  if n = 0 then 0.
+  else float_of_int (s.l1_hits + s.hits + s.sub_hits) /. float_of_int n
+
 (* Exact stripes: the permutation-invariant exact-key table, sharded by
-   full-key hash. All counters live here (a subsumption hit is counted on
-   the stripe its exact key hashes to, so [stripe_stats] sums to
-   [stats]). *)
+   fused-key hash. The entry map is an immutable snapshot published
+   through a seqlock — lookups never block, writers replace the snapshot
+   under the seqlock's mutex. All L2 counters live here (a subsumption
+   hit is counted on the stripe its exact key hashes to, so
+   [stripe_stats] sums to [stats] minus L1 hits). *)
 type exact_stripe = {
-  e_lock : Mutex.t;
-  e_table : (string * string, entry) Hashtbl.t;  (* (device key, needs key) *)
-  mutable e_hits : int;
-  mutable e_sub_hits : int;
-  mutable e_misses : int;
-  mutable e_inserts : int;
+  e_map : entry Smap.t Seqlock.t;  (* fused device^\x01^needs key *)
+  e_hits : int Atomic.t;
+  e_sub_hits : int Atomic.t;
+  e_misses : int Atomic.t;
+  e_inserts : int Atomic.t;
 }
 
 (* Subsumption groups: decisive verdicts for one (device, engine,
@@ -58,18 +75,38 @@ type sub_stripe = {
   s_groups : (string, group) Hashtbl.t;  (* group key -> antichains *)
 }
 
+(* Each domain's private memo in front of the shared stripes. Owned
+   (table and epoch stamp) exclusively by one domain; the hit counter is
+   atomic only so [stats] and [clear] on other domains can read/reset it
+   without a data race — the owner is its sole incrementer, so the
+   atomic is never contended. *)
+type l1 = {
+  mutable l1_epoch : int;  (* cache epoch this memo is valid for *)
+  l1_tbl : (string, entry) Hashtbl.t;
+  l1_hits_n : int Atomic.t;
+}
+
 type t = {
   exact : exact_stripe array;
   sub : sub_stripe array;
   debug : bool;  (** revalidate subsumption-derived placements *)
+  l1_capacity : int;  (* 0 disables the L1 *)
+  epoch : int Atomic.t;
+  l1_key : l1 Domain.DLS.key;
+  l1s : l1 list ref;  (* every domain's memo, for [stats] *)
+  l1s_lock : Mutex.t;
 }
 
 let antichain_cap = 64
 
 let default_stripes = 16
 
-let create ?(stripes = default_stripes) ?debug () =
+let default_l1_capacity = 512
+
+let create ?(stripes = default_stripes) ?(l1_capacity = default_l1_capacity)
+    ?debug () =
   let stripes = Stdlib.max 1 stripes in
+  let l1_capacity = Stdlib.max 0 l1_capacity in
   let debug =
     match debug with
     | Some d -> d
@@ -78,60 +115,99 @@ let create ?(stripes = default_stripes) ?debug () =
       | Some ("1" | "true" | "yes") -> true
       | _ -> false)
   in
+  let epoch = Atomic.make 0 in
+  let l1s = ref [] in
+  let l1s_lock = Mutex.create () in
+  let l1_key =
+    (* Runs on a domain's first lookup through this cache; registering
+       the memo lets [stats] fold in hits from every domain. *)
+    Domain.DLS.new_key (fun () ->
+        let m =
+          {
+            l1_epoch = Atomic.get epoch;
+            l1_tbl = Hashtbl.create (Stdlib.min 64 (Stdlib.max 1 l1_capacity));
+            l1_hits_n = Atomic.make 0;
+          }
+        in
+        Domain_pool.with_lock l1s_lock (fun () -> l1s := m :: !l1s);
+        m)
+  in
   {
     exact =
       Array.init stripes (fun _ ->
           {
-            e_lock = Mutex.create ();
-            e_table = Hashtbl.create 64;
-            e_hits = 0;
-            e_sub_hits = 0;
-            e_misses = 0;
-            e_inserts = 0;
+            e_map = Seqlock.create Smap.empty;
+            e_hits = Atomic.make 0;
+            e_sub_hits = Atomic.make 0;
+            e_misses = Atomic.make 0;
+            e_inserts = Atomic.make 0;
           });
     sub =
       Array.init stripes (fun _ ->
           { s_lock = Mutex.create (); s_groups = Hashtbl.create 32 });
     debug;
+    l1_capacity;
+    epoch;
+    l1_key;
+    l1s;
+    l1s_lock;
   }
+
+let epoch t = Atomic.get t.epoch
 
 let stripe_stats t =
   Array.map
     (fun s ->
-      Domain_pool.with_lock s.e_lock (fun () ->
-          {
-            hits = s.e_hits;
-            sub_hits = s.e_sub_hits;
-            misses = s.e_misses;
-            inserts = s.e_inserts;
-          }))
+      {
+        l1_hits = 0;
+        hits = Atomic.get s.e_hits;
+        sub_hits = Atomic.get s.e_sub_hits;
+        misses = Atomic.get s.e_misses;
+        inserts = Atomic.get s.e_inserts;
+      })
     t.exact
 
+let stripe_read_retries t = Array.map (fun s -> Seqlock.retries s.e_map) t.exact
+
 let stats t =
-  Array.fold_left
-    (fun acc s ->
-      {
-        hits = acc.hits + s.hits;
-        sub_hits = acc.sub_hits + s.sub_hits;
-        misses = acc.misses + s.misses;
-        inserts = acc.inserts + s.inserts;
-      })
-    zero_stats (stripe_stats t)
+  let l2 =
+    Array.fold_left
+      (fun acc s ->
+        {
+          acc with
+          hits = acc.hits + s.hits;
+          sub_hits = acc.sub_hits + s.sub_hits;
+          misses = acc.misses + s.misses;
+          inserts = acc.inserts + s.inserts;
+        })
+      zero_stats (stripe_stats t)
+  in
+  let l1_hits =
+    Domain_pool.with_lock t.l1s_lock (fun () ->
+        List.fold_left (fun acc m -> acc + Atomic.get m.l1_hits_n) 0 !(t.l1s))
+  in
+  { l2 with l1_hits }
+
+let bump_epoch t = Atomic.incr t.epoch
 
 let clear t =
   Array.iter
     (fun s ->
-      Domain_pool.with_lock s.e_lock (fun () ->
-          Hashtbl.reset s.e_table;
-          s.e_hits <- 0;
-          s.e_sub_hits <- 0;
-          s.e_misses <- 0;
-          s.e_inserts <- 0))
+      Seqlock.set s.e_map Smap.empty;
+      Atomic.set s.e_hits 0;
+      Atomic.set s.e_sub_hits 0;
+      Atomic.set s.e_misses 0;
+      Atomic.set s.e_inserts 0)
     t.exact;
   Array.iter
     (fun s ->
       Domain_pool.with_lock s.s_lock (fun () -> Hashtbl.reset s.s_groups))
-    t.sub
+    t.sub;
+  Domain_pool.with_lock t.l1s_lock (fun () ->
+      List.iter (fun m -> Atomic.set m.l1_hits_n 0) !(t.l1s));
+  (* Every domain flushes its L1 table itself on next use: resetting a
+     foreign domain's Hashtbl here would race with its owner. *)
+  bump_epoch t
 
 (* Devices are keyed by name plus a geometry digest: presets have unique
    names, but [Device.make] can reuse a name with a different fabric. *)
@@ -139,14 +215,18 @@ let device_key device =
   Printf.sprintf "%s#%x" device.Device.name
     (Hashtbl.hash (device.Device.columns, device.Device.rows))
 
+(* Exact keys fuse the device and needs keys into one string so the L2
+   snapshot can be a plain [Map.Make(String)]; '\x01' cannot start a
+   needs key (those begin with an engine tag letter). *)
+let fused_key dk nk = dk ^ "\x01" ^ nk
+
 let invalidate_device t device =
   let dk = device_key device in
+  let eprefix = dk ^ "\x01" in
   Array.iter
     (fun s ->
-      Domain_pool.with_lock s.e_lock (fun () ->
-          Hashtbl.filter_map_inplace
-            (fun (d, _) entry -> if String.equal d dk then None else Some entry)
-            s.e_table))
+      Seqlock.update s.e_map (fun m ->
+          Smap.filter (fun k _ -> not (String.starts_with ~prefix:eprefix k)) m))
     t.exact;
   let prefix = dk ^ "\x00" in
   Array.iter
@@ -156,7 +236,8 @@ let invalidate_device t device =
             (fun gk group ->
               if String.starts_with ~prefix gk then None else Some group)
             s.s_groups))
-    t.sub
+    t.sub;
+  bump_epoch t
 
 let engine_tag = function
   | Floorplanner.Backtracking -> 'b'
@@ -203,6 +284,27 @@ let exact_stripe_of t key =
   t.exact.(Hashtbl.hash key mod Array.length t.exact)
 
 let sub_stripe_of t gk = t.sub.(Hashtbl.hash gk mod Array.length t.sub)
+
+(* ------------------------------------------------------------------ *)
+(* Domain-local L1                                                     *)
+
+let get_l1 t =
+  let m = Domain.DLS.get t.l1_key in
+  let e = Atomic.get t.epoch in
+  if m.l1_epoch <> e then begin
+    Hashtbl.reset m.l1_tbl;
+    m.l1_epoch <- e
+  end;
+  m
+
+(* Wholesale drop at capacity: simpler than LRU and the table refills
+   from L2 hits at memo speed, so the cost is transient. *)
+let l1_store t m key entry =
+  if Hashtbl.length m.l1_tbl >= t.l1_capacity then Hashtbl.reset m.l1_tbl;
+  Hashtbl.replace m.l1_tbl key entry
+
+(* ------------------------------------------------------------------ *)
+(* Subsumption index                                                   *)
 
 (* Injective dominance embedding: match every need of [small] to a
    *distinct* need of [big] that covers it component-wise, returning the
@@ -368,17 +470,19 @@ let check t ?(engine = Floorplanner.Backtracking) ?node_limit device needs =
     let t0 = Unix.gettimeofday () in
     let dk = device_key device in
     let sorted, order = canonicalize needs in
-    let key = (dk, needs_key ~engine ~node_limit sorted) in
-    let stripe = exact_stripe_of t key in
-    let cached =
-      Domain_pool.with_lock stripe.e_lock (fun () ->
-          match Hashtbl.find_opt stripe.e_table key with
-          | Some e ->
-            stripe.e_hits <- stripe.e_hits + 1;
-            Some e
-          | None -> None)
+    let key = fused_key dk (needs_key ~engine ~node_limit sorted) in
+    let l1 = if t.l1_capacity > 0 then Some (get_l1 t) else None in
+    let l1_cached =
+      match l1 with
+      | None -> None
+      | Some m -> (
+        match Hashtbl.find_opt m.l1_tbl key with
+        | Some e ->
+          Atomic.incr m.l1_hits_n;
+          Some e
+        | None -> None)
     in
-    match cached with
+    match l1_cached with
     | Some e ->
       {
         Floorplanner.verdict = unpermute order e.verdict;
@@ -386,45 +490,64 @@ let check t ?(engine = Floorplanner.Backtracking) ?node_limit device needs =
         elapsed = Unix.gettimeofday () -. t0;
       }
     | None -> (
-      let gk = group_key ~dk ~engine ~node_limit in
-      match sub_lookup t ~gk ~sorted with
-      | Some derived ->
-        (match derived.verdict with
-        | Floorplanner.Feasible placements when t.debug ->
-          (* Debug builds re-verify reused placements against the weaker
-             query before trusting the subsumption argument. *)
-          (match Floorplanner.validate device ~needs:sorted placements with
-          | Ok () -> ()
-          | Error msg ->
-            invalid_arg ("Fp_cache: invalid subsumed placement: " ^ msg))
-        | _ -> ());
-        (* Promote the derived verdict to an exact entry so the next
-           identical query is an O(1) exact hit; promotions are not
-           counted as [inserts] (no fresh check ran). *)
-        Domain_pool.with_lock stripe.e_lock (fun () ->
-            stripe.e_sub_hits <- stripe.e_sub_hits + 1;
-            if not (Hashtbl.mem stripe.e_table key) then
-              Hashtbl.replace stripe.e_table key derived);
+      let stripe = exact_stripe_of t key in
+      (* Optimistic versioned read of the published snapshot: the only
+         place parallel workers used to serialize on a stripe mutex. *)
+      match Smap.find_opt key (Seqlock.get stripe.e_map) with
+      | Some e ->
+        Atomic.incr stripe.e_hits;
+        (match l1 with Some m -> l1_store t m key e | None -> ());
         {
-          Floorplanner.verdict = unpermute order derived.verdict;
-          engine_used = derived.engine_used;
+          Floorplanner.verdict = unpermute order e.verdict;
+          engine_used = e.engine_used;
           elapsed = Unix.gettimeofday () -. t0;
         }
-      | None ->
-        (* Run outside every lock: feasibility is expensive and other
-           workers must not stall behind it. A racing duplicate check is
-           harmless (both compute the same deterministic verdict). *)
-        let report = Floorplanner.check ~engine ?node_limit device sorted in
-        Domain_pool.with_lock stripe.e_lock (fun () ->
-            stripe.e_misses <- stripe.e_misses + 1;
-            if not (Hashtbl.mem stripe.e_table key) then begin
-              Hashtbl.replace stripe.e_table key
-                {
-                  verdict = report.Floorplanner.verdict;
-                  engine_used = report.Floorplanner.engine_used;
-                };
-              stripe.e_inserts <- stripe.e_inserts + 1
-            end);
-        sub_insert t ~gk ~sorted report;
-        { report with Floorplanner.verdict = unpermute order report.verdict })
+      | None -> (
+        let gk = group_key ~dk ~engine ~node_limit in
+        match sub_lookup t ~gk ~sorted with
+        | Some derived ->
+          (match derived.verdict with
+          | Floorplanner.Feasible placements when t.debug ->
+            (* Debug builds re-verify reused placements against the weaker
+               query before trusting the subsumption argument. *)
+            (match Floorplanner.validate device ~needs:sorted placements with
+            | Ok () -> ()
+            | Error msg ->
+              invalid_arg ("Fp_cache: invalid subsumed placement: " ^ msg))
+          | _ -> ());
+          (* Promote the derived verdict to an exact entry so the next
+             identical query is an O(1) exact hit; promotions are not
+             counted as [inserts] (no fresh check ran). *)
+          Atomic.incr stripe.e_sub_hits;
+          Seqlock.update stripe.e_map (fun m ->
+              if Smap.mem key m then m else Smap.add key derived m);
+          (match l1 with Some m -> l1_store t m key derived | None -> ());
+          {
+            Floorplanner.verdict = unpermute order derived.verdict;
+            engine_used = derived.engine_used;
+            elapsed = Unix.gettimeofday () -. t0;
+          }
+        | None ->
+          (* Run outside every lock: feasibility is expensive and other
+             workers must not stall behind it. A racing duplicate check is
+             harmless (both compute the same deterministic verdict). *)
+          let report = Floorplanner.check ~engine ?node_limit device sorted in
+          let e =
+            {
+              verdict = report.Floorplanner.verdict;
+              engine_used = report.Floorplanner.engine_used;
+            }
+          in
+          Atomic.incr stripe.e_misses;
+          let inserted = ref false in
+          Seqlock.update stripe.e_map (fun m ->
+              if Smap.mem key m then m
+              else begin
+                inserted := true;
+                Smap.add key e m
+              end);
+          if !inserted then Atomic.incr stripe.e_inserts;
+          sub_insert t ~gk ~sorted report;
+          (match l1 with Some m -> l1_store t m key e | None -> ());
+          { report with Floorplanner.verdict = unpermute order report.verdict }))
   end

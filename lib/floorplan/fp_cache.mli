@@ -8,6 +8,18 @@
     already-checked region set is an exact hit: cached placements are
     permuted back to the query's region order before being returned.
 
+    {b Two-level read path.} Each domain owns a private, bounded L1 memo
+    (domain-local storage, no locks or shared cache lines at all) in
+    front of the shared L2. L1 entries are flushed lazily whenever the
+    cache's {e invalidation epoch} moves ({!clear},
+    {!invalidate_device}), so a stale verdict never outlives an
+    invalidation. The shared L2's exact table is sharded into stripes
+    whose read path is an {e optimistic versioned read}
+    ({!Resched_util.Seqlock}) over an immutable snapshot — parallel
+    workers take a stripe mutex only to insert, never to look up.
+    Counters are [Atomic.t] everywhere, so {!stats} and {!stripe_stats}
+    never block a worker.
+
     On top of the exact table sits a *monotone subsumption index*:
     floorplan feasibility is antimonotone in region demands, so a
     feasible verdict at needs [R] answers any query [R'] that
@@ -20,17 +32,15 @@
     would contain a packing of [R]). [Unknown] verdicts are never
     subsumed. Subsumption-derived verdicts can be *more* decisive than a
     budget-limited direct check (which might return [Unknown] where the
-    index holds a proof); they are never wrong.
-
-    The table is sharded into mutex-protected stripes (exact entries by
-    full-key hash, subsumption groups by their device/engine/limit
-    class), with per-stripe counters merged on {!stats}, so parallel
-    PA-R workers do not serialize on one lock. *)
+    index holds a proof); they are never wrong. *)
 
 type t
 
 type stats = {
-  hits : int;  (** exact-key hits *)
+  l1_hits : int;
+      (** hits served by a domain-local L1 memo (no shared state
+          touched) *)
+  hits : int;  (** exact-key hits in the shared L2 *)
   sub_hits : int;  (** hits derived from the subsumption index *)
   misses : int;  (** full misses: a fresh check ran *)
   inserts : int;  (** misses whose fresh verdict was stored *)
@@ -42,37 +52,68 @@ val diff : stats -> stats -> stats
 (** [diff after before] is the component-wise difference — the activity
     between two snapshots of the same cache. *)
 
-val create : ?stripes:int -> ?debug:bool -> unit -> t
+val lookups : stats -> int
+(** [l1_hits + hits + sub_hits + misses]. *)
+
+val hit_rate : stats -> float
+(** Combined (L1 + exact + subsumption) hit rate over {!lookups};
+    [0.] when there were none. *)
+
+val create : ?stripes:int -> ?l1_capacity:int -> ?debug:bool -> unit -> t
 (** An empty cache with zeroed counters, sharded into [stripes]
-    (default 16, clamped to >= 1) mutex-protected stripes. With
-    [~debug:true] (default: set when the [RESCHED_FP_DEBUG] environment
-    variable is 1/true/yes), placements reused through the subsumption
-    index are revalidated with {!Floorplanner.validate} before being
-    returned. *)
+    (default 16, clamped to >= 1) L2 stripes. [l1_capacity] (default
+    512) bounds each domain's L1 memo — when full it is dropped
+    wholesale, which only costs future hits; [0] disables the L1
+    entirely (every read goes to the shared L2 — used by tests that
+    probe L2 behaviour directly). With [~debug:true] (default: set when
+    the [RESCHED_FP_DEBUG] environment variable is 1/true/yes),
+    placements reused through the subsumption index are revalidated with
+    {!Floorplanner.validate} before being returned. *)
 
 val stats : t -> stats
-(** Counters summed over all stripes. *)
+(** L2 counters summed over all stripes, plus the L1 counters of every
+    domain that has touched this cache. Lock-free: a racing lookup may
+    or may not be included, but each lookup lands in exactly one
+    counter, so totals never double-count. *)
 
 val stripe_stats : t -> stats array
-(** Per-stripe counters; sums to {!stats}. A heavily skewed distribution
-    indicates key-hash contention between parallel workers. *)
+(** Per-stripe L2 counters; sums to {!stats} minus its [l1_hits] (L1
+    hits are domain-local and belong to no stripe, so every row reports
+    [l1_hits = 0]). A heavily skewed distribution indicates key-hash
+    contention between parallel workers. *)
+
+val stripe_read_retries : t -> int array
+(** Per-stripe optimistic-read retries ({!Resched_util.Seqlock.retries})
+    — the residual read/write contention on the L2 exact table. All
+    zeros means no lookup ever collided with an insert. *)
+
+val epoch : t -> int
+(** Current invalidation epoch; moves on {!clear} and
+    {!invalidate_device}. Domain-local L1 memos compare their stamp
+    against this and flush when behind. *)
 
 val clear : t -> unit
-(** Drop every entry (exact and subsumption) and reset the counters. *)
+(** Drop every entry (exact and subsumption), reset the counters and
+    advance the epoch so every domain's L1 flushes on its next use. *)
 
 val invalidate_device : t -> Resched_fabric.Device.t -> unit
-(** Drop the entries for one device (e.g. after re-targeting an
-    instance); other devices' entries and the counters are kept. *)
+(** Drop the L2 entries for one device (e.g. after re-targeting an
+    instance); other devices' entries and the counters are kept. Also
+    advances the epoch, so every domain's L1 flushes wholesale (the L1
+    is not indexed by device; dropping it entirely is the conservative,
+    correct choice). *)
 
 val check : t -> ?engine:Floorplanner.engine -> ?node_limit:int ->
   Resched_fabric.Device.t -> Resched_fabric.Resource.t array ->
   Floorplanner.report
-(** Drop-in replacement for {!Floorplanner.check}. Lookup order: exact
-    key, then the subsumption index (a derived verdict is promoted to an
-    exact entry so repeats become exact hits; promotions do not count as
-    [inserts]), then a fresh check whose decisive verdict feeds both
-    structures. Feasible placements are always reported in the caller's
-    region order and satisfy {!Floorplanner.validate} against the
-    queried [needs]. Verdicts are only reused for the same [engine] and
-    [node_limit] configuration, and [Unknown] is never derived by
+(** Drop-in replacement for {!Floorplanner.check}. Lookup order: the
+    calling domain's L1 memo, then the L2 exact stripe (optimistic
+    versioned read), then the subsumption index (a derived verdict is
+    promoted to an exact entry so repeats become exact hits; promotions
+    do not count as [inserts]), then a fresh check whose decisive
+    verdict feeds both L2 structures; every L2 answer is also copied
+    into the caller's L1. Feasible placements are always reported in the
+    caller's region order and satisfy {!Floorplanner.validate} against
+    the queried [needs]. Verdicts are only reused for the same [engine]
+    and [node_limit] configuration, and [Unknown] is never derived by
     subsumption. *)

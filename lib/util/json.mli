@@ -1,0 +1,55 @@
+(** Minimal JSON tree, printer and parser.
+
+    Just enough for the bench harness: run manifests, per-run section
+    logs and A/B reports are built as {!t} values and written with
+    {!to_string}; the [ab]/[check] subcommands read them back with
+    {!parse}. Strict JSON output — non-finite floats are emitted as
+    [null] (use {!float} to get that mapping on construction). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val float : Stdlib.Float.t -> t
+(** [Float f], except NaN and infinities become [Null] (strict JSON has
+    no literals for them). *)
+
+val to_string : ?indent:int -> t -> string
+(** Pretty-printed with [indent] spaces per level (default 2); a
+    trailing newline is appended. [~indent:0] emits a compact
+    single-line document with no trailing newline. *)
+
+val write_file : string -> t -> unit
+(** [to_string] to a file, atomically enough for the bench (write then
+    rename is not needed: single writer per path). *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document; trailing whitespace is allowed, trailing
+    garbage is an error. Numbers without [.], [e] or [E] parse as [Int]
+    (falling back to [Float] on overflow). *)
+
+val parse_file : string -> (t, string) result
+
+(** Accessors — total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj] (first occurrence). *)
+
+val path : string list -> t -> t option
+(** Nested {!member}. *)
+
+val to_list : t -> t list option
+
+val get_int : t -> int option
+(** [Int], or an integral [Float]. *)
+
+val get_float : t -> float option
+(** [Float] or [Int]. *)
+
+val get_bool : t -> bool option
+val get_string : t -> string option

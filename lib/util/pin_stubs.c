@@ -1,0 +1,40 @@
+/* Optional worker-to-core pinning for Domain_pool workers.
+ *
+ * Linux-only: pins the *calling thread* (tid 0 in sched_setaffinity)
+ * to one CPU. On other platforms the stub reports failure and the
+ * caller treats pinning as unavailable.
+ */
+#ifdef __linux__
+#define _GNU_SOURCE
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+#include <caml/mlvalues.h>
+
+CAMLprim value resched_pin_to_core(value core)
+{
+#ifdef __linux__
+    long ncores = sysconf(_SC_NPROCESSORS_ONLN);
+    int c = Int_val(core);
+    cpu_set_t set;
+    if (ncores <= 0 || c < 0)
+        return Val_false;
+    CPU_ZERO(&set);
+    CPU_SET((unsigned)(c % ncores), &set);
+    return Val_bool(sched_setaffinity(0, sizeof(set), &set) == 0);
+#else
+    (void)core;
+    return Val_false;
+#endif
+}
+
+CAMLprim value resched_pin_available(value unit)
+{
+    (void)unit;
+#ifdef __linux__
+    return Val_true;
+#else
+    return Val_false;
+#endif
+}

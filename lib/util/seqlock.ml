@@ -1,0 +1,70 @@
+type 'a t = {
+  version : int Atomic.t;  (* odd while a writer is publishing *)
+  value : 'a Atomic.t;
+  lock : Mutex.t;  (* serializes writers; readers only on fallback *)
+  retry_count : int Atomic.t;
+}
+
+let create v =
+  {
+    version = Atomic.make 0;
+    value = Atomic.make v;
+    lock = Mutex.create ();
+    retry_count = Atomic.make 0;
+  }
+
+(* After this many consecutive optimistic failures the reader queues on
+   the writer mutex instead: progress is then guaranteed by the lock,
+   and a reader that lost this many races is running concurrently with
+   a write storm where one mutex acquisition is cheaper than spinning. *)
+let max_optimistic = 64
+
+let rec get_opt t ~hook attempt =
+  let v1 = Atomic.get t.version in
+  if v1 land 1 = 1 then retry t ~hook attempt
+  else begin
+    (match hook with Some h -> h () | None -> ());
+    let x = Atomic.get t.value in
+    if Atomic.get t.version = v1 then x else retry t ~hook attempt
+  end
+
+and retry t ~hook attempt =
+  Atomic.incr t.retry_count;
+  if attempt >= max_optimistic then begin
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () -> Atomic.get t.value)
+  end
+  else begin
+    Domain.cpu_relax ();
+    get_opt t ~hook (attempt + 1)
+  end
+
+let get t = get_opt t ~hook:None 0
+
+let write t f =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      (* Version goes odd, value is replaced, version goes even: any
+         optimistic read overlapping the window sees a version change
+         and retries. *)
+      Atomic.incr t.version;
+      let out = (try Ok (f (Atomic.get t.value)) with e -> Error e) in
+      (match out with Ok v -> Atomic.set t.value v | Error _ -> ());
+      Atomic.incr t.version;
+      match out with Ok _ -> () | Error e -> raise e)
+
+let set t v = write t (fun _ -> v)
+
+let update t f = write t f
+
+let version t = Atomic.get t.version
+
+let retries t = Atomic.get t.retry_count
+
+module For_testing = struct
+  let get_with_hook t ~hook = get_opt t ~hook:(Some hook) 0
+end

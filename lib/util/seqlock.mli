@@ -1,0 +1,57 @@
+(** Optimistic versioned reads over a single published value.
+
+    A seqlock in the OCaml 5 memory model: writers serialize on an
+    internal mutex and bracket each update with two increments of a
+    version counter (odd while the update is in flight); readers never
+    take the mutex — they sample the version, read the value, and
+    re-check the version, retrying if a writer was observed. The value
+    itself lives in an [Atomic.t], so even a racing read returns a
+    well-formed (if about-to-be-replaced) value; the version protocol
+    only decides whether the read linearizes cleanly, never memory
+    safety.
+
+    Intended use: publish an immutable snapshot (a persistent map, a
+    frozen array) that is read hot and replaced cold. The shared
+    floorplan cache reads its exact-entry stripes through this, so
+    parallel PA-R workers no longer serialize on stripe mutexes.
+
+    Readers that keep observing in-flight writers fall back to the
+    writer mutex after a bounded number of optimistic attempts, so reads
+    stay lock-free in the common case but cannot livelock. The total
+    number of optimistic retries is counted and exposed for contention
+    profiling. *)
+
+type 'a t
+
+val create : 'a -> 'a t
+
+val get : 'a t -> 'a
+(** Optimistic read: lock-free unless a writer is observed mid-update
+    more than a bounded number of times in a row, in which case the read
+    takes the writer mutex (guaranteeing progress). *)
+
+val set : 'a t -> 'a -> unit
+(** Replace the published value (writer path: mutex + version bump). *)
+
+val update : 'a t -> ('a -> 'a) -> unit
+(** [update t f] atomically replaces the value [v] with [f v] under the
+    writer mutex. [f] runs with the mutex held and the version odd, so
+    concurrent optimistic readers of this cell retry past it; keep [f]
+    cheap. *)
+
+val version : 'a t -> int
+(** Current version: even when quiescent, odd while a writer is
+    publishing. Two equal even samples bracket a write-free window. *)
+
+val retries : 'a t -> int
+(** Total optimistic-read retries since creation — the cell's
+    observed read/write contention. *)
+
+(** Test hooks: deterministically interleave a write into a read. *)
+module For_testing : sig
+  val get_with_hook : 'a t -> hook:(unit -> unit) -> 'a
+  (** Like {!get}, but runs [hook] between the version sample and the
+      value read on every optimistic attempt. A [hook] that performs a
+      {!set} forces the version re-check to fail, exercising the retry
+      path without multi-domain timing. *)
+end

@@ -213,7 +213,10 @@ let test_cache_counters_and_permutation () =
   let second = Fp_cache.check cache d [| b; a |] in
   let st = Fp_cache.stats cache in
   Alcotest.(check int) "one miss" 1 st.Fp_cache.misses;
-  Alcotest.(check int) "one hit" 1 st.Fp_cache.hits;
+  (* The repeat lands in the calling domain's L1 memo — the shared L2 is
+     never touched again. *)
+  Alcotest.(check int) "one L1 hit" 1 st.Fp_cache.l1_hits;
+  Alcotest.(check int) "no L2 hit" 0 st.Fp_cache.hits;
   Alcotest.(check int) "one insert" 1 st.Fp_cache.inserts;
   (match (first.Floorplanner.verdict, second.Floorplanner.verdict) with
   | Floorplanner.Feasible p1, Floorplanner.Feasible p2 ->
@@ -228,8 +231,8 @@ let test_cache_counters_and_permutation () =
   (match (Fp_cache.check cache d [||]).Floorplanner.verdict with
   | Floorplanner.Feasible [||] -> ()
   | _ -> Alcotest.fail "empty needs trivially feasible");
-  Alcotest.(check int) "empty needs not counted" 1
-    (Fp_cache.stats cache).Fp_cache.hits
+  Alcotest.(check int) "empty needs not counted" 2
+    (Fp_cache.lookups (Fp_cache.stats cache))
 
 let test_cache_invalidate_device () =
   let cache = Fp_cache.create () in
@@ -252,7 +255,9 @@ let test_cache_invalidate_device () =
 
 let test_cache_subsumption_feasible () =
   let d = Device.minifab in
-  let cache = Fp_cache.create () in
+  (* L1 disabled so the promotion-to-exact-entry behaviour of the shared
+     L2 is observable (with an L1 the repeat would be absorbed there). *)
+  let cache = Fp_cache.create ~l1_capacity:0 () in
   let big = [| v ~clb:300 ~bram:4 ~dsp:8; v ~clb:100 ~bram:2 ~dsp:0 |] in
   (match (Fp_cache.check cache d big).Floorplanner.verdict with
   | Floorplanner.Feasible _ -> ()
@@ -341,6 +346,108 @@ let test_cache_stripe_stats_sum () =
       (st.Fp_cache.misses, st.Fp_cache.inserts) )
     (let h, s, m, i = sum in
      ((h, s), (m, i)))
+
+let test_cache_l1_epoch_flush () =
+  let d = Device.minifab in
+  let needs = [| v ~clb:60 ~bram:0 ~dsp:0 |] in
+  let cache = Fp_cache.create () in
+  ignore (Fp_cache.check cache d needs);
+  ignore (Fp_cache.check cache d needs);
+  let st = Fp_cache.stats cache in
+  Alcotest.(check int) "warm L1 serves the repeat" 1 st.Fp_cache.l1_hits;
+  let e0 = Fp_cache.epoch cache in
+  (* Invalidating an unrelated device must still advance the epoch: the
+     L1 is not indexed by device, so it is flushed wholesale. *)
+  Fp_cache.invalidate_device cache Device.xc7z010;
+  Alcotest.(check bool) "epoch advanced" true (Fp_cache.epoch cache > e0);
+  ignore (Fp_cache.check cache d needs);
+  let st = Fp_cache.stats cache in
+  Alcotest.(check int) "flushed L1 does not answer" 1 st.Fp_cache.l1_hits;
+  Alcotest.(check int) "the surviving L2 entry does" 1 st.Fp_cache.hits;
+  (* The L2 answer re-fills the caller's L1. *)
+  ignore (Fp_cache.check cache d needs);
+  let st = Fp_cache.stats cache in
+  Alcotest.(check int) "L1 re-filled after the flush" 2 st.Fp_cache.l1_hits;
+  Alcotest.(check int) "no extra L2 traffic" 1 st.Fp_cache.hits
+
+(* Multi-domain stress: several workers hammer one shared cache (with a
+   writer interleaving device invalidations) and every verdict must
+   agree with the uncached sequential oracle — [Floorplanner.check] is a
+   pure function of (device, needs), so no interleaving may change an
+   answer. Afterwards the cache is quiescent, so the lock-free counters
+   must account for every lookup exactly once and the per-stripe rows
+   must sum to the totals. *)
+let prop_cache_concurrent_matches_oracle =
+  let devices = [| Device.minifab; Device.xc7z010 |] in
+  let pool =
+    [|
+      [| v ~clb:60 ~bram:0 ~dsp:0 |];
+      [| v ~clb:100 ~bram:2 ~dsp:1 |];
+      [| v ~clb:100 ~bram:0 ~dsp:0; v ~clb:100 ~bram:0 ~dsp:0 |];
+      [| v ~clb:250 ~bram:0 ~dsp:0; v ~clb:250 ~bram:0 ~dsp:0;
+         v ~clb:250 ~bram:0 ~dsp:0 |];
+      [| v ~clb:50 ~bram:1 ~dsp:0; v ~clb:80 ~bram:0 ~dsp:1 |];
+      [| v ~clb:0 ~bram:21 ~dsp:0 |];
+      [| v ~clb:30 ~bram:0 ~dsp:0; v ~clb:30 ~bram:0 ~dsp:0;
+         v ~clb:30 ~bram:0 ~dsp:0; v ~clb:30 ~bram:0 ~dsp:0 |];
+      [| v ~clb:600 ~bram:0 ~dsp:0 |];
+    |]
+  in
+  let kind = function
+    | Floorplanner.Feasible _ -> `Feasible
+    | Floorplanner.Infeasible -> `Infeasible
+    | Floorplanner.Unknown -> `Unknown
+  in
+  QCheck.Test.make ~count:4
+    ~name:"concurrent fp_cache agrees with the sequential oracle"
+    QCheck.(
+      list_of_size
+        Gen.(int_range 12 48)
+        (pair
+           (int_bound (Array.length devices - 1))
+           (int_bound (Array.length pool - 1))))
+    (fun ops ->
+      let ops = Array.of_list ops in
+      let oracle =
+        Array.map
+          (fun (di, ni) ->
+            kind (Floorplanner.check devices.(di) pool.(ni)).Floorplanner.verdict)
+          ops
+      in
+      let cache = Fp_cache.create ~stripes:4 () in
+      let jobs = 4 in
+      let failures = Atomic.make 0 in
+      ignore
+        (Resched_util.Domain_pool.run ~jobs (fun w ->
+             Array.iteri
+               (fun i (di, ni) ->
+                 if w = 0 && i mod 11 = 10 then
+                   Fp_cache.invalidate_device cache devices.(0);
+                 let r = Fp_cache.check cache devices.(di) pool.(ni) in
+                 let ok =
+                   (* a decisive oracle verdict must be reproduced; the
+                      cache may only refine an [Unknown] *)
+                   (oracle.(i) = `Unknown
+                   || kind r.Floorplanner.verdict = oracle.(i))
+                   &&
+                   match r.Floorplanner.verdict with
+                   | Floorplanner.Feasible rects ->
+                     Floorplanner.validate devices.(di) ~needs:pool.(ni) rects
+                     = Ok ()
+                   | _ -> true
+                 in
+                 if not ok then Atomic.incr failures)
+               ops));
+      let st = Fp_cache.stats cache in
+      let rows = Fp_cache.stripe_stats cache in
+      let sum f = Array.fold_left (fun acc r -> acc + f r) 0 rows in
+      Atomic.get failures = 0
+      && Fp_cache.lookups st = jobs * Array.length ops
+      && sum (fun r -> r.Fp_cache.hits) = st.Fp_cache.hits
+      && sum (fun r -> r.Fp_cache.sub_hits) = st.Fp_cache.sub_hits
+      && sum (fun r -> r.Fp_cache.misses) = st.Fp_cache.misses
+      && sum (fun r -> r.Fp_cache.inserts) = st.Fp_cache.inserts
+      && Array.for_all (fun r -> r.Fp_cache.l1_hits = 0) rows)
 
 (* Property: whenever the packer places, the MILP engine never proves
    infeasibility, and vice versa: MILP placement implies the packer does
@@ -523,9 +630,11 @@ let () =
             test_cache_unknown_never_subsumed;
           Alcotest.test_case "stripe stats sum" `Quick
             test_cache_stripe_stats_sum;
+          Alcotest.test_case "L1 epoch flush" `Quick test_cache_l1_epoch_flush;
         ] );
       ( "properties",
         [
+          QCheck_alcotest.to_alcotest prop_cache_concurrent_matches_oracle;
           QCheck_alcotest.to_alcotest prop_engines_consistent;
           QCheck_alcotest.to_alcotest prop_grid_candidates_identical;
           QCheck_alcotest.to_alcotest prop_packer_v2_agrees_v1;

@@ -431,7 +431,8 @@ let prop_cache_matches_fresh_check =
       && kind miss.Floorplanner.verdict = kind hit.Floorplanner.verdict
       && placements_ok miss.Floorplanner.verdict
       && placements_ok hit.Floorplanner.verdict
-      && st.Fp_cache.hits = 1 && st.Fp_cache.misses = 1)
+      && st.Fp_cache.l1_hits = 1 && st.Fp_cache.hits = 0
+      && st.Fp_cache.misses = 1)
 
 (* Everything observable about a schedule except the instance pointer:
    structural equality here is what "bit-identical" means below. *)

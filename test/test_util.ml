@@ -1,11 +1,19 @@
 (* Tests for the util substrate: RNG determinism and distribution sanity,
-   statistics, table rendering and CSV escaping. *)
+   statistics, table rendering and CSV escaping, the seqlock's optimistic
+   read protocol, the persistent domain pool and the JSON codec. *)
 
 module Rng = Resched_util.Rng
 module Stats = Resched_util.Stats
 module Table = Resched_util.Table
 module Csv = Resched_util.Csv
 module Domain_pool = Resched_util.Domain_pool
+module Seqlock = Resched_util.Seqlock
+module Json = Resched_util.Json
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
 
 let test_rng_deterministic () =
   let a = Rng.create 42 and b = Rng.create 42 in
@@ -137,6 +145,222 @@ let test_domain_pool_shared_atomic () =
          done));
   Alcotest.(check int) "all increments land" 4000 (Atomic.get counter)
 
+let test_seqlock_basic () =
+  let s = Seqlock.create 1 in
+  Alcotest.(check int) "initial" 1 (Seqlock.get s);
+  Seqlock.set s 2;
+  Alcotest.(check int) "after set" 2 (Seqlock.get s);
+  Seqlock.update s (fun x -> x + 10);
+  Alcotest.(check int) "after update" 12 (Seqlock.get s);
+  Alcotest.(check int) "two writes leave an even version" 4 (Seqlock.version s)
+
+let test_seqlock_update_exn_keeps_value () =
+  let s = Seqlock.create 5 in
+  Alcotest.check_raises "update re-raises" (Failure "nope") (fun () ->
+      Seqlock.update s (fun _ -> failwith "nope"));
+  Alcotest.(check int) "value unchanged" 5 (Seqlock.get s);
+  Alcotest.(check bool) "version settles even" true
+    (Seqlock.version s land 1 = 0);
+  Seqlock.set s 6;
+  Alcotest.(check int) "cell still writable" 6 (Seqlock.get s)
+
+let test_seqlock_hook_forced_retry () =
+  (* A write landing between the version sample and the value read must
+     fail the re-check; once the writer goes quiet the read linearizes
+     on the latest published value. *)
+  let s = Seqlock.create 0 in
+  let writes = ref 0 in
+  let v =
+    Seqlock.For_testing.get_with_hook s ~hook:(fun () ->
+        if !writes < 3 then begin
+          incr writes;
+          Seqlock.set s !writes
+        end)
+  in
+  Alcotest.(check int) "read sees the last write" 3 v;
+  Alcotest.(check int) "every collision counted" 3 (Seqlock.retries s)
+
+let test_seqlock_mutex_fallback () =
+  (* A hook that writes on every attempt starves the optimistic path
+     forever; the read must still terminate, via the writer mutex. *)
+  let s = Seqlock.create 0 in
+  let n = ref 0 in
+  let v =
+    Seqlock.For_testing.get_with_hook s ~hook:(fun () ->
+        incr n;
+        Seqlock.set s !n)
+  in
+  Alcotest.(check int) "fallback read returns the latest value" !n v;
+  Alcotest.(check bool) "optimism is bounded" true (Seqlock.retries s > 64)
+
+let test_seqlock_concurrent_reads () =
+  (* One writer publishes (k, -k) pairs in increasing k; concurrent
+     readers must never observe a torn pair or travel back in time. *)
+  let s = Seqlock.create (0, 0) in
+  let writes = 2000 in
+  let bad = Atomic.make 0 in
+  ignore
+    (Domain_pool.run ~jobs:4 (fun i ->
+         if i = 0 then
+           for k = 1 to writes do
+             Seqlock.set s (k, -k)
+           done
+         else begin
+           let last = ref (-1) in
+           for _ = 1 to 5000 do
+             let a, b = Seqlock.get s in
+             if b <> -a || a < !last then Atomic.incr bad;
+             last := a
+           done
+         end));
+  Alcotest.(check int) "reads consistent and monotone" 0 (Atomic.get bad);
+  Alcotest.(check int) "final value visible after join" writes
+    (fst (Seqlock.get s))
+
+let test_plan_jobs () =
+  let cores = Domain_pool.available_cores () in
+  let p = Domain_pool.plan_jobs ~requested:(cores + 8) () in
+  Alcotest.(check int) "clamped to the core count" cores
+    p.Domain_pool.effective;
+  Alcotest.(check int) "request recorded" (cores + 8) p.Domain_pool.requested;
+  Alcotest.(check bool) "clamping is a downgrade" true
+    (Domain_pool.downgraded p);
+  let q =
+    Domain_pool.plan_jobs ~allow_oversubscribe:true ~requested:(cores + 8) ()
+  in
+  Alcotest.(check int) "oversubscription keeps the request" (cores + 8)
+    q.Domain_pool.effective;
+  Alcotest.(check bool) "oversubscribed plan is not downgraded" false
+    (Domain_pool.downgraded q);
+  Alcotest.(check bool) "jobs=1 never downgrades" false
+    (Domain_pool.downgraded (Domain_pool.plan_jobs ~requested:1 ()))
+
+let test_warn_downgrade () =
+  let capture p =
+    let path = Filename.temp_file "resched_warn" ".log" in
+    let oc = open_out path in
+    Domain_pool.warn_downgrade ~out:oc ~label:"unit-test" p;
+    close_out oc;
+    let ic = open_in path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Sys.remove path;
+    s
+  in
+  let msg = capture { Domain_pool.requested = 8; effective = 1; cores = 1 } in
+  Alcotest.(check bool) "warning names the label" true
+    (contains ~sub:"unit-test" msg);
+  Alcotest.(check bool) "warning states the requested width" true
+    (contains ~sub:"jobs=8" msg);
+  Alcotest.(check string) "silent when nothing was downgraded" ""
+    (capture { Domain_pool.requested = 2; effective = 2; cores = 4 })
+
+let test_pool_map_reuses_domains () =
+  let p = Domain_pool.Pool.create ~jobs:3 () in
+  Alcotest.(check int) "jobs" 3 (Domain_pool.Pool.jobs p);
+  Alcotest.(check (array int)) "ordered results" [| 0; 2; 4 |]
+    (Domain_pool.Pool.map p (fun i -> 2 * i));
+  (* Workers are resident, so domain-local state stays warm between
+     batches — the property the PA-R arena cache depends on. *)
+  let key = Domain.DLS.new_key (fun () -> ref 0) in
+  let bump _ =
+    let r = Domain.DLS.get key in
+    incr r;
+    !r
+  in
+  Alcotest.(check (array int)) "first batch initializes DLS" [| 1; 1; 1 |]
+    (Domain_pool.Pool.map p bump);
+  Alcotest.(check (array int)) "second batch finds it warm" [| 2; 2; 2 |]
+    (Domain_pool.Pool.map p bump);
+  Domain_pool.Pool.shutdown p
+
+let test_pool_failure_and_shutdown () =
+  let p = Domain_pool.Pool.create ~jobs:2 () in
+  Alcotest.check_raises "first failure re-raised" (Failure "job 1") (fun () ->
+      ignore
+        (Domain_pool.Pool.map p (fun i ->
+             if i = 1 then failwith "job 1" else i)));
+  Alcotest.(check (array int)) "pool survives a failed batch" [| 0; 1 |]
+    (Domain_pool.Pool.map p (fun i -> i));
+  Domain_pool.Pool.shutdown p;
+  (* Idempotent; a shut pool refuses work instead of hanging. *)
+  Domain_pool.Pool.shutdown p;
+  Alcotest.(check bool) "map after shutdown raises" true
+    (match Domain_pool.Pool.map p (fun i -> i) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_pool_run_chunked () =
+  let p = Domain_pool.Pool.create ~jobs:3 () in
+  let n = 1003 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  Domain_pool.Pool.run_chunked p ~chunk:7 ~n (fun i -> Atomic.incr hits.(i));
+  Array.iteri
+    (fun i c ->
+      if Atomic.get c <> 1 then
+        Alcotest.failf "item %d ran %d times" i (Atomic.get c))
+    hits;
+  Domain_pool.Pool.run_chunked p ~n:0 (fun _ ->
+      Alcotest.fail "n=0 must dispatch nothing");
+  let sum = Atomic.make 0 in
+  Domain_pool.Pool.run_chunked p ~n:100 (fun i ->
+      ignore (Atomic.fetch_and_add sum i));
+  Alcotest.(check int) "default chunking covers every item" 4950
+    (Atomic.get sum);
+  Domain_pool.Pool.shutdown p
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("b", Json.List [ Json.float 1.5; Json.String "x\n\"\\y"; Json.Null ]);
+        ("ok", Json.Bool true);
+        ("empty", Json.Obj []);
+        ("nested", Json.Obj [ ("l", Json.List []) ]);
+      ]
+  in
+  (match Json.parse (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "pretty form roundtrips" true (v = v')
+  | Error e -> Alcotest.fail e);
+  let compact = Json.to_string ~indent:0 v in
+  Alcotest.(check bool) "compact form is one line" true
+    (not (String.contains compact '\n'));
+  match Json.parse compact with
+  | Ok v' -> Alcotest.(check bool) "compact form roundtrips" true (v = v')
+  | Error e -> Alcotest.fail e
+
+let test_json_errors_and_nonfinite () =
+  Alcotest.(check bool) "NaN prints as null" true
+    (Json.float Float.nan = Json.Null);
+  (match Json.parse "{\"a\":" with
+  | Ok _ -> Alcotest.fail "accepted a truncated object"
+  | Error _ -> ());
+  match Json.parse "[1, 2] trailing" with
+  | Ok _ -> Alcotest.fail "accepted trailing garbage"
+  | Error _ -> ()
+
+let test_json_accessors () =
+  match
+    Json.parse
+      "{\"jobs\": {\"requested\": 4, \"effective\": 1}, \"xs\": [1, 2.5, true]}"
+  with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+    Alcotest.(check (option int)) "nested path" (Some 4)
+      (Option.bind (Json.path [ "jobs"; "requested" ] v) Json.get_int);
+    Alcotest.(check (option int)) "missing member" None
+      (Option.bind (Json.member "nope" v) Json.get_int);
+    let xs = Option.value ~default:[] (Option.bind (Json.member "xs" v) Json.to_list) in
+    Alcotest.(check int) "list length" 3 (List.length xs);
+    Alcotest.(check (option bool)) "bool element" (Some true)
+      (Json.get_bool (List.nth xs 2));
+    Alcotest.(check (option (float 1e-9))) "int widens to float" (Some 1.)
+      (Json.get_float (List.nth xs 0))
+
 let prop_percentile_monotone =
   QCheck.Test.make ~count:200 ~name:"percentile monotone in p"
     QCheck.(
@@ -190,6 +414,36 @@ let () =
             test_domain_pool_propagates_failure;
           Alcotest.test_case "shared atomic counter" `Quick
             test_domain_pool_shared_atomic;
+          Alcotest.test_case "plan_jobs clamps honestly" `Quick test_plan_jobs;
+          Alcotest.test_case "warn_downgrade output" `Quick test_warn_downgrade;
+        ] );
+      ( "seqlock",
+        [
+          Alcotest.test_case "get/set/update/version" `Quick test_seqlock_basic;
+          Alcotest.test_case "failed update keeps value" `Quick
+            test_seqlock_update_exn_keeps_value;
+          Alcotest.test_case "hook-forced retry" `Quick
+            test_seqlock_hook_forced_retry;
+          Alcotest.test_case "mutex fallback under write storm" `Quick
+            test_seqlock_mutex_fallback;
+          Alcotest.test_case "concurrent reads consistent" `Quick
+            test_seqlock_concurrent_reads;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map reuses resident domains" `Quick
+            test_pool_map_reuses_domains;
+          Alcotest.test_case "failure and shutdown" `Quick
+            test_pool_failure_and_shutdown;
+          Alcotest.test_case "run_chunked covers all items" `Quick
+            test_pool_run_chunked;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "errors and non-finite" `Quick
+            test_json_errors_and_nonfinite;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_percentile_monotone ]);
     ]
