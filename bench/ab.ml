@@ -58,7 +58,26 @@ let each_group j ~list_field f =
   | None -> ()
   | Some gs -> List.iter f gs
 
-let check_iteration v j =
+let check_iteration ?max_minor_words_per_iter v j =
+  (match max_minor_words_per_iter with
+  | None -> ()
+  | Some cap -> (
+    match get_float [ "alloc"; "max_minor_words_per_iter" ] j with
+    | Some w when w > cap ->
+      fail v
+        "iteration: worst SoA kernel allocation %.0f minor words/iter above \
+         the %.0f cap (allocation regression)"
+        w cap
+    | Some w ->
+      note v "iteration: worst SoA kernel allocation %.0f minor words/iter \
+              (cap %.0f)" w cap
+    | None ->
+      fail v
+        "iteration: no alloc.max_minor_words_per_iter recorded but a cap \
+         was required"));
+  (match get_float [ "alloc"; "min_alloc_ratio" ] j with
+  | Some r -> note v "iteration: boxed/SoA allocation reduction >= x%.1f" r
+  | None -> ());
   each_group j ~list_field:"groups" (fun g ->
       let tasks = Option.value ~default:(-1) (get_int [ "tasks" ] g) in
       (match (get_int [ "makespan_new" ] g, get_int [ "makespan_old" ] g) with
@@ -177,19 +196,43 @@ let check_parallel v ~min_cores ~min_speedup j =
         floor
     else fail v "parallel: no speedup_large_groups recorded"
 
+(* The batch engine's correctness contract is unconditional: every
+   instance's outcome must be bit-identical to its sequential run,
+   whatever the interleaving. The throughput speedup is informational
+   only — a CI smoke run on 2 cores with a couple of instances cannot
+   back a fleet-throughput claim, so no floor is enforced here (the
+   recorded full runs carry it). *)
+let check_batch v j =
+  each_group j ~list_field:"instances" (fun g ->
+      let tasks = Option.value ~default:(-1) (get_int [ "tasks" ] g) in
+      let idx = Option.value ~default:(-1) (get_int [ "idx" ] g) in
+      if get_bool [ "identical" ] g = Some false then
+        fail v
+          "batch: instance (%d tasks, #%d) diverged from its sequential \
+           one-at-a-time run"
+          tasks idx);
+  if get_bool [ "all_identical" ] j <> Some true then
+    fail v "batch: all_identical is not true";
+  match (get_float [ "speedup" ] j, get_int [ "jobs" ] j) with
+  | Some s, Some jobs ->
+    note v "batch: x%.2f instances/s vs one-at-a-time at jobs=%d" s jobs
+  | _ -> ()
+
 (* Sections [check] knows how to audit, with their guard functions.
    Missing sections are skipped with a note (a partial run can still be
    checked) unless [require_all] is set. *)
-let checkable_sections ~min_cores ~min_speedup =
+let checkable_sections ~min_cores ~min_speedup ~max_minor_words_per_iter =
   [
     ("parallel", check_parallel ~min_cores ~min_speedup);
-    ("iteration", check_iteration);
+    ("iteration", check_iteration ?max_minor_words_per_iter);
+    ("batch", check_batch);
     ("milp", check_milp);
     ("floorplan", check_floorplan);
     ("faults", check_faults);
   ]
 
-let check ?run ?min_cores ?min_speedup ?(require_all = false) () =
+let check ?run ?min_cores ?min_speedup ?max_minor_words_per_iter
+    ?(require_all = false) () =
   let r = Run_store.find run in
   (match (run, r) with
   | Some arg, None ->
@@ -205,7 +248,7 @@ let check ?run ?min_cores ?min_speedup ?(require_all = false) () =
       | Error e ->
         if require_all then fail v "%s: %s" section e
         else note v "%s: skipped (%s)" section e)
-    (checkable_sections ~min_cores ~min_speedup);
+    (checkable_sections ~min_cores ~min_speedup ~max_minor_words_per_iter);
   finish ~label:"check" v
 
 (* ------------------------------------------------------------------ *)
@@ -249,6 +292,7 @@ let verdict_flags =
     ("parallel", [ "never_worse" ]);
     ("iteration", [ "all_identical" ]);
     ("iteration", [ "never_worse" ]);
+    ("batch", [ "all_identical" ]);
     ("milp", [ "engines_agree" ]);
     ("milp", [ "never_worse" ]);
     ("milp", [ "lp_kernel"; "all_agree" ]);
@@ -312,6 +356,59 @@ let compare_runs (a : Run_store.run) (b : Run_store.run) =
         | _ -> ())
       | _ -> ())
     verdict_flags;
+  (* S1: per-section GC counters from the two manifests — allocation
+     drift on the orchestrating domain, informational (never a
+     failure: absolute rates shift with groups/iteration knobs). *)
+  let gc_deltas = ref [] in
+  (match (Run_store.load_manifest a, Run_store.load_manifest b) with
+  | Ok ma, Ok mb -> (
+    match
+      ( Option.bind (Json.member "sections_gc" ma) (function
+          | Json.Obj kvs -> Some kvs
+          | _ -> None),
+        Option.bind (Json.member "sections_gc" mb) (function
+          | Json.Obj kvs -> Some kvs
+          | _ -> None) )
+    with
+    | Some ga, Some gb ->
+      List.iter
+        (fun (section, jb') ->
+          match List.assoc_opt section ga with
+          | None -> ()
+          | Some ja' -> (
+            match
+              ( get_float [ "minor_words" ] ja',
+                get_float [ "minor_words" ] jb' )
+            with
+            | Some wa, Some wb ->
+              let majors label j =
+                Option.value ~default:0 (get_int [ label ] j)
+              in
+              gc_deltas :=
+                Json.Obj
+                  [
+                    ("section", Json.String section);
+                    ("minor_words_a", Json.float wa);
+                    ("minor_words_b", Json.float wb);
+                    ( "minor_words_ratio",
+                      Json.float (wb /. Float.max wa 1.) );
+                    ( "major_collections_a",
+                      Json.Int (majors "major_collections" ja') );
+                    ( "major_collections_b",
+                      Json.Int (majors "major_collections" jb') );
+                  ]
+                :: !gc_deltas;
+              note v
+                "gc %-10s minor words %.2e -> %.2e (x%.2f), major \
+                 collections %d -> %d"
+                section wa wb
+                (wb /. Float.max wa 1.)
+                (majors "major_collections" ja')
+                (majors "major_collections" jb')
+            | _ -> ()))
+        gb
+    | _ -> ())
+  | _ -> ());
   let report =
     Json.Obj
       [
@@ -319,6 +416,7 @@ let compare_runs (a : Run_store.run) (b : Run_store.run) =
         ("run_a", Json.String a.Run_store.id);
         ("run_b", Json.String b.Run_store.id);
         ("groups", Json.List (List.rev !group_deltas));
+        ("sections_gc", Json.List (List.rev !gc_deltas));
         ( "divergences",
           Json.List (List.map (fun d -> Json.String d) (List.rev !divergences))
         );

@@ -107,19 +107,31 @@ let min_speedup_arg =
   in
   Arg.(value & opt (some float) None & info [ "min-speedup" ] ~docv:"X" ~doc)
 
+let max_minor_words_arg =
+  let doc =
+    "Fail if the recorded iteration section's worst SoA-kernel allocation \
+     rate exceeds this many minor words per iteration (allocation \
+     regression gate)."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "max-minor-words-per-iter" ] ~docv:"W" ~doc)
+
 let require_all_arg =
   let doc = "Fail if any checkable section log is missing." in
   Arg.(value & flag & info [ "require-all" ] ~doc)
 
 let check_cmd =
   let doc = "Audit a run's recorded logs (the CI release gate)." in
-  let f run min_cores min_speedup require_all =
-    Ab.check ?run ?min_cores ?min_speedup ~require_all ()
+  let f run min_cores min_speedup max_minor_words_per_iter require_all =
+    Ab.check ?run ?min_cores ?min_speedup ?max_minor_words_per_iter
+      ~require_all ()
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const f $ check_run_arg $ min_cores_arg $ min_speedup_arg
-      $ require_all_arg)
+      $ max_minor_words_arg $ require_all_arg)
 
 let champions_cmd =
   let doc = "Print the best-known PA-R results per task group." in

@@ -65,6 +65,32 @@ let next_id ~label =
   if label = "" then Printf.sprintf "run-%04d" (seq + 1)
   else Printf.sprintf "run-%04d-%s" (seq + 1) label
 
+(* Per-section GC counters (S1): the section driver measures
+   [Gc.quick_stat] deltas around each section and records them here;
+   [finalize] folds them into the manifest so [ab] can report
+   allocation-rate drift between two runs without re-executing
+   anything. Orchestrating-domain counters only — worker-domain
+   allocation is reported by the sections that measure it
+   (iteration/batch words-per-iteration telemetry). *)
+let section_gc : (string * Json.t) list ref = ref []
+
+let record_section_gc ~section ~elapsed_s (b : Gc.stat) (a : Gc.stat) =
+  section_gc :=
+    ( section,
+      Json.Obj
+        [
+          ("elapsed_s", Json.float elapsed_s);
+          ("minor_words", Json.float (a.Gc.minor_words -. b.Gc.minor_words));
+          ("major_words", Json.float (a.Gc.major_words -. b.Gc.major_words));
+          ( "promoted_words",
+            Json.float (a.Gc.promoted_words -. b.Gc.promoted_words) );
+          ( "minor_collections",
+            Json.Int (a.Gc.minor_collections - b.Gc.minor_collections) );
+          ( "major_collections",
+            Json.Int (a.Gc.major_collections - b.Gc.major_collections) );
+        ] )
+    :: !section_gc
+
 let manifest_json ~completed ~elapsed_s =
   let p = Bench_env.par_plan in
   Json.Obj
@@ -89,6 +115,7 @@ let manifest_json ~completed ~elapsed_s =
       ("completed", Json.Bool completed);
       ( "elapsed_s",
         match elapsed_s with Some s -> Json.float s | None -> Json.Null );
+      ("sections_gc", Json.Obj (List.rev !section_gc));
     ]
 
 let create ~label =

@@ -703,7 +703,12 @@ type iter_row = {
   ir_hits : int;
   ir_sub_hits : int;
   ir_misses : int;
+  ir_mw_new : float;  (* minor words / iteration, SoA kernel *)
+  ir_mw_old : float;  (* minor words / iteration, boxed oracle *)
 }
+
+let words_per_iter (o : Pa_random.outcome) =
+  o.Pa_random.minor_words /. float_of_int (Stdlib.max 1 o.Pa_random.iterations)
 
 (* Everything that must coincide between the two engines for a fixed
    (seed, min_iterations, budget = 0) run — elapsed times excluded. *)
@@ -726,7 +731,8 @@ let iteration_comparison () =
   let t =
     Table.create
       [ "# Tasks"; "iters"; "new [s]"; "old [s]"; "iters/s new";
-        "iters/s old"; "speedup"; "makespan"; "identical" ]
+        "iters/s old"; "speedup"; "words/it new"; "words/it old"; "alloc x";
+        "makespan"; "identical" ]
   in
   let rows =
     List.map
@@ -781,6 +787,8 @@ let iteration_comparison () =
               ir_hits = st.Fp_cache.hits;
               ir_sub_hits = st.Fp_cache.sub_hits;
               ir_misses = st.Fp_cache.misses;
+              ir_mw_new = words_per_iter new_o;
+              ir_mw_old = words_per_iter old_o;
             }
           in
           let per_s sec =
@@ -795,6 +803,9 @@ let iteration_comparison () =
               Table.cell_f ~decimals:0 (per_s s_new);
               Table.cell_f ~decimals:0 (per_s s_old);
               Printf.sprintf "x%.2f" (s_old /. Float.max s_new 1e-9);
+              Table.cell_f ~decimals:0 row.ir_mw_new;
+              Table.cell_f ~decimals:0 row.ir_mw_old;
+              Printf.sprintf "x%.1f" (row.ir_mw_old /. Float.max row.ir_mw_new 1e-9);
               string_of_int ms_new;
               (if identical then "yes" else "NO");
             ];
@@ -871,6 +882,7 @@ let iteration_comparison () =
     (pct total_hits total_sub total_misses);
   write_csv "iteration.csv"
     ([ "tasks"; "iterations"; "seconds_new"; "seconds_old"; "speedup";
+       "minor_words_per_iter_new"; "minor_words_per_iter_old"; "alloc_ratio";
        "makespan_new"; "makespan_old"; "identical"; "cache_hits";
        "cache_sub_hits"; "cache_misses" ]
     :: List.map
@@ -881,6 +893,9 @@ let iteration_comparison () =
              Printf.sprintf "%.4f" r.ir_s_new;
              Printf.sprintf "%.4f" r.ir_s_old;
              Printf.sprintf "%.3f" (r.ir_s_old /. Float.max r.ir_s_new 1e-9);
+             Printf.sprintf "%.0f" r.ir_mw_new;
+             Printf.sprintf "%.0f" r.ir_mw_old;
+             Printf.sprintf "%.2f" (r.ir_mw_old /. Float.max r.ir_mw_new 1e-9);
              string_of_int r.ir_ms_new;
              string_of_int r.ir_ms_old;
              string_of_bool r.ir_identical;
@@ -905,14 +920,18 @@ let iteration_comparison () =
       Printf.bprintf buf
         "    {\"tasks\": %d, \"iterations\": %d, \"seconds_new\": %.4f, \
          \"seconds_old\": %.4f, \"iters_per_s_new\": %.1f, \
-         \"iters_per_s_old\": %.1f, \"speedup\": %.3f, \"makespan_new\": \
-         %d, \"makespan_old\": %d, \"identical\": %b, \"cache\": \
-         {\"hits\": %d, \"sub_hits\": %d, \"misses\": %d, \"hit_rate\": \
-         %.3f}}%s\n"
+         \"iters_per_s_old\": %.1f, \"speedup\": %.3f, \
+         \"minor_words_per_iter_new\": %.0f, \
+         \"minor_words_per_iter_old\": %.0f, \"alloc_ratio\": %.2f, \
+         \"makespan_new\": %d, \"makespan_old\": %d, \"identical\": %b, \
+         \"cache\": {\"hits\": %d, \"sub_hits\": %d, \"misses\": %d, \
+         \"hit_rate\": %.3f}}%s\n"
         r.ir_tasks r.ir_iters r.ir_s_new r.ir_s_old
         (float_of_int r.ir_iters /. Float.max r.ir_s_new 1e-9)
         (float_of_int r.ir_iters /. Float.max r.ir_s_old 1e-9)
         (r.ir_s_old /. Float.max r.ir_s_new 1e-9)
+        r.ir_mw_new r.ir_mw_old
+        (r.ir_mw_old /. Float.max r.ir_mw_new 1e-9)
         r.ir_ms_new r.ir_ms_old r.ir_identical r.ir_hits r.ir_sub_hits
         r.ir_misses hit_rate
         (if i = List.length rows - 1 then "" else ","))
@@ -930,6 +949,22 @@ let iteration_comparison () =
     "  \"largest_group\": {\"tasks\": %d, \"speedup\": %.3f},\n"
     largest.ir_tasks
     (largest.ir_s_old /. Float.max largest.ir_s_new 1e-9);
+  (* Allocation-regression gate inputs (`bench check
+     --max-minor-words-per-iter`): worst SoA-kernel words/iteration over
+     the groups, and the smallest boxed/SoA reduction. *)
+  let max_mw =
+    List.fold_left (fun acc r -> Float.max acc r.ir_mw_new) 0. rows
+  in
+  let min_ratio =
+    List.fold_left
+      (fun acc r ->
+        Float.min acc (r.ir_mw_old /. Float.max r.ir_mw_new 1e-9))
+      infinity rows
+  in
+  Printf.bprintf buf
+    "  \"alloc\": {\"max_minor_words_per_iter\": %.0f, \"min_alloc_ratio\": \
+     %.2f},\n"
+    max_mw min_ratio;
   Buffer.add_string buf "  \"saturated_groups\": [\n";
   List.iteri
     (fun i (tasks, (st : Fp_cache.stats)) ->
@@ -953,6 +988,211 @@ let iteration_comparison () =
     timed_hits timed_sub timed_misses sat_hits sat_sub sat_misses;
   Buffer.add_string buf "}\n";
   Run_store.write_section ~section:"iteration" (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* Batch engine: a manifest of instances over one worker fleet         *)
+
+let batch_comparison () =
+  print_endline "";
+  let module Batch = Resched_core.Batch in
+  let iters =
+    Stdlib.max 1 (env_int "RESCHED_BATCH_ITER" (Stdlib.min iter_min 300))
+  in
+  let jobs = par_jobs in
+  let insts =
+    List.concat_map
+      (fun tasks ->
+        List.mapi
+          (fun i inst -> (tasks, i, inst))
+          (Suite.group ~seed ~tasks ~count:graphs_per_group ()))
+      groups
+  in
+  let requests =
+    Array.of_list
+      (List.map
+         (fun (tasks, i, inst) ->
+           Batch.request ~seed:(seed + (13 * tasks) + i) ~min_iterations:iters
+             inst)
+         insts)
+  in
+  Printf.printf
+    "== Batch engine: %d instances (%d iterations each) on %d worker(s) vs \
+     sequential one-at-a-time ==\n"
+    (Array.length requests) iters jobs;
+  let pin = Domain_pool.env_pin_default () in
+  let pool = Domain_pool.Pool.create ~pin ~jobs () in
+  (* Untimed warm-up on both engines: first-touch arena growth, pool
+     spawn and per-domain context creation stay out of the timed
+     windows. *)
+  let warm_requests =
+    Array.map
+      (fun (r : Batch.request) ->
+        { r with Batch.min_iterations = Stdlib.min 10 iters })
+      requests
+  in
+  ignore
+    (Batch.run ~cache:(Fp_cache.create ~subsumption:false ()) ~pool
+       warm_requests);
+  Array.iter
+    (fun (r : Batch.request) ->
+      ignore
+        (Pa_random.run ~seed:r.Batch.seed
+           ~min_iterations:(Stdlib.min 10 iters)
+           ~cache:(Fp_cache.create ~subsumption:false ())
+           ~budget_seconds:0. r.Batch.instance))
+    requests;
+  (* Batch first, on a cold floorplan cache of its own: it pays the cold
+     misses, the sequential baseline gets equally-cold ones — separate
+     caches per engine keep the timing comparison honest. Both are
+     verdict-transparent (no subsumption), the mode the batch identity
+     contract requires. *)
+  let (batch_outcomes, bstats), s_batch =
+    timed (fun () ->
+        Batch.run ~cache:(Fp_cache.create ~subsumption:false ()) ~pool
+          requests)
+  in
+  Domain_pool.Pool.shutdown pool;
+  let seq_outcomes, s_seq =
+    timed (fun () ->
+        let cache = Fp_cache.create ~subsumption:false () in
+        Array.map
+          (fun (r : Batch.request) ->
+            Pa_random.run ~seed:r.Batch.seed
+              ~min_iterations:r.Batch.min_iterations ~cache ~budget_seconds:0.
+              r.Batch.instance)
+          requests)
+  in
+  let n = Array.length requests in
+  let identical = Array.make n false in
+  for i = 0 to n - 1 do
+    identical.(i) <- iter_fingerprint batch_outcomes.(i) = iter_fingerprint seq_outcomes.(i)
+  done;
+  let t =
+    Table.create [ "# Tasks"; "insts"; "iters"; "identical"; "makespans" ]
+  in
+  List.iter
+    (fun tasks ->
+      let idxs =
+        List.filteri (fun i _ -> let t', _, _ = List.nth insts i in t' = tasks)
+          (List.init n (fun i -> i))
+      in
+      let iters_sum =
+        List.fold_left
+          (fun acc i -> acc + batch_outcomes.(i).Pa_random.iterations)
+          0 idxs
+      in
+      let all_id = List.for_all (fun i -> identical.(i)) idxs in
+      let makespans =
+        String.concat " "
+          (List.map
+             (fun i ->
+               match batch_outcomes.(i).Pa_random.schedule with
+               | Some s -> string_of_int (Schedule.makespan s)
+               | None -> "-")
+             idxs)
+      in
+      Table.add_row t
+        [
+          string_of_int tasks;
+          string_of_int (List.length idxs);
+          string_of_int iters_sum;
+          (if all_id then "yes" else "NO");
+          makespans;
+        ])
+    groups;
+  Table.print t;
+  let total_iters = bstats.Batch.total_iterations in
+  let mw_batch =
+    bstats.Batch.total_minor_words /. float_of_int (Stdlib.max 1 total_iters)
+  in
+  let seq_iters =
+    Array.fold_left (fun a (o : Pa_random.outcome) -> a + o.Pa_random.iterations)
+      0 seq_outcomes
+  in
+  let mw_seq =
+    Array.fold_left
+      (fun a (o : Pa_random.outcome) -> a +. o.Pa_random.minor_words)
+      0. seq_outcomes
+    /. float_of_int (Stdlib.max 1 seq_iters)
+  in
+  let all_identical = Array.for_all (fun b -> b) identical in
+  let speedup = s_seq /. Float.max s_batch 1e-9 in
+  Printf.printf
+    "  batch: %.3fs (%.1f instances/s, %d slices of %d), sequential: %.3fs \
+     (%.1f instances/s) -> x%.2f\n"
+    s_batch
+    (float_of_int n /. Float.max s_batch 1e-9)
+    bstats.Batch.total_slices bstats.Batch.slice s_seq
+    (float_of_int n /. Float.max s_seq 1e-9)
+    speedup;
+  Printf.printf
+    "  allocation: %.0f minor words/iter (batch, worker domains) vs %.0f \
+     (sequential); per-instance results %s\n"
+    mw_batch mw_seq
+    (if all_identical then "bit-identical" else "DIVERGED");
+  write_csv "batch.csv"
+    ([ "tasks"; "idx"; "seed"; "iterations"; "makespan"; "identical" ]
+    :: List.mapi
+         (fun i (tasks, idx, _) ->
+           [
+             string_of_int tasks;
+             string_of_int idx;
+             string_of_int requests.(i).Batch.seed;
+             string_of_int batch_outcomes.(i).Pa_random.iterations;
+             (match batch_outcomes.(i).Pa_random.schedule with
+             | Some s -> string_of_int (Schedule.makespan s)
+             | None -> "-1");
+             string_of_bool identical.(i);
+           ])
+         insts);
+  let p = par_plan in
+  Run_store.write_section_json ~section:"batch"
+    (Json.Obj
+       [
+         ("schema", Json.String "resched-bench-batch/1");
+         ("seed", Json.Int seed);
+         ("min_iterations", Json.Int iters);
+         ("jobs", Json.Int jobs);
+         ("cores", Json.Int p.Domain_pool.cores);
+         ("slice", Json.Int bstats.Batch.slice);
+         ( "instances",
+           Json.List
+             (List.mapi
+                (fun i (tasks, idx, _) ->
+                  Json.Obj
+                    [
+                      ("tasks", Json.Int tasks);
+                      ("idx", Json.Int idx);
+                      ("seed", Json.Int requests.(i).Batch.seed);
+                      ( "iterations",
+                        Json.Int batch_outcomes.(i).Pa_random.iterations );
+                      ( "makespan",
+                        match batch_outcomes.(i).Pa_random.schedule with
+                        | Some s -> Json.Int (Schedule.makespan s)
+                        | None -> Json.Null );
+                      ("identical", Json.Bool identical.(i));
+                    ])
+                insts) );
+         ( "totals",
+           Json.Obj
+             [
+               ("instances", Json.Int n);
+               ("iterations", Json.Int total_iters);
+               ("slices", Json.Int bstats.Batch.total_slices);
+               ("batch_seconds", Json.float s_batch);
+               ("seq_seconds", Json.float s_seq);
+               ( "instances_per_s_batch",
+                 Json.float (float_of_int n /. Float.max s_batch 1e-9) );
+               ( "instances_per_s_seq",
+                 Json.float (float_of_int n /. Float.max s_seq 1e-9) );
+               ("minor_words_per_iter_batch", Json.float mw_batch);
+               ("minor_words_per_iter_seq", Json.float mw_seq);
+             ] );
+         ("speedup", Json.float speedup);
+         ( "parallel_measurable",
+           Json.Bool (jobs >= 2 && p.Domain_pool.cores >= 2) );
+         ("all_identical", Json.Bool all_identical);
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Floorplan oracle: column-interval packer (v2) vs backtracking (v1)  *)
@@ -2062,6 +2302,7 @@ let all_sections =
     ("paper", section_paper);
     ("parallel", parallel_comparison);
     ("iteration", iteration_comparison);
+    ("batch", batch_comparison);
     ("floorplan", floorplan_oracle_comparison);
     ("milp", milp_comparison);
     ("ablations", section_ablations);
@@ -2081,7 +2322,17 @@ let run_sections names =
   List.iter
     (fun n ->
       match List.assoc_opt n all_sections with
-      | Some f -> f ()
+      | Some f ->
+        (* S1: GC counters per section into the run manifest. Counters
+           are per-domain, so this sees the orchestrating domain only —
+           the worker-side allocation rates live in the iteration/batch
+           section logs. *)
+        let before = Gc.quick_stat () in
+        let t0 = Unix.gettimeofday () in
+        f ();
+        let elapsed_s = Unix.gettimeofday () -. t0 in
+        Run_store.record_section_gc ~section:n ~elapsed_s before
+          (Gc.quick_stat ())
       | None ->
         failwith
           (Printf.sprintf "unknown section %s (known: %s)" n

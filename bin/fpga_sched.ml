@@ -527,6 +527,230 @@ let suite_cmd =
   Cmd.v (Cmd.info "suite" ~doc) Term.(const suite $ seed_arg $ dir $ count)
 
 (* ------------------------------------------------------------------ *)
+(* batch                                                               *)
+
+(* Manifest: one entry per line. Blank lines and [#] comments are
+   skipped; a line starting with [{] is a JSON object
+   [{"path": ..., "seed": ..., "min_iterations": ..., "budget_ms": ...}]
+   (path required, the rest default from the command line); anything
+   else is a bare instance path. *)
+let parse_manifest path ~seed ~min_iterations ~budget_ms =
+  let module Json = Resched_util.Json in
+  let lines =
+    match In_channel.with_open_text path In_channel.input_lines with
+    | lines -> lines
+    | exception Sys_error msg -> die exit_io "cannot read %s: %s" path msg
+  in
+  let entries = ref [] in
+  List.iteri
+    (fun lineno raw ->
+      let line = String.trim raw in
+      if line <> "" && line.[0] <> '#' then begin
+        let where = Printf.sprintf "%s:%d" path (lineno + 1) in
+        let inst_path, seed, min_iterations, budget_ms =
+          if line.[0] = '{' then begin
+            match Json.parse line with
+            | Error msg -> die exit_io "%s: %s" where msg
+            | Ok obj ->
+              let field name get fallback =
+                match Json.member name obj with
+                | None -> fallback
+                | Some v -> (
+                  match get v with
+                  | Some x -> x
+                  | None -> die exit_io "%s: bad %S field" where name)
+              in
+              ( (match Json.member "path" obj with
+                | Some (Json.String p) -> p
+                | _ -> die exit_io "%s: missing \"path\"" where),
+                field "seed" Json.get_int seed,
+                field "min_iterations" Json.get_int min_iterations,
+                field "budget_ms" Json.get_int budget_ms )
+          end
+          else (line, seed, min_iterations, budget_ms)
+        in
+        (* Relative instance paths resolve against the manifest's
+           directory, so a manifest travels with its instances. *)
+        let inst_path =
+          if Filename.is_relative inst_path then
+            Filename.concat (Filename.dirname path) inst_path
+          else inst_path
+        in
+        let inst = load_instance inst_path in
+        entries :=
+          ( inst_path,
+            Resched_core.Batch.request ~seed ~min_iterations
+              ~budget_seconds:(float_of_int budget_ms /. 1000.)
+              inst )
+          :: !entries
+      end)
+    lines;
+  Array.of_list (List.rev !entries)
+
+let batch manifest seed min_iterations budget_ms jobs slice kernel out_dir
+    stats_out =
+  let module Batch = Resched_core.Batch in
+  let module Json = Resched_util.Json in
+  let entries = parse_manifest manifest ~seed ~min_iterations ~budget_ms in
+  if Array.length entries = 0 then die exit_io "%s: empty manifest" manifest;
+  let requests = Array.map snd entries in
+  (* Verdict-transparent cache: per-instance results stay independent of
+     how the batch's slices happened to interleave. *)
+  let cache = Resched_floorplan.Fp_cache.create ~subsumption:false () in
+  let outcomes, stats =
+    Batch.run ~cache ~kernel ~jobs ?slice requests
+  in
+  (match out_dir with
+  | Some dir ->
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  | None -> ());
+  let table =
+    Table.create
+      [ "instance"; "makespan"; "iterations"; "improv"; "words/iter" ]
+  in
+  let rows = ref [] in
+  Array.iteri
+    (fun i (path, (req : Batch.request)) ->
+      let o = outcomes.(i) in
+      let makespan =
+        match o.Pa_random.schedule with
+        | None -> None
+        | Some sched ->
+          check_or_die (Printf.sprintf "schedule for %s" path) sched;
+          (match out_dir with
+          | Some dir ->
+            let stem = Filename.remove_extension (Filename.basename path) in
+            let out =
+              Filename.concat dir (Printf.sprintf "%03d_%s.sched" i stem)
+            in
+            Resched_core.Schedule_io.save out sched
+          | None -> ());
+          Some (Schedule.makespan sched)
+      in
+      let words_per_iter =
+        if o.Pa_random.iterations = 0 then 0.
+        else o.Pa_random.minor_words /. float_of_int o.Pa_random.iterations
+      in
+      Table.add_row table
+        [
+          Filename.basename path;
+          (match makespan with Some m -> string_of_int m | None -> "-");
+          string_of_int o.Pa_random.iterations;
+          string_of_int (List.length o.Pa_random.trace);
+          Printf.sprintf "%.0f" words_per_iter;
+        ];
+      rows :=
+        Json.Obj
+          [
+            ("path", Json.String path);
+            ("seed", Json.Int req.Batch.seed);
+            ( "makespan",
+              match makespan with Some m -> Json.Int m | None -> Json.Null );
+            ("iterations", Json.Int o.Pa_random.iterations);
+            ("improvements", Json.Int (List.length o.Pa_random.trace));
+            ("minor_words", Json.float o.Pa_random.minor_words);
+          ]
+        :: !rows)
+    entries;
+  Table.print table;
+  let per_second =
+    if stats.Batch.wall_seconds > 0. then
+      float_of_int (Array.length requests) /. stats.Batch.wall_seconds
+    else 0.
+  in
+  Printf.printf
+    "batch: %d instance(s), %d iterations in %.3fs on %d worker(s) (%d \
+     slices of %d); %.1f instances/s; %.0f minor words/iter\n"
+    (Array.length requests) stats.Batch.total_iterations
+    stats.Batch.wall_seconds stats.Batch.jobs stats.Batch.total_slices
+    stats.Batch.slice per_second
+    (if stats.Batch.total_iterations = 0 then 0.
+     else
+       stats.Batch.total_minor_words
+       /. float_of_int stats.Batch.total_iterations);
+  (match stats_out with
+  | Some out ->
+    Json.write_file out
+      (Json.Obj
+         [
+           ("schema", Json.String "resched-batch/1");
+           ("jobs", Json.Int stats.Batch.jobs);
+           ("slice", Json.Int stats.Batch.slice);
+           ("wall_seconds", Json.float stats.Batch.wall_seconds);
+           ("total_iterations", Json.Int stats.Batch.total_iterations);
+           ("total_slices", Json.Int stats.Batch.total_slices);
+           ("total_minor_words", Json.float stats.Batch.total_minor_words);
+           ("instances", Json.List (List.rev !rows));
+         ]);
+    Printf.printf "stats written to %s\n" out
+  | None -> ());
+  0
+
+let batch_cmd =
+  let manifest =
+    let doc =
+      "Manifest file: one instance per line, either a bare path or a JSON \
+       object {\"path\", \"seed\", \"min_iterations\", \"budget_ms\"}. \
+       Relative paths resolve against the manifest's directory."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST" ~doc)
+  in
+  let min_iterations =
+    let doc = "Default restart iterations per instance." in
+    Arg.(value & opt int 200 & info [ "min-iterations" ] ~docv:"N" ~doc)
+  in
+  let budget =
+    let doc =
+      "Default wall-clock budget per instance in milliseconds, counted \
+       from batch launch (0 = exactly min-iterations restarts)."
+    in
+    Arg.(value & opt int 0 & info [ "budget-ms" ] ~docv:"MS" ~doc)
+  in
+  let slice =
+    let doc =
+      "Restarts a worker runs on one instance before moving to the next \
+       (default: derived from the batch size; results never depend on it)."
+    in
+    Arg.(value & opt (some int) None & info [ "slice" ] ~docv:"N" ~doc)
+  in
+  let kernel =
+    let kernel_conv =
+      let parse = function
+        | "soa" -> Ok `Soa
+        | "boxed" -> Ok `Boxed
+        | s -> Error (`Msg (Printf.sprintf "unknown kernel %S" s))
+      in
+      Arg.conv
+        ( parse,
+          fun ppf k ->
+            Format.pp_print_string ppf
+              (match k with `Soa -> "soa" | `Boxed -> "boxed") )
+    in
+    let doc =
+      "Restart kernel: soa (struct-of-arrays arenas) or boxed (the \
+       allocation-heavy oracle; bit-identical results)."
+    in
+    Arg.(value & opt kernel_conv `Soa & info [ "kernel" ] ~docv:"KERNEL" ~doc)
+  in
+  let out_dir =
+    let doc = "Write each instance's best schedule under DIR." in
+    Arg.(value & opt (some string) None & info [ "out-dir" ] ~docv:"DIR" ~doc)
+  in
+  let stats_out =
+    let doc = "Write per-instance results and engine stats as JSON to FILE." in
+    Arg.(value & opt (some string) None & info [ "stats" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "schedule a manifest of instances over one worker fleet (PA-R batch \
+     engine)"
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(
+      const (fun () -> batch)
+      $ verbose_arg $ manifest $ seed_arg $ min_iterations $ budget
+      $ jobs_arg $ slice $ kernel $ out_dir $ stats_out)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
@@ -537,7 +761,7 @@ let () =
   let group =
     Cmd.group info
       [ generate_cmd; show_cmd; schedule_cmd; replay_cmd; compare_cmd;
-        suite_cmd ]
+        suite_cmd; batch_cmd ]
   in
   (* [~catch:false] so operational failures surface as one-line errors
      with our exit codes instead of cmdliner's backtrace dump. *)

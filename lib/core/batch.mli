@@ -1,0 +1,69 @@
+(** Batched multi-instance PA-R: many scheduling problems over one
+    worker fleet.
+
+    {!run} turns each request into a resumable {!Pa_random.Course} and
+    feeds them all through one set of worker domains (a persistent
+    {!Resched_util.Domain_pool.Pool} or a one-shot fan-out) at
+    (instance x restart-slice) granularity: a worker pops whichever
+    course is ready, advances it by a bounded slice of restarts on its
+    own warm arena, and requeues it. Compared to scheduling the
+    instances one {!Pa_random.run_parallel} at a time this removes the
+    per-instance fan-out barrier — a straggler instance no longer idles
+    the other workers — while the per-domain {!Pa.Context} restart
+    arenas and floorplan-cache L1 memos stay warm across instances.
+
+    Determinism: each course owns its RNG and its incumbent, so the
+    slice interleaving (which varies with load) never leaks between
+    instances. With a verdict-transparent shared [cache]
+    ([Fp_cache.create ~subsumption:false ()]) — or no cache at all —
+    per-instance outcomes are bit-identical to running
+    [Pa_random.run ~seed ~min_iterations ~budget_seconds:0.] for each
+    request in isolation under the same cache mode, whatever [jobs] and
+    [slice] are (property-tested): such a cache's verdicts are a pure
+    function of the query, so sharing it across instances changes
+    wall-clock only. Two cache caveats, both inherited from
+    {!Resched_floorplan.Fp_cache}: the exact layer canonicalizes needs
+    before consulting the engine, so cached and cache-less runs can
+    disagree where the engine's node budget bites; and a cache with the
+    dominance index enabled ([subsumption:true], the default) can
+    decide verdicts the bare engine would call [Unknown], making
+    results depend on what other instances happened to insert first —
+    don't pass one here if reproducibility matters. *)
+
+type request = {
+  instance : Resched_platform.Instance.t;
+  seed : int;
+  min_iterations : int;
+  budget_seconds : float;
+      (** wall-clock budget, counted from batch launch (all courses
+          share one time origin) *)
+}
+
+val request : ?seed:int -> ?min_iterations:int -> ?budget_seconds:float ->
+  Resched_platform.Instance.t -> request
+(** Defaults: [seed 1], [min_iterations 1], [budget_seconds 0.] (run
+    exactly [min_iterations] restarts). *)
+
+type stats = {
+  jobs : int;  (** worker domains used *)
+  slice : int;  (** restarts per slice actually used *)
+  wall_seconds : float;
+  total_iterations : int;  (** restarts summed over instances *)
+  total_slices : int;  (** work-stealing grants summed over workers *)
+  total_minor_words : float;
+      (** minor-heap words allocated inside the restart kernels *)
+}
+
+val run : ?config:Pa.config -> ?cache:Resched_floorplan.Fp_cache.t ->
+  ?incremental:bool -> ?kernel:Pa_random.kernel -> ?jobs:int ->
+  ?pool:Resched_util.Domain_pool.Pool.t -> ?slice:int ->
+  request array -> Pa_random.outcome array * stats
+(** Schedule every request; outcomes are in request order. [config],
+    [cache], [incremental] and [kernel] apply to all courses (see
+    {!Pa_random.run}). [jobs] defaults to the pool's width when [pool]
+    is given (both with different values is an error), else to
+    {!Resched_util.Domain_pool.available_cores}. [slice] (default:
+    derived from the total requested iterations, at most 32) bounds how
+    many restarts a worker runs on a course before requeuing it —
+    results never depend on it, only load balance does. Worker 0 runs
+    on the calling domain. *)

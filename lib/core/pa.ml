@@ -26,9 +26,20 @@ module Context = struct
     mutable e_state : State.t option;
   }
 
-  type t = { c_inst : Instance.t; entries : (float, entry) Hashtbl.t }
+  type t = {
+    c_inst : Instance.t;
+    entries : (float, entry) Hashtbl.t;
+    c_arena : Reconf_sched.arena;
+        (* step-7 buffers (solver, closure, sequence), shared by every
+           scale: one run_hot at a time per context *)
+  }
 
-  let create inst = { c_inst = inst; entries = Hashtbl.create 8 }
+  let create inst =
+    {
+      c_inst = inst;
+      entries = Hashtbl.create 8;
+      c_arena = Reconf_sched.make_arena ();
+    }
 
   let entry ctx ~resource_scale =
     match Hashtbl.find_opt ctx.entries resource_scale with
@@ -97,9 +108,44 @@ type stats = {
   floorplanning_seconds : float;
 }
 
-let schedule_of_state ?(module_reuse = false) ?(resource_scale = 1.0) state
-    specs sequence =
-  let resolved = Timing.resolve state ~reconfigs:specs ~sequence in
+(* Region tasks ordered by resolved start: a stable insertion sort over
+   a borrowed (or, for plain states, local) scratch array replaces the
+   old per-region [List.sort] — same order (the stdlib's [List.sort] is
+   the stable merge sort), no per-call sort allocations beyond the
+   result list the [Schedule.region] needs anyway. *)
+let ordered_tasks state (task_start : int array) (r : State.region) =
+  let k = List.length r.State.tasks in
+  let arr =
+    match State.scratch_of state with
+    | Some s when k > 0 -> State.sc_tasks s (* free: the pipeline is done *)
+    | _ -> Array.make (Stdlib.max 1 k) 0
+  in
+  let i = ref 0 in
+  List.iter
+    (fun u ->
+      arr.(!i) <- u;
+      incr i)
+    r.State.tasks;
+  for j = 1 to k - 1 do
+    let v = arr.(j) in
+    let key = task_start.(v) in
+    let p = ref (j - 1) in
+    while !p >= 0 && task_start.(arr.(!p)) > key do
+      arr.(!p + 1) <- arr.(!p);
+      decr p
+    done;
+    arr.(!p + 1) <- v
+  done;
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) (arr.(i) :: acc)
+  in
+  build (k - 1) []
+
+(* Schedule construction shared by the from-scratch path and the arena
+   path: everything comes from the state plus already-resolved times and
+   an explicit reconfiguration order. *)
+let build_schedule ~module_reuse ~resource_scale state specs
+    (times : Timing.resolved) ~seq_iter =
   let n = Instance.size state.State.inst in
   let slots =
     Array.init n (fun u ->
@@ -111,50 +157,47 @@ let schedule_of_state ?(module_reuse = false) ?(resource_scale = 1.0) state
         {
           Schedule.impl_idx = state.State.impl_of.(u);
           placement;
-          start_ = resolved.Timing.task_start.(u);
-          end_ = resolved.Timing.task_end.(u);
+          start_ = times.Timing.task_start.(u);
+          end_ = times.Timing.task_end.(u);
         })
   in
   let regions =
     Array.map
       (fun (r : State.region) ->
-        let ordered =
-          List.sort
-            (fun a b ->
-              compare resolved.Timing.task_start.(a)
-                resolved.Timing.task_start.(b))
-            r.State.tasks
-        in
         {
           Schedule.res = r.State.res;
           reconf_ticks = r.State.reconf;
-          tasks = ordered;
+          tasks = ordered_tasks state times.Timing.task_start r;
         })
       (State.region_list state)
   in
   let reconfigurations =
-    List.map
-      (fun k ->
-        let spec = specs.(k) in
+    seq_iter (fun k ->
+        let spec : Timing.reconf_spec = specs.(k) in
         {
           Schedule.region = spec.Timing.region_id;
           t_in = spec.Timing.t_in;
           t_out = spec.Timing.t_out;
-          r_start = resolved.Timing.rec_start.(k);
-          r_end = resolved.Timing.rec_end.(k);
+          r_start = times.Timing.rec_start.(k);
+          r_end = times.Timing.rec_end.(k);
         })
-      sequence
   in
   {
     Schedule.instance = state.State.inst;
     regions;
     slots;
     reconfigurations;
-    makespan = resolved.Timing.makespan;
+    makespan = times.Timing.makespan;
     floorplan = None;
     module_reuse;
     resource_scale;
   }
+
+let schedule_of_state ?(module_reuse = false) ?(resource_scale = 1.0) state
+    specs sequence =
+  let resolved = Timing.resolve state ~reconfigs:specs ~sequence in
+  build_schedule ~module_reuse ~resource_scale state specs resolved
+    ~seq_iter:(fun f -> List.map f sequence)
 
 let count_hw state =
   let n = Instance.size state.State.inst in
@@ -164,41 +207,95 @@ let count_hw state =
   done;
   !acc
 
-let schedule_once ?(config = default_config) ?(resource_scale = 1.0) ?ctx
-    ?(incremental = true) inst =
-  let state =
-    match ctx with
-    | Some ctx -> Context.state ctx ~resource_scale
-    | None ->
-      let max_res =
-        Resched_fabric.Resource.scale (Arch.max_res inst.Instance.arch)
-          resource_scale
-      in
-      let cost = Cost.make inst ~max_res in
-      let impl_of = Impl_select.run ~cost inst ~max_res in
-      State.create inst ~resource_scale ~cost ~impl_of ()
-  in
-  Log.debug (fun m ->
-      m "step 1-2: %d/%d tasks start on hardware, unconstrained makespan %d"
-        (count_hw state) (Instance.size inst)
-        state.State.cpm.Resched_taskgraph.Cpm.makespan);
+type candidate = {
+  cd_state : State.t;
+  cd_plan : Reconf_sched.plan;
+  cd_module_reuse : bool;
+  cd_resource_scale : float;
+}
+
+let schedule_candidate ?(config = default_config) ?(resource_scale = 1.0)
+    ~ctx inst =
+  if not (inst == ctx.Context.c_inst) then
+    invalid_arg "Pa.schedule_candidate: context belongs to another instance";
+  let state = Context.state ctx ~resource_scale in
   Regions_define.run ~module_reuse:config.module_reuse
     ~ordering:config.ordering state;
-  Log.debug (fun m ->
-      m "step 3: %d regions defined, %d tasks still on hardware"
-        (State.region_count state)
-        (count_hw state));
   Sw_balance.run state;
-  Log.debug (fun m -> m "step 4: %d hardware tasks after balancing" (count_hw state));
-  Sw_map.run ~incremental state;
-  let specs, sequence =
-    Reconf_sched.run ~module_reuse:config.module_reuse ~incremental state
+  Sw_map.run ~incremental:true state;
+  let plan =
+    Reconf_sched.run_hot ~module_reuse:config.module_reuse
+      ctx.Context.c_arena state
   in
-  Log.debug (fun m ->
-      m "step 7: %d reconfigurations sequenced on the controller"
-        (Array.length specs));
-  schedule_of_state ~module_reuse:config.module_reuse ~resource_scale state
-    specs sequence
+  {
+    cd_state = state;
+    cd_plan = plan;
+    cd_module_reuse = config.module_reuse;
+    cd_resource_scale = resource_scale;
+  }
+
+let candidate_makespan c =
+  c.cd_plan.Reconf_sched.p_times.Timing.makespan
+
+let candidate_needs c =
+  let state = c.cd_state in
+  Array.init (State.region_count state) (fun i ->
+      (State.nth_region state i).State.res)
+
+let materialize c =
+  let plan = c.cd_plan in
+  let specs = plan.Reconf_sched.p_specs in
+  let seq = plan.Reconf_sched.p_seq and len = plan.Reconf_sched.p_len in
+  build_schedule ~module_reuse:c.cd_module_reuse
+    ~resource_scale:c.cd_resource_scale c.cd_state specs
+    plan.Reconf_sched.p_times ~seq_iter:(fun f ->
+      let rec build i acc =
+        if i < 0 then acc else build (i - 1) (f seq.(i) :: acc)
+      in
+      build (len - 1) [])
+
+let schedule_once ?(config = default_config) ?(resource_scale = 1.0) ?ctx
+    ?(incremental = true) inst =
+  match ctx with
+  | Some ctx when incremental ->
+    (* The struct-of-arrays restart kernel: candidate + materialize.
+       Bit-identical to the boxed path below (property-tested). *)
+    materialize (schedule_candidate ~config ~resource_scale ~ctx inst)
+  | _ ->
+    let state =
+      match ctx with
+      | Some ctx -> Context.state ctx ~resource_scale
+      | None ->
+        let max_res =
+          Resched_fabric.Resource.scale (Arch.max_res inst.Instance.arch)
+            resource_scale
+        in
+        let cost = Cost.make inst ~max_res in
+        let impl_of = Impl_select.run ~cost inst ~max_res in
+        State.create inst ~resource_scale ~cost ~impl_of ()
+    in
+    Log.debug (fun m ->
+        m "step 1-2: %d/%d tasks start on hardware, unconstrained makespan %d"
+          (count_hw state) (Instance.size inst)
+          state.State.cpm.Resched_taskgraph.Cpm.makespan);
+    Regions_define.run ~module_reuse:config.module_reuse
+      ~ordering:config.ordering state;
+    Log.debug (fun m ->
+        m "step 3: %d regions defined, %d tasks still on hardware"
+          (State.region_count state)
+          (count_hw state));
+    Sw_balance.run state;
+    Log.debug (fun m ->
+        m "step 4: %d hardware tasks after balancing" (count_hw state));
+    Sw_map.run ~incremental state;
+    let specs, sequence =
+      Reconf_sched.run ~module_reuse:config.module_reuse ~incremental state
+    in
+    Log.debug (fun m ->
+        m "step 7: %d reconfigurations sequenced on the controller"
+          (Array.length specs));
+    schedule_of_state ~module_reuse:config.module_reuse ~resource_scale state
+      specs sequence
 
 let all_software_schedule inst =
   let impl_of =

@@ -55,6 +55,32 @@ module Context : sig
       benchmarks; {!schedule_once} is the normal entry point. *)
 end
 
+type candidate
+(** One restart iteration's outcome, {e borrowed} from the context
+    arena: placements, the sequenced reconfigurations and their final
+    resolved times, without the boxed {!Schedule.t}. Valid until the
+    next {!schedule_candidate} or {!schedule_once} on the same context;
+    {!materialize} copies it into an owning schedule. *)
+
+val schedule_candidate : ?config:config -> ?resource_scale:float ->
+  ctx:Context.t -> Resched_platform.Instance.t -> candidate
+(** Steps 1-7 over the context's arena — the struct-of-arrays restart
+    kernel. The restart loop inspects {!candidate_makespan} (and
+    {!candidate_needs} for the floorplan check) and only pays
+    {!materialize} for improving iterations. [inst] must be the
+    instance the context was created for (checked by identity). *)
+
+val candidate_makespan : candidate -> int
+(** O(1); equals [(materialize c).makespan]. *)
+
+val candidate_needs : candidate -> Resched_fabric.Resource.t array
+(** Fresh array of per-region requirements, creation order — what the
+    floorplan feasibility check consumes. *)
+
+val materialize : candidate -> Schedule.t
+(** The owning {!Schedule.t} — bit-identical to what {!schedule_once}
+    with the same configuration returns (property-tested). *)
+
 val schedule_once : ?config:config -> ?resource_scale:float ->
   ?ctx:Context.t -> ?incremental:bool -> Resched_platform.Instance.t ->
   Schedule.t

@@ -11,7 +11,10 @@ type outcome = {
   schedule : Schedule.t option;
   iterations : int;
   trace : trace_point list;
+  minor_words : float;
 }
+
+type kernel = [ `Soa | `Boxed ]
 
 (* ------------------------------------------------------------------ *)
 (* Shared search state                                                 *)
@@ -72,6 +75,7 @@ let check_feasible ~config ~cache device needs =
 type worker_result = {
   w_iterations : int;
   w_trace : trace_point list;  (** newest first *)
+  w_minor_words : float;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -85,8 +89,10 @@ type worker_result = {
    instance"). Arena reuse is bit-identical by construction: the memo
    returns exactly what recomputation would, and [State.reset] clears
    iteration state (property-tested in test_scheduler). The cap bounds
-   how much a long-lived domain roots against the GC. *)
-let context_cache_cap = 4
+   how much a long-lived domain roots against the GC — it is sized for
+   the batch engine, whose slices interleave several instances per
+   domain. *)
+let context_cache_cap = 16
 
 let context_cache : (Instance.t * Pa.Context.t) list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
@@ -111,79 +117,208 @@ let get_context inst =
    resulting region sets could ever hit. See DESIGN.md. *)
 let max_shrink_exp = 6
 
-let worker ~config ~cache ~incremental ~rng ~start ~deadline ~min_iterations
-    ~shared inst =
-  let device = inst.Instance.arch.Arch.device in
-  let iterations = ref 0 in
-  let trace = ref [] in
-  (* One restart arena per worker domain: contexts are not thread-safe,
-     and a domain-private arena also keeps the iteration's working set
-     out of the minor heap (OCaml 5 minor collections are stop-the-world
-     rendezvous across domains, so per-domain allocation churn taxes
-     every other worker). Fetched through the domain-local cache so a
-     resident pool worker reuses a warm arena across a batch of runs. *)
-  let ctx = if incremental then Some (get_context inst) else None in
-  (* Virtual FPGA-resource scale for the inner doSchedule. Algorithm 1
-     never shrinks, but when the region definition saturates the device
-     no random order yields a floorplannable region set; adapting the
-     scale on floorplan failures (and probing back up on successes)
-     keeps the search inside the packable envelope. See DESIGN.md. *)
-  let lattice =
-    Array.init (max_shrink_exp + 1) (fun k ->
-        config.Pa.shrink_factor ** float_of_int k)
-  in
-  let shrink_exp = ref 0 in
-  let running = ref true in
-  while !running do
-    (* One clock read per iteration: it decides the deadline and stamps
-       any trace point the iteration produces. *)
-    let now = Unix.gettimeofday () in
-    if !iterations >= min_iterations && now >= deadline then running := false
-    else begin
-      incr iterations;
-      let config =
-        { config with Pa.ordering = Regions_define.Random (Rng.split rng) }
+(* ------------------------------------------------------------------ *)
+(* A course: one resumable restart stream                              *)
+
+(* The loop body of the old inline worker, reified so the same stream
+   can run to completion on one domain (run/run_parallel) or in
+   interleaved slices across domains (Batch.run) with bit-identical
+   results: everything the stream depends on — its RNG, its adaptive
+   shrink exponent, its iteration count — lives here, while the restart
+   arena stays domain-local and is re-fetched per slice. *)
+module Course = struct
+  type t = {
+    crs_inst : Instance.t;
+    crs_config : Pa.config;
+    crs_cache : Fp_cache.t option;
+    crs_incremental : bool;
+    crs_kernel : kernel;
+    crs_rng : Rng.t;
+    crs_shared : shared;
+    crs_start : float;
+    crs_deadline : float;
+    crs_min_iterations : int;
+    crs_lattice : float array;
+    mutable crs_shrink_exp : int;
+    mutable crs_iterations : int;
+    mutable crs_trace : trace_point list;  (* newest first *)
+    mutable crs_minor_words : float;
+    mutable crs_done : bool;
+  }
+
+  let make ?(config = Pa.default_config) ?cache ?(incremental = true)
+      ?(kernel = `Soa) ~shared ~rng ~start ~min_iterations ~budget_seconds
+      inst =
+    {
+      crs_inst = inst;
+      crs_config = config;
+      crs_cache = cache;
+      crs_incremental = incremental;
+      crs_kernel = kernel;
+      crs_rng = rng;
+      crs_shared = shared;
+      crs_start = start;
+      crs_deadline = start +. budget_seconds;
+      crs_min_iterations = min_iterations;
+      (* Virtual FPGA-resource scale for the inner doSchedule. Algorithm
+         1 never shrinks, but when the region definition saturates the
+         device no random order yields a floorplannable region set;
+         adapting the scale on floorplan failures (and probing back up
+         on successes) keeps the search inside the packable envelope.
+         See DESIGN.md. *)
+      crs_lattice =
+        Array.init (max_shrink_exp + 1) (fun k ->
+            config.Pa.shrink_factor ** float_of_int k);
+      crs_shrink_exp = 0;
+      crs_iterations = 0;
+      crs_trace = [];
+      crs_minor_words = 0.;
+      crs_done = false;
+    }
+
+  let create ?config ?cache ?incremental ?kernel ?start ~seed ~min_iterations
+      ~budget_seconds inst =
+    let start =
+      match start with Some s -> s | None -> Unix.gettimeofday ()
+    in
+    make ?config ?cache ?incremental ?kernel ~shared:(make_shared ())
+      ~rng:(Rng.create seed) ~start ~min_iterations ~budget_seconds inst
+
+  (* Does this course run the struct-of-arrays kernel over a context
+     arena? [`Boxed] (and [incremental:false]) run the boxed oracle:
+     a fresh scratch-less state and a boxed schedule every iteration. *)
+  let uses_arena c = c.crs_incremental && c.crs_kernel = `Soa
+
+  let iterate c ~ctx ~now =
+    let config =
+      {
+        c.crs_config with
+        Pa.ordering = Regions_define.Random (Rng.split c.crs_rng);
+      }
+    in
+    let scale = c.crs_lattice.(c.crs_shrink_exp) in
+    let device = c.crs_inst.Instance.arch.Arch.device in
+    let shared = c.crs_shared in
+    let improve ms ~needs ~materialize =
+      match check_feasible ~config ~cache:c.crs_cache device needs with
+      | None ->
+        c.crs_shrink_exp <- Stdlib.min max_shrink_exp (c.crs_shrink_exp + 1)
+      | Some placements ->
+        c.crs_shrink_exp <- Stdlib.max 0 (c.crs_shrink_exp - 1);
+        if claim shared ms then begin
+          publish shared
+            { (materialize ()) with Schedule.floorplan = Some placements };
+          c.crs_trace <-
+            {
+              elapsed = now -. c.crs_start;
+              iteration = c.crs_iterations;
+              makespan = ms;
+            }
+            :: c.crs_trace
+        end
+    in
+    match ctx with
+    | Some ctx ->
+      let cand =
+        Pa.schedule_candidate ~config ~resource_scale:scale ~ctx c.crs_inst
       in
+      let ms = Pa.candidate_makespan cand in
+      if ms < Atomic.get shared.best_makespan then
+        improve ms ~needs:(Pa.candidate_needs cand) ~materialize:(fun () ->
+            Pa.materialize cand)
+    | None ->
       let candidate =
-        Pa.schedule_once ~config ~resource_scale:lattice.(!shrink_exp) ?ctx
-          ~incremental inst
+        Pa.schedule_once ~config ~resource_scale:scale
+          ~incremental:c.crs_incremental c.crs_inst
       in
       let ms = candidate.Schedule.makespan in
-      if ms < Atomic.get shared.best_makespan then begin
-        let needs =
-          Array.map
-            (fun (r : Schedule.region) -> r.Schedule.res)
-            candidate.Schedule.regions
-        in
-        match check_feasible ~config ~cache device needs with
-        | None -> shrink_exp := Stdlib.min max_shrink_exp (!shrink_exp + 1)
-        | Some placements ->
-          shrink_exp := Stdlib.max 0 (!shrink_exp - 1);
-          if claim shared ms then begin
-            publish shared
-              { candidate with Schedule.floorplan = Some placements };
-            trace :=
-              { elapsed = now -. start; iteration = !iterations; makespan = ms }
-              :: !trace
-          end
-      end
+      if ms < Atomic.get shared.best_makespan then
+        improve ms
+          ~needs:
+            (Array.map
+               (fun (r : Schedule.region) -> r.Schedule.res)
+               candidate.Schedule.regions)
+          ~materialize:(fun () -> candidate)
+
+  let run_slice c ~max_iterations =
+    if c.crs_done || max_iterations <= 0 then 0
+    else begin
+      (* One restart arena per worker domain: contexts are not
+         thread-safe, and a domain-private arena also keeps the
+         iteration's working set out of the minor heap (OCaml 5 minor
+         collections are stop-the-world rendezvous across domains, so
+         per-domain allocation churn taxes every other worker). Fetched
+         per slice through the domain-local cache, so the stream can
+         migrate between domains while each domain reuses warm
+         arenas. *)
+      let ctx = if uses_arena c then Some (get_context c.crs_inst) else None in
+      let words0 = Gc.minor_words () in
+      let executed = ref 0 in
+      let running = ref true in
+      while !running && !executed < max_iterations do
+        (* One clock read per iteration: it decides the deadline and
+           stamps any trace point the iteration produces. *)
+        let now = Unix.gettimeofday () in
+        if
+          c.crs_iterations >= c.crs_min_iterations && now >= c.crs_deadline
+        then begin
+          c.crs_done <- true;
+          running := false
+        end
+        else begin
+          incr executed;
+          c.crs_iterations <- c.crs_iterations + 1;
+          iterate c ~ctx ~now
+        end
+      done;
+      c.crs_minor_words <-
+        c.crs_minor_words +. (Gc.minor_words () -. words0);
+      !executed
     end
+
+  let finished c = c.crs_done
+  let iterations c = c.crs_iterations
+  let minor_words c = c.crs_minor_words
+  let instance c = c.crs_inst
+
+  let outcome c =
+    {
+      schedule = c.crs_shared.best;
+      iterations = c.crs_iterations;
+      trace = List.rev c.crs_trace;
+      minor_words = c.crs_minor_words;
+    }
+end
+
+(* Run one course to completion on the calling domain. *)
+let exhaust (c : Course.t) =
+  while not c.Course.crs_done do
+    ignore (Course.run_slice c ~max_iterations:max_int : int)
   done;
-  { w_iterations = !iterations; w_trace = !trace }
+  {
+    w_iterations = c.Course.crs_iterations;
+    w_trace = c.Course.crs_trace;
+    w_minor_words = c.Course.crs_minor_words;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 
 let run ?(config = Pa.default_config) ?(seed = 1) ?(min_iterations = 1) ?cache
-    ?(incremental = true) ~budget_seconds inst =
+    ?(incremental = true) ?kernel ~budget_seconds inst =
   let start = Unix.gettimeofday () in
   let shared = make_shared () in
-  let r =
-    worker ~config ~cache ~incremental ~rng:(Rng.create seed) ~start
-      ~deadline:(start +. budget_seconds) ~min_iterations ~shared inst
+  let course =
+    Course.make ~config ?cache ~incremental ?kernel ~shared
+      ~rng:(Rng.create seed) ~start ~min_iterations ~budget_seconds inst
   in
-  { schedule = shared.best; iterations = r.w_iterations;
-    trace = List.rev r.w_trace }
+  let r = exhaust course in
+  {
+    schedule = shared.best;
+    iterations = r.w_iterations;
+    trace = List.rev r.w_trace;
+    minor_words = r.w_minor_words;
+  }
 
 (* Per-worker trace points already carry globally-improving makespans
    (each passed [claim]); ordering the union by elapsed time and keeping
@@ -203,7 +338,7 @@ let merge_traces results =
   List.rev rev
 
 let run_parallel ?(config = Pa.default_config) ?(seed = 1) ?(min_iterations = 1)
-    ?jobs ?pool ?cache ?(incremental = true) ~budget_seconds inst =
+    ?jobs ?pool ?cache ?(incremental = true) ?kernel ~budget_seconds inst =
   let jobs =
     match (pool, jobs) with
     | Some p, Some j ->
@@ -220,10 +355,10 @@ let run_parallel ?(config = Pa.default_config) ?(seed = 1) ?(min_iterations = 1)
     | None, None -> Domain_pool.available_cores ()
   in
   if jobs = 1 then
-    run ~config ~seed ~min_iterations ?cache ~incremental ~budget_seconds inst
+    run ~config ~seed ~min_iterations ?cache ~incremental ?kernel
+      ~budget_seconds inst
   else begin
     let start = Unix.gettimeofday () in
-    let deadline = start +. budget_seconds in
     let shared = make_shared () in
     (* Worker 0 replays the sequential stream ([Rng.create seed]); extra
        workers draw independent SplitMix64 streams from a decorrelated
@@ -235,8 +370,10 @@ let run_parallel ?(config = Pa.default_config) ?(seed = 1) ?(min_iterations = 1)
     in
     let min_per_worker = (min_iterations + jobs - 1) / jobs in
     let job i =
-      worker ~config ~cache ~incremental ~rng:rngs.(i) ~start ~deadline
-        ~min_iterations:min_per_worker ~shared inst
+      exhaust
+        (Course.make ~config ?cache ~incremental ?kernel ~shared
+           ~rng:rngs.(i) ~start ~min_iterations:min_per_worker
+           ~budget_seconds inst)
     in
     let results =
       match pool with
@@ -246,5 +383,9 @@ let run_parallel ?(config = Pa.default_config) ?(seed = 1) ?(min_iterations = 1)
     let iterations =
       Array.fold_left (fun acc r -> acc + r.w_iterations) 0 results
     in
-    { schedule = shared.best; iterations; trace = merge_traces results }
+    let minor_words =
+      Array.fold_left (fun acc r -> acc +. r.w_minor_words) 0. results
+    in
+    { schedule = shared.best; iterations; trace = merge_traces results;
+      minor_words }
   end

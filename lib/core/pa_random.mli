@@ -10,7 +10,9 @@
     Both entry points accept a {!Resched_floorplan.Fp_cache.t} so that
     repeated region-need multisets skip the floorplanner entirely, and
     {!run_parallel} fans the restart loop out over OCaml 5 domains with a
-    shared atomic incumbent makespan. *)
+    shared atomic incumbent makespan. The restart stream itself is
+    reified as a resumable {!Course}, which the batch engine
+    ({!Batch.run}) interleaves across instances in slices. *)
 
 type trace_point = {
   elapsed : float;
@@ -29,33 +31,100 @@ type outcome = {
   iterations : int;
       (** total restart iterations, summed over workers *)
   trace : trace_point list;  (** improvements, oldest first (Fig. 6) *)
+  minor_words : float;
+      (** minor-heap words allocated by the restart iterations, summed
+          over workers ({!Gc.minor_words} deltas around each slice) —
+          divide by [iterations] for the words/iteration telemetry *)
 }
+
+type kernel = [ `Soa | `Boxed ]
+(** Which restart kernel the iterations run. [`Soa] (the default) runs
+    steps 3-7 over the context arena's flat struct-of-arrays scratch
+    buffers ({!Pa.schedule_candidate}) and only materializes a boxed
+    {!Schedule.t} for claimed improvements. [`Boxed] is the bit-identity
+    oracle: every iteration builds a fresh state and a boxed schedule
+    through the legacy list-based pipeline ({!Pa.schedule_once} without
+    a context). Both produce bit-identical outcomes for a fixed seed
+    and iteration count (property-tested); they differ in allocation
+    rate and wall-clock only. *)
+
+(** A resumable restart stream: the loop body of {!run}, reified so the
+    same stream can run to completion on one domain or be advanced in
+    bounded slices — possibly from different domains over its lifetime —
+    with bit-identical results. The stream owns its RNG, its adaptive
+    shrink exponent and its incumbent; the restart arena stays
+    domain-local and is re-fetched from the per-domain cache on every
+    slice, so migrating a course between domains never shares mutable
+    state. Not thread-safe: advance a given course from one domain at a
+    time. *)
+module Course : sig
+  type t
+
+  val create : ?config:Pa.config -> ?cache:Resched_floorplan.Fp_cache.t ->
+    ?incremental:bool -> ?kernel:kernel -> ?start:float -> seed:int ->
+    min_iterations:int -> budget_seconds:float ->
+    Resched_platform.Instance.t -> t
+  (** A fresh stream with its own incumbent, replaying exactly what
+      {!run} with the same arguments would do. [start] (default: now)
+      anchors the wall-clock budget and the trace's [elapsed] stamps —
+      the batch engine passes one common origin for all its courses. *)
+
+  val run_slice : t -> max_iterations:int -> int
+  (** Advance by at most [max_iterations] restarts on the calling
+      domain; returns how many were executed (0 when already finished).
+      The stream finishes when it has met its [min_iterations] and the
+      budget is exhausted. Slicing is invariant: any partition of the
+      iteration budget into slices yields the same outcome as one
+      uninterrupted run (property-tested). *)
+
+  val finished : t -> bool
+  val iterations : t -> int
+
+  val minor_words : t -> float
+  (** Minor-heap words allocated so far by this course's slices. *)
+
+  val instance : t -> Resched_platform.Instance.t
+
+  val outcome : t -> outcome
+  (** Snapshot of the stream's result; normally read once [finished]. *)
+end
 
 val run : ?config:Pa.config -> ?seed:int -> ?min_iterations:int ->
   ?cache:Resched_floorplan.Fp_cache.t -> ?incremental:bool ->
-  budget_seconds:float -> Resched_platform.Instance.t -> outcome
+  ?kernel:kernel -> budget_seconds:float ->
+  Resched_platform.Instance.t -> outcome
 (** Algorithm 1 with a wall-clock budget. [min_iterations] (default 1)
     iterations are executed even if the budget is already exhausted, so a
     tiny budget still returns a schedule whenever one is floorplannable.
     The [config]'s [ordering] field is ignored (PA-R always randomizes
     non-critical tasks). When [cache] is given, floorplan verdicts are
-    memoized through it; the packer being deterministic, this changes
-    wall-clock only, never the result for a fixed iteration count.
+    memoized through it. With [~subsumption:false] the cache's verdicts
+    are a pure function of the query — the engine's answer for the
+    canonically sorted needs — so any two runs through such caches
+    (fresh, shared, or reused) produce identical results for a fixed
+    iteration count. They can still differ from a {e cache-less} run
+    where the engine's node budget bites (the canonical order may
+    explore the search space differently), and a cache with the
+    dominance index enabled ([subsumption:true], the default) may
+    additionally decide candidates the bare engine would call
+    [Unknown] — both effects steer the adaptive resource scale onto a
+    different (still valid) trajectory.
 
     The adaptive virtual resource scale moves on the integer
     [shrink_factor^k] lattice (k in [0..6]) so the per-scale restart
     memo and the floorplan cache see repeated keys.
 
     [incremental] (default [true]) runs each iteration through a
-    per-worker {!Pa.Context} restart arena and the incremental timing
-    solver; [incremental:false] is the from-scratch oracle path. Both
+    per-worker {!Pa.Context} restart arena; [incremental:false] — like
+    [kernel:`Boxed] — is the from-scratch oracle path. All combinations
     produce bit-identical candidate streams for a fixed
     [(seed, min_iterations, budget_seconds = 0.)] configuration. *)
 
 val run_parallel : ?config:Pa.config -> ?seed:int -> ?min_iterations:int ->
   ?jobs:int -> ?pool:Resched_util.Domain_pool.Pool.t ->
   ?cache:Resched_floorplan.Fp_cache.t -> ?incremental:bool ->
-  budget_seconds:float -> Resched_platform.Instance.t -> outcome
+  ?kernel:kernel -> budget_seconds:float ->
+  Resched_platform.Instance.t -> outcome
 (** [run] fanned out over [jobs] worker domains (default
     {!Resched_util.Domain_pool.available_cores}) sharing one atomic
     incumbent makespan — a worker floorplans a candidate only if it beats

@@ -110,6 +110,119 @@ let slot_position_sorted times sequence t_min_k =
     sequence;
   !desired
 
+(* ------------------------------------------------------------------ *)
+(* Arena path: the same insertion algorithm as [run_with ~incremental],
+   executed over reusable flat buffers — the restart kernel's
+   per-iteration engine. *)
+
+type arena = {
+  a_solver : Timing.Solver.t;
+  a_closure : Graph.closure_buf;
+  mutable a_seq : int array;  (* the sequence under construction *)
+  mutable a_rem : int array;  (* unscheduled spec indices, in order *)
+}
+
+type plan = {
+  p_specs : Timing.reconf_spec array;
+  p_seq : int array;
+  p_len : int;
+  p_times : Timing.resolved;
+}
+
+let make_arena () =
+  {
+    a_solver = Timing.Solver.scratch ();
+    a_closure = Graph.make_closure_buf ();
+    a_seq = [||];
+    a_rem = [||];
+  }
+
+let slot_position_sorted_arr times seq len t_min_k =
+  let tau = ref t_min_k and desired = ref 0 in
+  for i = 0 to len - 1 do
+    let j = seq.(i) in
+    let s = times.Timing.rec_start.(j) and e = times.Timing.rec_end.(j) in
+    if s <= !tau then begin
+      if !tau < e then tau := e;
+      if s < !tau then incr desired
+    end
+  done;
+  !desired
+
+let run_hot ?module_reuse arena state =
+  let specs = Timing.reconf_specs ?module_reuse state in
+  let nr = Array.length specs in
+  if Array.length arena.a_seq < nr then begin
+    let cap = Stdlib.max nr (2 * Array.length arena.a_seq) in
+    arena.a_seq <- Array.make cap 0;
+    arena.a_rem <- Array.make cap 0
+  end;
+  let closure = Graph.closure_with arena.a_closure state.State.dep in
+  let solver = arena.a_solver in
+  Timing.Solver.reload solver state ~reconfigs:specs;
+  let seq = arena.a_seq and rem = arena.a_rem in
+  let len = ref 0 in
+  let insert ~desired k =
+    (* [position_bounds] over the array prefix. *)
+    let lo = ref 0 and hi = ref !len in
+    for pos = 0 to !len - 1 do
+      let j = seq.(pos) in
+      if Timing.must_precede_closure closure specs.(j) specs.(k) then
+        lo := Stdlib.max !lo (pos + 1);
+      if Timing.must_precede_closure closure specs.(k) specs.(j) then
+        hi := Stdlib.min !hi pos
+    done;
+    assert (!lo <= !hi);
+    let pos = Stdlib.max !lo (Stdlib.min !hi desired) in
+    for i = !len downto pos + 1 do
+      seq.(i) <- seq.(i - 1)
+    done;
+    seq.(pos) <- k;
+    incr len
+  in
+  (* One phase = [run_with]'s while-loop over one criticality class:
+     remaining specs kept in ascending-index order (removal shifts), the
+     argmin scan replays [best_remaining]'s first-strict-minimum rule. *)
+  let phase ~critical ~slotted =
+    let rcount = ref 0 in
+    for k = 0 to nr - 1 do
+      if specs.(k).Timing.critical = critical then begin
+        rem.(!rcount) <- k;
+        incr rcount
+      end
+    done;
+    while !rcount > 0 do
+      let times =
+        Timing.Solver.resolve_array solver ~sequence:seq ~len:!len
+      in
+      let bi = ref 0 in
+      let best_t =
+        ref times.Timing.task_end.(specs.(rem.(0)).Timing.t_in)
+      in
+      for i = 1 to !rcount - 1 do
+        let t = times.Timing.task_end.(specs.(rem.(i)).Timing.t_in) in
+        if t < !best_t then begin
+          best_t := t;
+          bi := i
+        end
+      done;
+      let k = rem.(!bi) in
+      let desired =
+        if slotted then slot_position_sorted_arr times seq !len !best_t
+        else !len
+      in
+      insert ~desired k;
+      for i = !bi to !rcount - 2 do
+        rem.(i) <- rem.(i + 1)
+      done;
+      decr rcount
+    done
+  in
+  phase ~critical:true ~slotted:false;
+  phase ~critical:false ~slotted:true;
+  let times = Timing.Solver.resolve_array solver ~sequence:seq ~len:!len in
+  { p_specs = specs; p_seq = seq; p_len = !len; p_times = times }
+
 let run ?module_reuse ?(incremental = true) state =
   let specs = Timing.reconf_specs ?module_reuse state in
   if incremental then begin

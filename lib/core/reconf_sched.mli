@@ -21,3 +21,30 @@ val run : ?module_reuse:bool -> ?incremental:bool -> State.t ->
     from scratch ({!Timing.resolve}) and runs a fresh traversal per
     {!Timing.must_precede} query. Both paths produce the identical
     sequence (property-tested); the legacy path is the oracle. *)
+
+(* ------------------------------------------------------------------ *)
+
+type arena
+(** Reusable buffers for {!run_hot}: a {!Timing.Solver.scratch} solver,
+    a closure buffer and the sequencing arrays — one per restart arena
+    ({!Pa.Context}), refilled every iteration. *)
+
+val make_arena : unit -> arena
+
+type plan = {
+  p_specs : Timing.reconf_spec array;  (** as {!run}'s first component *)
+  p_seq : int array;
+      (** controller sequence: the first [p_len] entries, {e borrowed}
+          from the arena *)
+  p_len : int;
+  p_times : Timing.resolved;
+      (** final resolved times over the complete sequence, {e borrowed}
+          from the arena's solver *)
+}
+
+val run_hot : ?module_reuse:bool -> arena -> State.t -> plan
+(** The [incremental:true] algorithm of {!run} executed over [arena]'s
+    flat buffers: same specs, bit-identical sequence, plus one final
+    resolve so callers can read every start/end time without re-timing.
+    The returned plan aliases the arena — valid only until the next
+    [run_hot] on the same arena; copy what must survive. *)

@@ -72,25 +72,27 @@ let region_compatible_critical ?module_reuse state ~task region =
 let region_compatible_non_critical state ~task region =
   fits_region state ~task region && windows_disjoint state ~task region
 
-let lowest_bitstream regions =
-  match regions with
-  | [] -> None
-  | r :: tl ->
-    Some
-      (List.fold_left
-         (fun best (c : State.region) ->
-           if c.State.bits < best.State.bits then c else best)
-         r tl)
+(* First region (in creation order) with the strictly lowest bitstream
+   among those satisfying [ok] — what folding the filtered
+   creation-order list with a strict [<] used to pick, without building
+   that list. *)
+let best_compatible state ~ok =
+  let best = ref None in
+  State.iter_regions state (fun (r : State.region) ->
+      if ok r then
+        match !best with
+        | Some (b : State.region) when b.State.bits <= r.State.bits -> ()
+        | _ -> best := Some r);
+  !best
 
 (* Assign one critical hardware task per the three-way rule of Sec. V-C. *)
 let place_critical ?module_reuse state ~task =
   let need = (State.impl state task).Impl.res in
   let compatible =
-    List.filter
-      (fun r -> region_compatible_critical ?module_reuse state ~task r)
-      (State.regions state)
+    best_compatible state ~ok:(fun r ->
+        region_compatible_critical ?module_reuse state ~task r)
   in
-  match lowest_bitstream compatible with
+  match compatible with
   | Some region -> State.assign_to_region state ~task region
   | None ->
     if State.fits_on_fpga state need then begin
@@ -109,11 +111,10 @@ let place_non_critical state ~task =
   end
   else begin
     let compatible =
-      List.filter
-        (fun r -> region_compatible_non_critical state ~task r)
-        (State.regions state)
+      best_compatible state ~ok:(fun r ->
+          region_compatible_non_critical state ~task r)
     in
-    match lowest_bitstream compatible with
+    match compatible with
     | Some region -> State.assign_to_region state ~task region
     | None -> State.switch_to_sw state ~task
   end
@@ -131,7 +132,7 @@ let sort_tasks state ordering tasks =
       tasks
   | Random rng -> Rng.shuffle rng tasks
 
-let run ?module_reuse ~ordering state =
+let run_legacy ?module_reuse ~ordering state =
   let n = Resched_platform.Instance.size state.State.inst in
   let critical = Array.copy state.State.cpm.Resched_taskgraph.Cpm.critical in
   let hw_tasks =
@@ -146,3 +147,82 @@ let run ?module_reuse ~ordering state =
   let non_criticals = sort_tasks state ordering non_criticals in
   List.iter (fun task -> place_critical ?module_reuse state ~task) criticals;
   List.iter (fun task -> place_non_critical state ~task) non_criticals
+
+(* Arena-state fast path: partition/sort the hardware tasks in borrowed
+   scratch arrays. The task order fed to the placement loops is
+   bit-identical to [run_legacy]'s — stable insertion sorts over
+   index-ordered segments reproduce [List.stable_sort], and the inlined
+   Fisher-Yates over the non-critical segment replays [Rng.shuffle]'s
+   exact draw sequence — so both paths build the same regions. *)
+let run_scratch ?module_reuse ~ordering state scratch =
+  let n = Resched_platform.Instance.size state.State.inst in
+  let critical = State.sc_flags scratch in
+  Array.blit state.State.cpm.Resched_taskgraph.Cpm.critical 0 critical 0 n;
+  let tasks = State.sc_tasks scratch in
+  let keys = State.sc_keys scratch in
+  (* Criticals in [0 .. nc), non-criticals in [nc .. nc + nnc), both in
+     ascending task order (what filter + partition produced). *)
+  let nc = ref 0 in
+  for u = 0 to n - 1 do
+    if State.is_hw state u && critical.(u) then begin
+      tasks.(!nc) <- u;
+      incr nc
+    end
+  done;
+  let nc = !nc in
+  let nnc = ref 0 in
+  for u = 0 to n - 1 do
+    if State.is_hw state u && not critical.(u) then begin
+      tasks.(nc + !nnc) <- u;
+      incr nnc
+    end
+  done;
+  let nnc = !nnc in
+  (* Stable insertion sort of [base .. base+len) by a precomputed float
+     key; [desc] gives the descending order By_efficiency wants. *)
+  let sort_segment ~base ~len ~desc key_of =
+    for i = base to base + len - 1 do
+      keys.(i) <- key_of tasks.(i)
+    done;
+    for j = base + 1 to base + len - 1 do
+      let v = tasks.(j) and kv = keys.(j) in
+      let p = ref (j - 1) in
+      while
+        !p >= base
+        && (if desc then keys.(!p) < kv else keys.(!p) > kv)
+      do
+        tasks.(!p + 1) <- tasks.(!p);
+        keys.(!p + 1) <- keys.(!p);
+        decr p
+      done;
+      tasks.(!p + 1) <- v;
+      keys.(!p + 1) <- kv
+    done
+  in
+  let efficiency u = Cost.efficiency state.State.cost (State.impl state u) in
+  let cost u = Cost.cost state.State.cost (State.impl state u) in
+  sort_segment ~base:0 ~len:nc ~desc:true efficiency;
+  (match ordering with
+  | By_efficiency -> sort_segment ~base:nc ~len:nnc ~desc:true efficiency
+  | By_cost -> sort_segment ~base:nc ~len:nnc ~desc:false cost
+  | Topological ->
+    sort_segment ~base:nc ~len:nnc ~desc:false (fun u ->
+        float_of_int (State.t_min state u))
+  | Random rng ->
+    for i = nnc - 1 downto 1 do
+      let j = Rng.int rng (i + 1) in
+      let tmp = tasks.(nc + i) in
+      tasks.(nc + i) <- tasks.(nc + j);
+      tasks.(nc + j) <- tmp
+    done);
+  for i = 0 to nc - 1 do
+    place_critical ?module_reuse state ~task:tasks.(i)
+  done;
+  for i = nc to nc + nnc - 1 do
+    place_non_critical state ~task:tasks.(i)
+  done
+
+let run ?module_reuse ~ordering state =
+  match State.scratch_of state with
+  | Some scratch -> run_scratch ?module_reuse ~ordering state scratch
+  | None -> run_legacy ?module_reuse ~ordering state

@@ -15,7 +15,24 @@ type region = {
   mutable tasks : int list;
 }
 
-type scratch = { sc_buffers : Cpm.buffers; sc_durations : int array }
+type scratch = {
+  sc_buffers : Cpm.buffers;
+  sc_durations : int array;
+  sc_sort : int array;  (* region-task ordering workspace, size n *)
+  sc_keys : float array;  (* sort keys (unboxed), size n *)
+  sc_mark : bool array;  (* cycle-guard reachability marks, size n *)
+  sc_tasks : int array;  (* pipeline-step candidate workspace, size n *)
+  sc_flags : bool array;  (* pipeline-step flag workspace, size n *)
+  sc_hw_impls : (int * Impl.t) list array;
+      (* [Instance.hw_impls] per task, computed once: the instance is
+         immutable, so the cached lists stay equal to what the accessor
+         would rebuild (and reallocate) on every balance probe *)
+}
+
+let sc_tasks s = s.sc_tasks
+let sc_keys s = s.sc_keys
+let sc_flags s = s.sc_flags
+let sc_mark s = s.sc_mark
 
 type t = {
   inst : Instance.t;
@@ -23,7 +40,7 @@ type t = {
   cost : Cost.t;
   impl_of : int array;
   dep : Graph.t;
-  mutable regions_rev : region list;
+  mutable regions_arr : region array;
   mutable nregions : int;
   mutable used : Resource.t;
   region_of : int array;
@@ -32,10 +49,17 @@ type t = {
   scratch : scratch option;
 }
 
+let scratch_of t = t.scratch
+
 let impl t u = Instance.impl t.inst ~task:u ~idx:t.impl_of.(u)
 let duration t u = (impl t u).Impl.time
 let durations t = Array.init (Instance.size t.inst) (duration t)
 let is_hw t u = Impl.is_hw (impl t u)
+
+let hw_impls t u =
+  match t.scratch with
+  | Some s -> s.sc_hw_impls.(u)
+  | None -> Instance.hw_impls t.inst u
 
 let refresh_windows t =
   match t.scratch with
@@ -70,7 +94,17 @@ let create inst ?(resource_scale = 1.0) ?cost ?base_cpm ?(scratch = false)
   in
   let scratch =
     if scratch then
-      Some { sc_buffers = Cpm.make_buffers n; sc_durations = Array.make n 0 }
+      Some
+        {
+          sc_buffers = Cpm.make_buffers n;
+          sc_durations = Array.make n 0;
+          sc_sort = Array.make n 0;
+          sc_keys = Array.make n 0.;
+          sc_mark = Array.make n false;
+          sc_tasks = Array.make n 0;
+          sc_flags = Array.make n false;
+          sc_hw_impls = Array.init n (fun u -> Instance.hw_impls inst u);
+        }
     else None
   in
   {
@@ -79,7 +113,7 @@ let create inst ?(resource_scale = 1.0) ?cost ?base_cpm ?(scratch = false)
     cost;
     impl_of = Array.copy impl_of;
     dep = Graph.copy inst.Instance.graph;
-    regions_rev = [];
+    regions_arr = [||];
     nregions = 0;
     used = Resource.zero;
     region_of = Array.make n (-1);
@@ -88,13 +122,18 @@ let create inst ?(resource_scale = 1.0) ?cost ?base_cpm ?(scratch = false)
     scratch;
   }
 
+let dummy_region =
+  { id = -1; res = Resource.zero; bits = 0.; reconf = 0; tasks = [] }
+
 let reset t ~impl_of ~base_cpm =
   let n = Instance.size t.inst in
   if Array.length impl_of <> n then
     invalid_arg "State.reset: impl_of length mismatch";
   Array.blit impl_of 0 t.impl_of 0 n;
   Graph.restore ~from:t.inst.Instance.graph t.dep;
-  t.regions_rev <- [];
+  (* Drop the region references so the previous iteration's records do
+     not stay rooted by the recycled slot array. *)
+  Array.fill t.regions_arr 0 t.nregions dummy_region;
   t.nregions <- 0;
   t.used <- Resource.zero;
   Array.fill t.region_of 0 n (-1);
@@ -104,7 +143,21 @@ let reset t ~impl_of ~base_cpm =
 let t_min t u = t.cpm.Cpm.t_min.(u)
 let t_max t u = t.cpm.Cpm.t_max.(u)
 
-let regions t = List.rev t.regions_rev
+let iter_regions t f =
+  for i = 0 to t.nregions - 1 do
+    f t.regions_arr.(i)
+  done
+
+let nth_region t i =
+  if i < 0 || i >= t.nregions then invalid_arg "State.nth_region";
+  t.regions_arr.(i)
+
+let regions t =
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) (t.regions_arr.(i) :: acc)
+  in
+  build (t.nregions - 1) []
+
 let region_count t = t.nregions
 let used_resources t = t.used
 
@@ -116,43 +169,76 @@ let new_region t need =
   let bits = Bitstream.region_bits device.Device.model need in
   let reconf = Arch.reconf_ticks t.inst.Instance.arch need in
   let region = { id = t.nregions; res = need; bits; reconf; tasks = [] } in
-  t.regions_rev <- region :: t.regions_rev;
+  (if t.nregions = Array.length t.regions_arr then begin
+     let cap = max 8 (2 * Array.length t.regions_arr) in
+     let grown = Array.make cap dummy_region in
+     Array.blit t.regions_arr 0 grown 0 t.nregions;
+     t.regions_arr <- grown
+   end);
+  t.regions_arr.(t.nregions) <- region;
   t.nregions <- t.nregions + 1;
   t.used <- Resource.add t.used need;
   region
 
-let sort_by_t_min t tasks =
-  List.sort (fun a b -> compare (t_min t a) (t_min t b)) tasks
+(* Would adding edge u -> v close a cycle, i.e. is u reachable from v?
+   Arena states answer with a recycled mark array; plain states keep the
+   original allocating query. *)
+let edge_would_cycle t u v =
+  match t.scratch with
+  | Some s ->
+    Array.fill s.sc_mark 0 (Array.length s.sc_mark) false;
+    Graph.mark_reachable t.dep v s.sc_mark;
+    s.sc_mark.(u)
+  | None -> (Graph.reachable t.dep v).(u)
 
 let insert_region_edges t ~task region =
   (* The region is exclusive: order its tasks by their window starts and
-     chain the new task between its neighbours. *)
-  let ordered = sort_by_t_min t (task :: region.tasks) in
-  let rec neighbours = function
-    | a :: b :: tl ->
-      if b = task then Some a
-      else if a = task then None
-      else neighbours (b :: tl)
-    | _ -> None
+     chain the new task between its neighbours. The former
+     [List.sort (by t_min) (task :: region.tasks)] is replaced by a
+     stable insertion sort over a reused scratch array — bit-identical
+     order (the stdlib's [List.sort] is the stable merge sort, and
+     insertion sort preserves ties the same way) without the per-call
+     sort allocations. *)
+  let k = List.length region.tasks in
+  let arr =
+    match t.scratch with
+    | Some s when Array.length s.sc_sort >= k + 1 -> s.sc_sort
+    | _ -> Array.make (k + 1) 0
   in
-  let prev = neighbours ordered in
-  let next =
-    let rec after = function
-      | a :: b :: tl -> if a = task then Some b else after (b :: tl)
-      | _ -> None
-    in
-    after ordered
-  in
+  arr.(0) <- task;
+  let i = ref 1 in
+  List.iter
+    (fun u ->
+      arr.(!i) <- u;
+      incr i)
+    region.tasks;
+  for j = 1 to k do
+    let v = arr.(j) in
+    let key = t_min t v in
+    let p = ref (j - 1) in
+    while !p >= 0 && t_min t arr.(!p) > key do
+      arr.(!p + 1) <- arr.(!p);
+      decr p
+    done;
+    arr.(!p + 1) <- v
+  done;
+  let pos = ref 0 in
+  while arr.(!pos) <> task do
+    incr pos
+  done;
   let guard_edge u v =
     if u <> v && not (Graph.has_edge t.dep u v) then begin
-      if (Graph.reachable t.dep v).(u) then
+      if edge_would_cycle t u v then
         invalid_arg "State.assign_to_region: ordering edge would create a cycle";
       Graph.add_edge t.dep u v
     end
   in
-  (match prev with Some p -> guard_edge p task | None -> ());
-  (match next with Some nx -> guard_edge task nx | None -> ());
-  region.tasks <- ordered
+  if !pos > 0 then guard_edge arr.(!pos - 1) task;
+  if !pos < k then guard_edge task arr.(!pos + 1);
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) (arr.(i) :: acc)
+  in
+  region.tasks <- build k []
 
 let assign_to_region t ~task region =
   t.region_of.(task) <- region.id;
@@ -164,11 +250,8 @@ let switch_to_sw t ~task =
   t.impl_of.(task) <- Instance.fastest_sw t.inst task;
   (if t.region_of.(task) >= 0 then begin
      (* Should not happen in the pipeline, but keep the state coherent. *)
-     List.iter
-       (fun r ->
-         if r.id = t.region_of.(task) then
-           r.tasks <- List.filter (fun u -> u <> task) r.tasks)
-       t.regions_rev;
+     let r = t.regions_arr.(t.region_of.(task)) in
+     r.tasks <- List.filter (fun u -> u <> task) r.tasks;
      t.region_of.(task) <- -1
    end);
   refresh_windows t
@@ -181,6 +264,10 @@ let switch_to_hw t ~task ~impl_idx region =
   refresh_windows t;
   assign_to_region t ~task region
 
-let region_list t = Array.of_list (List.rev t.regions_rev)
+let region_list t = Array.sub t.regions_arr 0 t.nregions
 
-let find_region t id = List.find (fun r -> r.id = id) t.regions_rev
+let find_region t id =
+  (* Region ids are assigned densely by [new_region], so the id is the
+     slot index. *)
+  if id < 0 || id >= t.nregions then raise Not_found;
+  t.regions_arr.(id)

@@ -23,8 +23,25 @@ type region = {
 }
 
 type scratch
-(** Reusable CPM buffers + durations array for allocation-free window
-    refreshes (restart-arena states only). *)
+(** Reusable workspaces for allocation-free pipeline steps
+    (restart-arena states only): CPM buffers + durations for window
+    refreshes, plus size-[n] int/float/bool arrays the steps borrow for
+    sorting and marking. *)
+
+val sc_tasks : scratch -> int array
+(** Size-[n] int workspace. Contents are clobbered by any pipeline step
+    that borrows it; never hold it across a step. *)
+
+val sc_keys : scratch -> float array
+(** Size-[n] unboxed float workspace (sort keys). Same borrowing rule
+    as {!sc_tasks}. *)
+
+val sc_flags : scratch -> bool array
+(** Size-[n] bool workspace. Same borrowing rule as {!sc_tasks}. *)
+
+val sc_mark : scratch -> bool array
+(** Second size-[n] bool workspace (also the cycle-guard mark array —
+    any {!assign_to_region} clobbers it). Same borrowing rule. *)
 
 type t = {
   inst : Resched_platform.Instance.t;
@@ -33,8 +50,9 @@ type t = {
   cost : Cost.t;
   impl_of : int array;  (** current implementation index per task *)
   dep : Graph.t;  (** augmented dependency graph (owned copy) *)
-  mutable regions_rev : region list;
-      (** newest first; use {!regions} for creation order *)
+  mutable regions_arr : region array;
+      (** region slots; only the first [nregions] entries are live.
+          Prefer {!iter_regions}/{!nth_region}/{!region_list}. *)
   mutable nregions : int;  (** regions created so far *)
   mutable used : Resched_fabric.Resource.t;
       (** running sum of all regions' requirements *)
@@ -75,8 +93,13 @@ val impl : t -> int -> Resched_platform.Impl.t
 
 val duration : t -> int -> int
 val durations : t -> int array
+
 val is_hw : t -> int -> bool
 (** Is the currently selected implementation a hardware one? *)
+
+val hw_impls : t -> int -> (int * Resched_platform.Impl.t) list
+(** [Instance.hw_impls] for this state's instance; arena states answer
+    from a list cached at creation (same contents, no allocation). *)
 
 val refresh_windows : t -> unit
 (** Recompute CPM windows for the current durations and augmented graph. *)
@@ -86,6 +109,18 @@ val t_max : t -> int -> int
 
 val regions : t -> region list
 (** Regions in creation order (allocates one list per call). *)
+
+val iter_regions : t -> (region -> unit) -> unit
+(** Apply a function to every region in creation order without
+    allocating the list {!regions} builds. *)
+
+val nth_region : t -> int -> region
+(** Region by creation index, O(1). Raises [Invalid_argument] when out
+    of range. *)
+
+val scratch_of : t -> scratch option
+(** This state's scratch workspaces, when it was created with
+    [~scratch:true]. *)
 
 val region_count : t -> int
 

@@ -3,39 +3,39 @@ module Instance = Resched_platform.Instance
 module Impl = Resched_platform.Impl
 
 let tot_rec_time state =
-  List.fold_left
-    (fun acc (r : State.region) ->
-      acc + (r.State.reconf * Stdlib.max 0 (List.length r.State.tasks - 1)))
-    0 state.State.regions_rev
+  let acc = ref 0 in
+  State.iter_regions state (fun (r : State.region) ->
+      acc := !acc + (r.State.reconf * Stdlib.max 0 (List.length r.State.tasks - 1)));
+  !acc
 
-(* Cheapest hardware implementation of [task] that fits [region]. *)
+(* Cheapest hardware implementation of [task] that fits [region]: the
+   first strict cost minimum among the fitting ones, in declaration
+   order — same pick as filtering then folding, without building the
+   filtered list. *)
 let best_fitting_hw state ~task (region : State.region) =
-  let fitting =
-    List.filter
-      (fun (_, (i : Impl.t)) ->
-        Resource.fits i.Impl.res ~within:region.State.res)
-      (Instance.hw_impls state.State.inst task)
-  in
-  match fitting with
-  | [] -> None
-  | (idx0, i0) :: rest ->
-    let best_idx, _ =
-      List.fold_left
-        (fun (bidx, bcost) (idx, i) ->
-          let c = Cost.cost state.State.cost i in
-          if c < bcost then (idx, c) else (bidx, bcost))
-        (idx0, Cost.cost state.State.cost i0)
-        rest
-    in
-    Some best_idx
+  let best_idx = ref (-1) and best_cost = ref infinity in
+  List.iter
+    (fun (idx, (i : Impl.t)) ->
+      if Resource.fits i.Impl.res ~within:region.State.res then begin
+        let c = Cost.cost state.State.cost i in
+        if !best_idx < 0 || c < !best_cost then begin
+          best_idx := idx;
+          best_cost := c
+        end
+      end)
+    (State.hw_impls state task);
+  if !best_idx < 0 then None else Some !best_idx
 
 let try_move state ~task =
-  let rec attempt = function
-    | [] -> ()
-    | (region : State.region) :: rest -> (
+  (* Regions in creation order, without materializing the list; no move
+     ever changes the region count, so a plain index walk is safe. *)
+  let nregions = State.region_count state in
+  let rec attempt i =
+    if i < nregions then begin
+      let region = State.nth_region state i in
       match best_fitting_hw state ~task region with
-      | None -> attempt rest
-      | Some impl_idx ->
+      | None -> attempt (i + 1)
+      | Some impl_idx -> (
         (* Tentatively adopt the implementation so the window check sees
            the hardware duration, then commit or roll back. *)
         let saved = state.State.impl_of.(task) in
@@ -50,16 +50,17 @@ let try_move state ~task =
           | exception Invalid_argument _ ->
             state.State.impl_of.(task) <- saved;
             State.refresh_windows state;
-            attempt rest
+            attempt (i + 1)
         else begin
           state.State.impl_of.(task) <- saved;
           State.refresh_windows state;
-          attempt rest
+          attempt (i + 1)
         end)
+    end
   in
-  attempt (State.regions state)
+  attempt 0
 
-let run state =
+let run_legacy state =
   let n = Instance.size state.State.inst in
   let candidates =
     List.filter
@@ -78,3 +79,39 @@ let run state =
       let budget = tot_rec_time state in
       if State.t_min state task > budget then try_move state ~task)
     by_t_min
+
+(* Arena states collect and sort the candidates in a borrowed scratch
+   array: same candidate set, same stable t_min order (insertion sort
+   over index-ordered input ties out with [List.sort]'s stable merge),
+   zero list churn. *)
+let run_scratch state scratch =
+  let n = Instance.size state.State.inst in
+  let cand = State.sc_tasks scratch in
+  let count = ref 0 in
+  for u = 0 to n - 1 do
+    if (not (State.is_hw state u)) && State.hw_impls state u <> [] then begin
+      cand.(!count) <- u;
+      incr count
+    end
+  done;
+  let count = !count in
+  for j = 1 to count - 1 do
+    let v = cand.(j) in
+    let key = State.t_min state v in
+    let p = ref (j - 1) in
+    while !p >= 0 && State.t_min state cand.(!p) > key do
+      cand.(!p + 1) <- cand.(!p);
+      decr p
+    done;
+    cand.(!p + 1) <- v
+  done;
+  for j = 0 to count - 1 do
+    let task = cand.(j) in
+    let budget = tot_rec_time state in
+    if State.t_min state task > budget then try_move state ~task
+  done
+
+let run state =
+  match State.scratch_of state with
+  | Some scratch -> run_scratch state scratch
+  | None -> run_legacy state

@@ -50,38 +50,75 @@ let run ?(incremental = true) state =
     state.State.inst.Instance.arch.Resched_platform.Arch.processors
   in
   let on_processor = Array.make processors [] in
-  let sw_tasks =
-    List.filter (fun u -> not (State.is_hw state u)) (List.init n (fun i -> i))
-    |> List.sort
-         (fun a b -> compare (State.t_min state a) (State.t_min state b))
-  in
-  let fwd = if incremental then Array.make n false else [||] in
-  let anc = if incremental then Array.make n false else [||] in
-  List.iter
-    (fun task ->
-      let end_of u = State.t_min state u + State.duration state u in
-      let best_p = ref 0 and best_lambda = ref max_int in
-      for p = 0 to processors - 1 do
-        let last_end =
-          List.fold_left (fun acc u -> Stdlib.max acc (end_of u)) 0
-            on_processor.(p)
-        in
-        let lambda = delay state ~task ~last_end in
-        if lambda < !best_lambda then begin
-          best_lambda := lambda;
-          best_p := p
+  (* Software tasks sorted by t_min. Arena states collect and
+     stable-insertion-sort them in borrowed scratch (same order as the
+     legacy filter + [List.sort], which is the stdlib's stable merge);
+     plain states keep the list pipeline. *)
+  let scratch = State.scratch_of state in
+  let sw_arr, sw_count =
+    match scratch with
+    | Some s ->
+      let arr = State.sc_tasks s in
+      let count = ref 0 in
+      for u = 0 to n - 1 do
+        if not (State.is_hw state u) then begin
+          arr.(!count) <- u;
+          incr count
         end
       done;
-      let p = !best_p in
-      (if incremental then begin
-         Array.fill fwd 0 n false;
-         Array.fill anc 0 n false;
-         Graph.mark_reachable state.State.dep task fwd;
-         Graph.mark_coreachable state.State.dep task anc;
-         sequence_on_processor_marked state ~task ~fwd ~anc on_processor.(p)
-       end
-       else sequence_on_processor state ~task on_processor.(p));
-      state.State.processor_of.(task) <- p;
-      on_processor.(p) <- task :: on_processor.(p);
-      State.refresh_windows state)
-    sw_tasks
+      for j = 1 to !count - 1 do
+        let v = arr.(j) in
+        let key = State.t_min state v in
+        let p = ref (j - 1) in
+        while !p >= 0 && State.t_min state arr.(!p) > key do
+          arr.(!p + 1) <- arr.(!p);
+          decr p
+        done;
+        arr.(!p + 1) <- v
+      done;
+      (arr, !count)
+    | None ->
+      let l =
+        List.filter
+          (fun u -> not (State.is_hw state u))
+          (List.init n (fun i -> i))
+        |> List.sort
+             (fun a b -> compare (State.t_min state a) (State.t_min state b))
+      in
+      (Array.of_list l, List.length l)
+  in
+  let fwd, anc =
+    if not incremental then ([||], [||])
+    else
+      match scratch with
+      | Some s -> (State.sc_flags s, State.sc_mark s)
+      | None -> (Array.make n false, Array.make n false)
+  in
+  for i = 0 to sw_count - 1 do
+    let task = sw_arr.(i) in
+    let end_of u = State.t_min state u + State.duration state u in
+    let best_p = ref 0 and best_lambda = ref max_int in
+    for p = 0 to processors - 1 do
+      let last_end =
+        List.fold_left (fun acc u -> Stdlib.max acc (end_of u)) 0
+          on_processor.(p)
+      in
+      let lambda = delay state ~task ~last_end in
+      if lambda < !best_lambda then begin
+        best_lambda := lambda;
+        best_p := p
+      end
+    done;
+    let p = !best_p in
+    (if incremental then begin
+       Array.fill fwd 0 n false;
+       Array.fill anc 0 n false;
+       Graph.mark_reachable state.State.dep task fwd;
+       Graph.mark_coreachable state.State.dep task anc;
+       sequence_on_processor_marked state ~task ~fwd ~anc on_processor.(p)
+     end
+     else sequence_on_processor state ~task on_processor.(p));
+    state.State.processor_of.(task) <- p;
+    on_processor.(p) <- task :: on_processor.(p);
+    State.refresh_windows state
+  done

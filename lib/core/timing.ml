@@ -27,8 +27,7 @@ let same_module (a : Impl.t) (b : Impl.t) =
 let reconf_specs ?(module_reuse = false) state =
   let critical = state.State.cpm.Cpm.critical in
   let specs = ref [] in
-  List.iter
-    (fun (r : State.region) ->
+  State.iter_regions state (fun (r : State.region) ->
       let rec pairs = function
         | a :: b :: tl ->
           let skip =
@@ -48,8 +47,7 @@ let reconf_specs ?(module_reuse = false) state =
           pairs (b :: tl)
         | [ _ ] | [] -> ()
       in
-      pairs r.State.tasks)
-    (State.regions state);
+      pairs r.State.tasks);
   Array.of_list (List.rev !specs)
 
 let resolve state ~reconfigs ~sequence =
@@ -99,23 +97,27 @@ module Solver = struct
      [t_min], so the result is bit-identical to the from-scratch
      {!resolve}). *)
 
+  (* Every field is mutable so one solver value can be {!reload}ed for
+     each restart iteration, growing its arrays on demand: loops are
+     bounded by [n]/[nr], never by array lengths. *)
   type t = {
-    n : int;  (** task nodes *)
-    nr : int;  (** reconfiguration nodes, ids [n .. n+nr-1] *)
-    reconfigs : reconf_spec array;
-    adj : int array;  (** base augmented adjacency, CSR edge targets *)
-    off : int array;  (** CSR row offsets, [total + 1] entries *)
-    base_indeg : int array;
-    durations : int array;
+    mutable n : int;  (** task nodes *)
+    mutable nr : int;  (** reconfiguration nodes, ids [n .. n+nr-1] *)
+    mutable reconfigs : reconf_spec array;
+    mutable adj : int array;  (** base augmented adjacency, CSR targets *)
+    mutable off : int array;  (** CSR row offsets, [total + 1] entries *)
+    mutable base_indeg : int array;
+    mutable durations : int array;
     (* scratch, overwritten by every [resolve] *)
-    chain_next : int array;  (** spec index -> next spec in sequence, -1 *)
-    indeg : int array;
-    queue : int array;
-    t_min : int array;
-    task_start : int array;
-    task_end : int array;
-    rec_start : int array;
-    rec_end : int array;
+    mutable chain_next : int array;
+        (** spec index -> next spec in sequence, -1 *)
+    mutable indeg : int array;
+    mutable queue : int array;
+    mutable t_min : int array;
+    mutable task_start : int array;
+    mutable task_end : int array;
+    mutable rec_start : int array;
+    mutable rec_end : int array;
   }
 
   let of_plan ~graph ~durations:task_durations ~reconfigs =
@@ -180,19 +182,109 @@ module Solver = struct
     of_plan ~graph:state.State.dep ~durations:(State.durations state)
       ~reconfigs
 
-  let resolve ?release s ~sequence =
+  let scratch () =
+    {
+      n = 0;
+      nr = 0;
+      reconfigs = [||];
+      adj = [| 0 |];
+      off = [| 0 |];
+      base_indeg = [||];
+      durations = [||];
+      chain_next = [| -1 |];
+      indeg = [||];
+      queue = [||];
+      t_min = [||];
+      task_start = [||];
+      task_end = [||];
+      rec_start = [| 0 |];
+      rec_end = [| 0 |];
+    }
+
+  let reload s state ~reconfigs =
+    let graph = state.State.dep in
+    let n = Resched_taskgraph.Graph.size graph in
+    let nr = Array.length reconfigs in
+    let total = n + nr in
+    s.n <- n;
+    s.nr <- nr;
+    s.reconfigs <- reconfigs;
+    let grow a need =
+      if Array.length a < need then
+        Array.make (Stdlib.max need (2 * Array.length a)) 0
+      else a
+    in
+    s.off <- grow s.off (total + 1);
+    s.base_indeg <- grow s.base_indeg total;
+    s.durations <- grow s.durations total;
+    s.indeg <- grow s.indeg total;
+    s.queue <- grow s.queue total;
+    s.t_min <- grow s.t_min total;
+    s.task_start <- grow s.task_start n;
+    s.task_end <- grow s.task_end n;
+    s.chain_next <- grow s.chain_next (Stdlib.max 1 nr);
+    s.rec_start <- grow s.rec_start (Stdlib.max 1 nr);
+    s.rec_end <- grow s.rec_end (Stdlib.max 1 nr);
+    let off = s.off and base_indeg = s.base_indeg in
+    Array.fill base_indeg 0 total 0;
+    (* Pass 1: out-degree per node into [off.(u+1)], in-degrees as we
+       go. Successors are taken in [succs_rev] order (no reversed-list
+       allocation): the longest-path relaxation of [resolve] is
+       edge-order independent, so the times stay bit-identical to
+       {!of_plan}'s ordering. *)
+    for u = 0 to n - 1 do
+      let c = ref 0 in
+      List.iter
+        (fun v ->
+          incr c;
+          base_indeg.(v) <- base_indeg.(v) + 1)
+        (Graph.succs_rev graph u);
+      off.(u + 1) <- !c
+    done;
+    for k = 0 to nr - 1 do
+      let spec = reconfigs.(k) in
+      off.(spec.t_in + 1) <- off.(spec.t_in + 1) + 1;
+      off.(n + k + 1) <- 1;
+      base_indeg.(n + k) <- base_indeg.(n + k) + 1;
+      base_indeg.(spec.t_out) <- base_indeg.(spec.t_out) + 1
+    done;
+    off.(0) <- 0;
+    for u = 0 to total - 1 do
+      off.(u + 1) <- off.(u + 1) + off.(u)
+    done;
+    let edges = off.(total) in
+    s.adj <- grow s.adj (Stdlib.max 1 edges);
+    let adj = s.adj in
+    (* Pass 2: fill rows, using [queue] as the per-row cursor. *)
+    let cur = s.queue in
+    Array.blit off 0 cur 0 total;
+    for u = 0 to n - 1 do
+      List.iter
+        (fun v ->
+          adj.(cur.(u)) <- v;
+          cur.(u) <- cur.(u) + 1)
+        (Graph.succs_rev graph u)
+    done;
+    for k = 0 to nr - 1 do
+      let spec = reconfigs.(k) in
+      adj.(cur.(spec.t_in)) <- n + k;
+      cur.(spec.t_in) <- cur.(spec.t_in) + 1;
+      adj.(cur.(n + k)) <- spec.t_out;
+      cur.(n + k) <- cur.(n + k) + 1
+    done;
+    let durations = s.durations in
+    for i = 0 to n - 1 do
+      durations.(i) <- State.duration state i
+    done;
+    for k = 0 to nr - 1 do
+      durations.(n + k) <- reconfigs.(k).dur
+    done
+
+  (* Shared Kahn pass: chain edges must already be installed in
+     [chain_next]/[indeg] (on top of a fresh [base_indeg] blit). *)
+  let finish_resolve ?release s =
     let { n; nr; indeg; queue; t_min; chain_next; durations; _ } = s in
     let total = n + nr in
-    Array.fill chain_next 0 nr (-1);
-    Array.blit s.base_indeg 0 indeg 0 total;
-    let rec chain = function
-      | a :: b :: tl ->
-        chain_next.(a) <- b;
-        indeg.(n + b) <- indeg.(n + b) + 1;
-        chain (b :: tl)
-      | [ _ ] | [] -> ()
-    in
-    chain sequence;
     (match release with
     | None -> Array.fill t_min 0 total 0
     | Some r ->
@@ -200,6 +292,21 @@ module Solver = struct
         invalid_arg "Timing.Solver.resolve: release length mismatch";
       Array.blit r 0 t_min 0 total);
     let head = ref 0 and tail = ref 0 in
+    (* Node ids in [adj] were validated when the base adjacency was
+       built, so unchecked accesses are safe (cf. [Cpm.compute_with]).
+       Defined outside the drain loop: a closure per popped node is real
+       allocation in this, the single hottest loop of the restart
+       kernel. *)
+    let relax v finish =
+      if Array.unsafe_get t_min v < finish then
+        Array.unsafe_set t_min v finish;
+      let d = Array.unsafe_get indeg v - 1 in
+      Array.unsafe_set indeg v d;
+      if d = 0 then begin
+        Array.unsafe_set queue !tail v;
+        incr tail
+      end
+    in
     for u = 0 to total - 1 do
       if indeg.(u) = 0 then begin
         queue.(!tail) <- u;
@@ -212,25 +319,13 @@ module Solver = struct
       (* [u]'s predecessors are all processed: its start is final, so its
          successors can be relaxed now. *)
       let finish = t_min.(u) + durations.(u) in
-      (* Node ids in [adj] were validated when the base adjacency was
-         built, so unchecked accesses are safe (cf. [Cpm.compute_with]). *)
-      let relax v =
-        if Array.unsafe_get t_min v < finish then
-          Array.unsafe_set t_min v finish;
-        let d = Array.unsafe_get indeg v - 1 in
-        Array.unsafe_set indeg v d;
-        if d = 0 then begin
-          Array.unsafe_set queue !tail v;
-          incr tail
-        end
-      in
       let adj = s.adj in
       for j = Array.unsafe_get s.off u to Array.unsafe_get s.off (u + 1) - 1 do
-        relax (Array.unsafe_get adj j)
+        relax (Array.unsafe_get adj j) finish
       done;
       if u >= n then begin
         let next = chain_next.(u - n) in
-        if next >= 0 then relax (n + next)
+        if next >= 0 then relax (n + next) finish
       end
     done;
     if !tail < total then begin
@@ -257,4 +352,33 @@ module Solver = struct
       rec_end = s.rec_end;
       makespan = !makespan;
     }
+
+  let prep s =
+    Array.fill s.chain_next 0 s.nr (-1);
+    Array.blit s.base_indeg 0 s.indeg 0 (s.n + s.nr)
+
+  let resolve ?release s ~sequence =
+    prep s;
+    let n = s.n and chain_next = s.chain_next and indeg = s.indeg in
+    let rec chain = function
+      | a :: b :: tl ->
+        chain_next.(a) <- b;
+        indeg.(n + b) <- indeg.(n + b) + 1;
+        chain (b :: tl)
+      | [ _ ] | [] -> ()
+    in
+    chain sequence;
+    finish_resolve ?release s
+
+  let resolve_array ?release s ~sequence ~len =
+    if len < 0 || len > Array.length sequence then
+      invalid_arg "Timing.Solver.resolve_array: bad length";
+    prep s;
+    let n = s.n and chain_next = s.chain_next and indeg = s.indeg in
+    for i = 0 to len - 2 do
+      let a = sequence.(i) and b = sequence.(i + 1) in
+      chain_next.(a) <- b;
+      indeg.(n + b) <- indeg.(n + b) + 1
+    done;
+    finish_resolve ?release s
 end

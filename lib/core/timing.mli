@@ -80,4 +80,24 @@ module Solver : sig
       its release time, on top of every precedence constraint. The
       arrays of the result are owned by the solver and overwritten by
       the next [resolve]; callers must copy whatever they retain. *)
+
+  val scratch : unit -> t
+  (** An empty reusable solver: {!reload} it before resolving. One
+      scratch solver per restart arena turns the per-iteration
+      {!create} compilation into an allocation-free refill once its
+      buffers have grown to the instance's high-water mark. *)
+
+  val reload : t -> State.t -> reconfigs:reconf_spec array -> unit
+  (** Recompile the solver in place for the state's current augmented
+      graph and durations (what {!create} builds, minus the
+      allocations). The solver's arrays may be longer than the compiled
+      problem; all resolves are bounded by the compiled sizes. Results
+      are bit-identical to a freshly {!create}d solver's. *)
+
+  val resolve_array :
+    ?release:int array -> t -> sequence:int array -> len:int -> resolved
+  (** {!resolve} with the controller sequence given as the first [len]
+      entries of an int array — the sequencing loop's scratch
+      representation — instead of a list. Same result, same aliasing
+      caveat. *)
 end

@@ -89,6 +89,11 @@ type l1 = {
 type t = {
   exact : exact_stripe array;
   sub : sub_stripe array;
+  subsumption : bool;
+      (* when false the dominance index is never consulted or fed:
+         every verdict handed out is one the engine computed for that
+         exact key, so the cache is verdict-transparent (pure
+         memoization) whatever its contents *)
   debug : bool;  (** revalidate subsumption-derived placements *)
   l1_capacity : int;  (* 0 disables the L1 *)
   epoch : int Atomic.t;
@@ -104,7 +109,7 @@ let default_stripes = 16
 let default_l1_capacity = 512
 
 let create ?(stripes = default_stripes) ?(l1_capacity = default_l1_capacity)
-    ?debug () =
+    ?(subsumption = true) ?debug () =
   let stripes = Stdlib.max 1 stripes in
   let l1_capacity = Stdlib.max 0 l1_capacity in
   let debug =
@@ -145,6 +150,7 @@ let create ?(stripes = default_stripes) ?(l1_capacity = default_l1_capacity)
     sub =
       Array.init stripes (fun _ ->
           { s_lock = Mutex.create (); s_groups = Hashtbl.create 32 });
+    subsumption;
     debug;
     l1_capacity;
     epoch;
@@ -504,7 +510,7 @@ let check t ?(engine = Floorplanner.Backtracking) ?node_limit device needs =
         }
       | None -> (
         let gk = group_key ~dk ~engine ~node_limit in
-        match sub_lookup t ~gk ~sorted with
+        match (if t.subsumption then sub_lookup t ~gk ~sorted else None) with
         | Some derived ->
           (match derived.verdict with
           | Floorplanner.Feasible placements when t.debug ->
@@ -547,7 +553,7 @@ let check t ?(engine = Floorplanner.Backtracking) ?node_limit device needs =
                 Smap.add key e m
               end);
           if !inserted then Atomic.incr stripe.e_inserts;
-          sub_insert t ~gk ~sorted report;
+          if t.subsumption then sub_insert t ~gk ~sorted report;
           (match l1 with Some m -> l1_store t m key e | None -> ());
           { report with Floorplanner.verdict = unpermute order report.verdict }))
   end

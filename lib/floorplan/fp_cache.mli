@@ -59,16 +59,35 @@ val hit_rate : stats -> float
 (** Combined (L1 + exact + subsumption) hit rate over {!lookups};
     [0.] when there were none. *)
 
-val create : ?stripes:int -> ?l1_capacity:int -> ?debug:bool -> unit -> t
+val create : ?stripes:int -> ?l1_capacity:int -> ?subsumption:bool ->
+  ?debug:bool -> unit -> t
 (** An empty cache with zeroed counters, sharded into [stripes]
     (default 16, clamped to >= 1) L2 stripes. [l1_capacity] (default
     512) bounds each domain's L1 memo — when full it is dropped
     wholesale, which only costs future hits; [0] disables the L1
     entirely (every read goes to the shared L2 — used by tests that
-    probe L2 behaviour directly). With [~debug:true] (default: set when
-    the [RESCHED_FP_DEBUG] environment variable is 1/true/yes),
-    placements reused through the subsumption index are revalidated with
-    {!Floorplanner.validate} before being returned. *)
+    probe L2 behaviour directly).
+
+    [subsumption] (default [true]) enables the dominance index. It is
+    sound but {e more decisive} than the engine: a stored decisive
+    verdict can answer a query the engine alone would call
+    {!Floorplanner.Unknown} under its node budget, so verdicts then
+    depend on what the cache happens to contain. Pass
+    [~subsumption:false] for a {e verdict-transparent} cache — every
+    verdict handed out is the engine's answer for that exact
+    (device, engine, node-limit, canonically-sorted needs) key,
+    independent of insertion history, so every run through such a cache
+    sees the same verdicts whether entries were warm or cold. (Verdicts
+    are computed on the {e canonically sorted} needs; where the node
+    budget bites they can differ from a cache-less check on the
+    caller's order.) The batch engine ({!Resched_core.Batch}) relies on
+    this mode for its per-instance bit-identity guarantee under
+    arbitrary slice interleavings.
+
+    With [~debug:true] (default: set when the [RESCHED_FP_DEBUG]
+    environment variable is 1/true/yes), placements reused through the
+    subsumption index are revalidated with {!Floorplanner.validate}
+    before being returned. *)
 
 val stats : t -> stats
 (** L2 counters summed over all stripes, plus the L1 counters of every

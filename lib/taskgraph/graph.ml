@@ -195,6 +195,77 @@ let closure g =
   done;
   { cn = n; stride; bits }
 
+type closure_buf = {
+  mutable cb_bits : Bytes.t;
+  mutable cb_indeg : int array; (* doubles as Kahn queue scratch *)
+  mutable cb_queue : int array;
+}
+
+let make_closure_buf () =
+  { cb_bits = Bytes.empty; cb_indeg = [||]; cb_queue = [||] }
+
+let closure_with buf g =
+  let n = g.n in
+  let stride = (n + 7) / 8 in
+  let need = n * stride in
+  if Bytes.length buf.cb_bits < need then
+    buf.cb_bits <- Bytes.make (max need (2 * Bytes.length buf.cb_bits)) '\000'
+  else Bytes.fill buf.cb_bits 0 need '\000';
+  if Array.length buf.cb_indeg < n then begin
+    buf.cb_indeg <- Array.make n 0;
+    buf.cb_queue <- Array.make n 0
+  end;
+  let bits = buf.cb_bits in
+  let indeg = buf.cb_indeg and queue = buf.cb_queue in
+  Array.fill indeg 0 n 0;
+  for u = 0 to n - 1 do
+    List.iter (fun v -> indeg.(v) <- indeg.(v) + 1) g.succ.(u)
+  done;
+  (* FIFO Kahn over the scratch queue; [queue.(0 .. filled-1)] ends up
+     holding a topological order. *)
+  let filled = ref 0 in
+  for u = 0 to n - 1 do
+    if indeg.(u) = 0 then begin
+      queue.(!filled) <- u;
+      incr filled
+    end
+  done;
+  let head = ref 0 in
+  while !head < !filled do
+    let u = queue.(!head) in
+    incr head;
+    List.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then begin
+          queue.(!filled) <- v;
+          incr filled
+        end)
+      g.succ.(u)
+  done;
+  if !filled <> n then ignore (topological_order g : int array);
+  let set_bit u v =
+    let off = (u * stride) + (v lsr 3) in
+    Bytes.unsafe_set bits off
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get bits off) lor (1 lsl (v land 7))))
+  in
+  let or_row ~into ~from =
+    let a = into * stride and b = from * stride in
+    for i = 0 to stride - 1 do
+      Bytes.unsafe_set bits (a + i)
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get bits (a + i))
+           lor Char.code (Bytes.unsafe_get bits (b + i))))
+    done
+  in
+  for i = n - 1 downto 0 do
+    let u = queue.(i) in
+    set_bit u u;
+    List.iter (fun v -> or_row ~into:u ~from:v) g.succ.(u)
+  done;
+  { cn = n; stride; bits }
+
 let in_closure c u v =
   if u < 0 || u >= c.cn || v < 0 || v >= c.cn then
     invalid_arg "Graph.in_closure: node out of range";

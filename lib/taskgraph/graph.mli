@@ -76,6 +76,20 @@ val closure : t -> closure
 (** Snapshot of the graph's reachability relation. Raises {!Cycle} on
     cyclic graphs. The snapshot does not follow later edge insertions. *)
 
+type closure_buf
+(** Reusable backing store for {!closure_with} — the bitset plus the
+    Kahn scratch arrays, grown on demand and recycled across calls so a
+    restart loop can take one closure per iteration without touching
+    the minor heap. *)
+
+val make_closure_buf : unit -> closure_buf
+
+val closure_with : closure_buf -> t -> closure
+(** Like {!closure}, but (re)using [buf]'s storage. The returned
+    closure {e aliases} the buffer: it is only valid until the next
+    [closure_with] call on the same buffer. Answers are identical to
+    {!closure}'s. *)
+
 val in_closure : closure -> int -> int -> bool
 (** [in_closure c u v] iff [v] was reachable from [u] (including
     [u = v]) when the closure was taken; agrees with
