@@ -218,10 +218,50 @@ let check_batch v j =
     note v "batch: x%.2f instances/s vs one-at-a-time at jobs=%d" s jobs
   | _ -> ()
 
+(* The move kernel's contract mirrors the iteration section's: zero
+   divergence from the from-scratch oracle (bit-identity is the whole
+   point of keeping the boxed pipeline around), the LNS driver never
+   worse than PA-R at equal wall budget, and optionally a floor on the
+   move-evaluation speedup against the full re-evaluation pipeline. *)
+let check_moves ?min_move_speedup v j =
+  each_group j ~list_field:"groups" (fun g ->
+      let tasks = Option.value ~default:(-1) (get_int [ "tasks" ] g) in
+      (match get_int [ "divergences" ] g with
+      | Some d when d > 0 ->
+        fail v "moves: %d-task group has %d incremental/oracle divergence(s)"
+          tasks d
+      | _ -> ());
+      if get_bool [ "lns_not_worse" ] g = Some false then
+        fail v
+          "moves: %d-task group LNS makespan worse than PA-R at equal budget"
+          tasks);
+  if get_bool [ "all_agree" ] j <> Some true then
+    fail v "moves: all_agree is not true";
+  if get_bool [ "lns_never_worse" ] j <> Some true then
+    fail v "moves: lns_never_worse is not true";
+  (match get_int [ "divergences" ] j with
+  | Some 0 -> ()
+  | Some d -> fail v "moves: %d divergence(s) recorded" d
+  | None -> fail v "moves: no divergence count recorded");
+  match (min_move_speedup, get_float [ "min_speedup" ] j) with
+  | None, Some s ->
+    note v "moves: min move-evaluation speedup x%.2f vs the full pipeline" s
+  | None, None -> ()
+  | Some floor, Some s ->
+    if s < floor then
+      fail v "moves: min move-evaluation speedup x%.2f below required x%.2f" s
+        floor
+    else
+      note v "moves: min move-evaluation speedup x%.2f (>= x%.2f)" s floor
+  | Some floor, None ->
+    fail v "moves: no min_speedup recorded but a x%.2f floor was required"
+      floor
+
 (* Sections [check] knows how to audit, with their guard functions.
    Missing sections are skipped with a note (a partial run can still be
    checked) unless [require_all] is set. *)
-let checkable_sections ~min_cores ~min_speedup ~max_minor_words_per_iter =
+let checkable_sections ~min_cores ~min_speedup ~max_minor_words_per_iter
+    ~min_move_speedup =
   [
     ("parallel", check_parallel ~min_cores ~min_speedup);
     ("iteration", check_iteration ?max_minor_words_per_iter);
@@ -229,10 +269,11 @@ let checkable_sections ~min_cores ~min_speedup ~max_minor_words_per_iter =
     ("milp", check_milp);
     ("floorplan", check_floorplan);
     ("faults", check_faults);
+    ("moves", check_moves ?min_move_speedup);
   ]
 
 let check ?run ?min_cores ?min_speedup ?max_minor_words_per_iter
-    ?(require_all = false) () =
+    ?min_move_speedup ?(require_all = false) () =
   let r = Run_store.find run in
   (match (run, r) with
   | Some arg, None ->
@@ -248,7 +289,8 @@ let check ?run ?min_cores ?min_speedup ?max_minor_words_per_iter
       | Error e ->
         if require_all then fail v "%s: %s" section e
         else note v "%s: skipped (%s)" section e)
-    (checkable_sections ~min_cores ~min_speedup ~max_minor_words_per_iter);
+    (checkable_sections ~min_cores ~min_speedup ~max_minor_words_per_iter
+       ~min_move_speedup);
   finish ~label:"check" v
 
 (* ------------------------------------------------------------------ *)
@@ -300,11 +342,35 @@ let verdict_flags =
     ("floorplan", [ "makespans_never_worse" ]);
     ("faults", [ "sw_policies_full_recovery" ]);
     ("faults", [ "all_valid" ]);
+    ("moves", [ "all_agree" ]);
+    ("moves", [ "lns_never_worse" ]);
   ]
 
 let compare_runs (a : Run_store.run) (b : Run_store.run) =
   let load r section = Run_store.load_section (Some r) section in
   let v = new_verdicts () in
+  (* Coverage audit first: a comparison that silently matches zero
+     sections reads as "no regressions" when it actually compared
+     nothing. Partial overlap is explicitly noted; empty overlap is a
+     failure. *)
+  let sa = Run_store.sections_present a
+  and sb = Run_store.sections_present b in
+  let only_a = List.filter (fun s -> not (List.mem s sb)) sa
+  and only_b = List.filter (fun s -> not (List.mem s sa)) sb in
+  let shared = List.filter (fun s -> List.mem s sb) sa in
+  if only_a <> [] then
+    note v "WARNING: section(s) only in %s: %s" a.Run_store.id
+      (String.concat ", " only_a);
+  if only_b <> [] then
+    note v "WARNING: section(s) only in %s: %s" b.Run_store.id
+      (String.concat ", " only_b);
+  if shared = [] && (sa <> [] || sb <> []) then
+    fail v
+      "runs share no section logs (%s: %s | %s: %s) — nothing was compared"
+      a.Run_store.id
+      (if sa = [] then "none" else String.concat ", " sa)
+      b.Run_store.id
+      (if sb = [] then "none" else String.concat ", " sb);
   let group_deltas = ref [] in
   (match (load a "parallel", load b "parallel") with
   | Ok ja, Ok jb ->
@@ -415,6 +481,10 @@ let compare_runs (a : Run_store.run) (b : Run_store.run) =
         ("schema", Json.String "resched-bench-ab/1");
         ("run_a", Json.String a.Run_store.id);
         ("run_b", Json.String b.Run_store.id);
+        ( "sections_only_a",
+          Json.List (List.map (fun s -> Json.String s) only_a) );
+        ( "sections_only_b",
+          Json.List (List.map (fun s -> Json.String s) only_b) );
         ("groups", Json.List (List.rev !group_deltas));
         ("sections_gc", Json.List (List.rev !gc_deltas));
         ( "divergences",

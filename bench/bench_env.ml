@@ -33,6 +33,14 @@
                                          the LP kernel comparison
      RESCHED_FAULT_TRIALS        [100]   Monte-Carlo trials per (schedule,
                                          policy) in the fault campaign
+     RESCHED_MOVES_PER_INSTANCE  [400]   timed move applications per
+                                         instance in the delta-kernel
+                                         moves/s comparison
+     RESCHED_LNS_BUDGET_MS       [1000]  total wall budget per instance for
+                                         the LNS-vs-PA-R equal-budget
+                                         comparison (PA-R gets all of it;
+                                         the LNS arm splits it half
+                                         seeding, half polishing)
      RESCHED_OUT_DIR             [bench_out] where CSV series and run
                                          directories are written
      RESCHED_BECHAMEL            [unset] set to 1 to also run the Bechamel
@@ -95,6 +103,8 @@ let milp_time_limit =
 
 let milp_lp_repeats = Stdlib.max 1 (env_int "RESCHED_MILP_LP_REPEATS" 30)
 let fault_trials = Stdlib.max 1 (env_int "RESCHED_FAULT_TRIALS" 100)
+let moves_per_instance = Stdlib.max 50 (env_int "RESCHED_MOVES_PER_INSTANCE" 400)
+let lns_budget = float_of_int (env_int "RESCHED_LNS_BUDGET_MS" 1000) /. 1000.
 
 let out_dir =
   match Sys.getenv_opt "RESCHED_OUT_DIR" with Some d -> d | None -> "bench_out"

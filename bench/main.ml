@@ -118,20 +118,31 @@ let max_minor_words_arg =
     & opt (some float) None
     & info [ "max-minor-words-per-iter" ] ~docv:"W" ~doc)
 
+let min_move_speedup_arg =
+  let doc =
+    "Fail unless the recorded move-kernel speedup over the full \
+     re-evaluation pipeline is at least this on every task group."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "min-move-speedup" ] ~docv:"X" ~doc)
+
 let require_all_arg =
   let doc = "Fail if any checkable section log is missing." in
   Arg.(value & flag & info [ "require-all" ] ~doc)
 
 let check_cmd =
   let doc = "Audit a run's recorded logs (the CI release gate)." in
-  let f run min_cores min_speedup max_minor_words_per_iter require_all =
+  let f run min_cores min_speedup max_minor_words_per_iter min_move_speedup
+      require_all =
     Ab.check ?run ?min_cores ?min_speedup ?max_minor_words_per_iter
-      ~require_all ()
+      ?min_move_speedup ~require_all ()
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const f $ check_run_arg $ min_cores_arg $ min_speedup_arg
-      $ max_minor_words_arg $ require_all_arg)
+      $ max_minor_words_arg $ min_move_speedup_arg $ require_all_arg)
 
 let champions_cmd =
   let doc = "Print the best-known PA-R results per task group." in

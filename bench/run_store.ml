@@ -169,6 +169,20 @@ let find = function
 
 let load_manifest r = Json.parse_file (manifest_path r)
 
+(* The section logs actually present in a run directory (sans the
+   manifest), for comparing two runs' coverage before comparing their
+   numbers. *)
+let sections_present r =
+  match Sys.readdir r.dir with
+  | exception Sys_error _ -> []
+  | files ->
+    Array.to_list files
+    |> List.filter_map (fun f ->
+           if Filename.check_suffix f ".json" && f <> "manifest.json" then
+             Some (Filename.chop_suffix f ".json")
+           else None)
+    |> List.sort String.compare
+
 (* A section log for [r], falling back to the legacy repo-root file so
    [check] also works right after a bare `bench run` with no run dir
    (or on a checkout that only has the committed BENCH_*.json). *)

@@ -322,6 +322,93 @@ let schedule_cmd =
       $ jobs_arg $ gantt $ save $ svg_gantt $ svg_floorplan)
 
 (* ------------------------------------------------------------------ *)
+(* optimize                                                            *)
+
+let optimize path seed_budget_ms polish_budget_ms reuse seed jobs gantt save =
+  let inst = load_instance path in
+  (* one verdict-transparent cache spans seeding and polishing, so the
+     move kernel's re-queries hit the PA-R run's stored verdicts *)
+  let cache = Resched_floorplan.Fp_cache.create ~subsumption:false () in
+  let t0 = Unix.gettimeofday () in
+  let seed_sched =
+    run_algo A_par ~cache
+      ~budget_s:(float_of_int seed_budget_ms /. 1000.)
+      ~reuse ~seed ~jobs inst
+  in
+  let seed_elapsed = Unix.gettimeofday () -. t0 in
+  check_or_die "seed schedule" seed_sched;
+  let config =
+    { Resched_core.Delta.default_config with
+      Resched_core.Delta.cache = Some cache }
+  in
+  let outcome =
+    Resched_core.Lns.polish ~config ~seed
+      ~budget_seconds:(float_of_int polish_budget_ms /. 1000.)
+      seed_sched
+  in
+  let final =
+    match outcome.Resched_core.Lns.schedule with
+    | Some s -> s
+    | None -> seed_sched (* feasible seed: polish can only keep or improve *)
+  in
+  check_or_die "polished schedule" final;
+  let st = outcome.Resched_core.Lns.stats in
+  Format.printf "%a@." Schedule.pp_summary final;
+  Format.printf "%a@." Metrics.pp (Metrics.compute final);
+  Printf.printf "seed (pa-r, %.3fs): makespan %d\n" seed_elapsed
+    (Schedule.makespan seed_sched);
+  Printf.printf
+    "polish (lns, %.3fs): makespan %d; %d proposed, %d applied, %d accepted, \
+     %d improvement(s), %.0f moves/s\n"
+    st.Resched_core.Lns.elapsed
+    (Schedule.makespan final)
+    st.Resched_core.Lns.proposed st.Resched_core.Lns.applied
+    st.Resched_core.Lns.accepted st.Resched_core.Lns.improvements
+    (float_of_int st.Resched_core.Lns.proposed
+    /. Stdlib.max 1e-9 st.Resched_core.Lns.elapsed);
+  if gantt then begin
+    print_newline ();
+    Gantt.print final
+  end;
+  (match save with
+  | Some out ->
+    Resched_core.Schedule_io.save out final;
+    Printf.printf "schedule written to %s\n" out
+  | None -> ());
+  0
+
+let optimize_cmd =
+  let seed_budget =
+    let doc = "Time budget for the PA-R seeding phase, in milliseconds." in
+    Arg.(value & opt int 500 & info [ "seed-budget-ms" ] ~docv:"MS" ~doc)
+  in
+  let polish_budget =
+    let doc = "Time budget for the LNS polish phase, in milliseconds." in
+    Arg.(value & opt int 500 & info [ "polish-budget-ms" ] ~docv:"MS" ~doc)
+  in
+  let reuse =
+    let doc = "Enable module reuse." in
+    Arg.(value & flag & info [ "module-reuse" ] ~doc)
+  in
+  let gantt =
+    let doc = "Print an ASCII Gantt chart." in
+    Arg.(value & flag & info [ "gantt" ] ~doc)
+  in
+  let save =
+    let doc = "Write the full schedule (instance + decisions) to FILE." in
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "schedule an instance with PA-R, then polish it with delta-evaluated \
+     neighborhood search"
+  in
+  Cmd.v (Cmd.info "optimize" ~doc)
+    Term.(
+      const (fun () -> optimize)
+      $ verbose_arg $ instance_arg $ seed_budget $ polish_budget $ reuse
+      $ seed_arg $ jobs_arg $ gantt $ save)
+
+(* ------------------------------------------------------------------ *)
 (* replay                                                              *)
 
 let replay_jitter sched trials jitter_pct delays_only seed =
@@ -760,8 +847,8 @@ let () =
   let info = Cmd.info "fpga_sched" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ generate_cmd; show_cmd; schedule_cmd; replay_cmd; compare_cmd;
-        suite_cmd; batch_cmd ]
+      [ generate_cmd; show_cmd; schedule_cmd; optimize_cmd; replay_cmd;
+        compare_cmd; suite_cmd; batch_cmd ]
   in
   (* [~catch:false] so operational failures surface as one-line errors
      with our exit codes instead of cmdliner's backtrace dump. *)

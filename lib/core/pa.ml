@@ -108,11 +108,12 @@ type stats = {
   floorplanning_seconds : float;
 }
 
-(* Region tasks ordered by resolved start: a stable insertion sort over
-   a borrowed (or, for plain states, local) scratch array replaces the
-   old per-region [List.sort] — same order (the stdlib's [List.sort] is
-   the stable merge sort), no per-call sort allocations beyond the
-   result list the [Schedule.region] needs anyway. *)
+(* Region tasks ordered by resolved start: a stable insertion sort
+   ({!Resched_util.Sort}) over a borrowed (or, for plain states, local)
+   scratch array replaces the old per-region [List.sort] — same order
+   (the stdlib's [List.sort] is the stable merge sort), no per-call sort
+   allocations beyond the result list the [Schedule.region] needs
+   anyway. *)
 let ordered_tasks state (task_start : int array) (r : State.region) =
   let k = List.length r.State.tasks in
   let arr =
@@ -126,16 +127,8 @@ let ordered_tasks state (task_start : int array) (r : State.region) =
       arr.(!i) <- u;
       incr i)
     r.State.tasks;
-  for j = 1 to k - 1 do
-    let v = arr.(j) in
-    let key = task_start.(v) in
-    let p = ref (j - 1) in
-    while !p >= 0 && task_start.(arr.(!p)) > key do
-      arr.(!p + 1) <- arr.(!p);
-      decr p
-    done;
-    arr.(!p + 1) <- v
-  done;
+  Resched_util.Sort.by_int_key arr ~base:0 ~len:k ~key:(fun v ->
+      task_start.(v));
   let rec build i acc =
     if i < 0 then acc else build (i - 1) (arr.(i) :: acc)
   in

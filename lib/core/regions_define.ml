@@ -178,26 +178,14 @@ let run_scratch ?module_reuse ~ordering state scratch =
     end
   done;
   let nnc = !nnc in
-  (* Stable insertion sort of [base .. base+len) by a precomputed float
-     key; [desc] gives the descending order By_efficiency wants. *)
+  (* Stable insertion sort ({!Resched_util.Sort}) of [base .. base+len)
+     by a precomputed float key; [desc] gives the descending order
+     By_efficiency wants. *)
   let sort_segment ~base ~len ~desc key_of =
     for i = base to base + len - 1 do
       keys.(i) <- key_of tasks.(i)
     done;
-    for j = base + 1 to base + len - 1 do
-      let v = tasks.(j) and kv = keys.(j) in
-      let p = ref (j - 1) in
-      while
-        !p >= base
-        && (if desc then keys.(!p) < kv else keys.(!p) > kv)
-      do
-        tasks.(!p + 1) <- tasks.(!p);
-        keys.(!p + 1) <- keys.(!p);
-        decr p
-      done;
-      tasks.(!p + 1) <- v;
-      keys.(!p + 1) <- kv
-    done
+    Resched_util.Sort.by_float_keys tasks keys ~base ~len ~desc
   in
   let efficiency u = Cost.efficiency state.State.cost (State.impl state u) in
   let cost u = Cost.cost state.State.cost (State.impl state u) in

@@ -195,10 +195,10 @@ let insert_region_edges t ~task region =
   (* The region is exclusive: order its tasks by their window starts and
      chain the new task between its neighbours. The former
      [List.sort (by t_min) (task :: region.tasks)] is replaced by a
-     stable insertion sort over a reused scratch array — bit-identical
-     order (the stdlib's [List.sort] is the stable merge sort, and
-     insertion sort preserves ties the same way) without the per-call
-     sort allocations. *)
+     stable insertion sort ({!Resched_util.Sort}) over a reused scratch
+     array — bit-identical order (the stdlib's [List.sort] is the stable
+     merge sort, and insertion sort preserves ties the same way) without
+     the per-call sort allocations. *)
   let k = List.length region.tasks in
   let arr =
     match t.scratch with
@@ -212,16 +212,7 @@ let insert_region_edges t ~task region =
       arr.(!i) <- u;
       incr i)
     region.tasks;
-  for j = 1 to k do
-    let v = arr.(j) in
-    let key = t_min t v in
-    let p = ref (j - 1) in
-    while !p >= 0 && t_min t arr.(!p) > key do
-      arr.(!p + 1) <- arr.(!p);
-      decr p
-    done;
-    arr.(!p + 1) <- v
-  done;
+  Resched_util.Sort.by_int_key arr ~base:0 ~len:(k + 1) ~key:(t_min t);
   let pos = ref 0 in
   while arr.(!pos) <> task do
     incr pos

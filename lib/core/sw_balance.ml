@@ -95,16 +95,8 @@ let run_scratch state scratch =
     end
   done;
   let count = !count in
-  for j = 1 to count - 1 do
-    let v = cand.(j) in
-    let key = State.t_min state v in
-    let p = ref (j - 1) in
-    while !p >= 0 && State.t_min state cand.(!p) > key do
-      cand.(!p + 1) <- cand.(!p);
-      decr p
-    done;
-    cand.(!p + 1) <- v
-  done;
+  Resched_util.Sort.by_int_key cand ~base:0 ~len:count
+    ~key:(State.t_min state);
   for j = 0 to count - 1 do
     let task = cand.(j) in
     let budget = tot_rec_time state in

@@ -66,16 +66,8 @@ let run ?(incremental = true) state =
           incr count
         end
       done;
-      for j = 1 to !count - 1 do
-        let v = arr.(j) in
-        let key = State.t_min state v in
-        let p = ref (j - 1) in
-        while !p >= 0 && State.t_min state arr.(!p) > key do
-          arr.(!p + 1) <- arr.(!p);
-          decr p
-        done;
-        arr.(!p + 1) <- v
-      done;
+      Resched_util.Sort.by_int_key arr ~base:0 ~len:!count
+        ~key:(State.t_min state);
       (arr, !count)
     | None ->
       let l =

@@ -100,13 +100,18 @@ type t = {
   l1_key : l1 Domain.DLS.key;
   l1s : l1 list ref;  (* every domain's memo, for [stats] *)
   l1s_lock : Mutex.t;
+  dk_memo : (Device.t * string) option Atomic.t;
+      (* last device key, by physical identity — building the key hashes
+         the device geometry, far too slow for the per-move query rate
+         of the delta kernel (a benign race: both sides write equal
+         values for equal devices) *)
 }
 
 let antichain_cap = 64
 
 let default_stripes = 16
 
-let default_l1_capacity = 512
+let default_l1_capacity = 4096
 
 let create ?(stripes = default_stripes) ?(l1_capacity = default_l1_capacity)
     ?(subsumption = true) ?debug () =
@@ -157,6 +162,7 @@ let create ?(stripes = default_stripes) ?(l1_capacity = default_l1_capacity)
     l1_key;
     l1s;
     l1s_lock;
+    dk_memo = Atomic.make None;
   }
 
 let epoch t = Atomic.get t.epoch
@@ -265,20 +271,33 @@ let canonicalize needs =
   let sorted = Array.map (fun i -> needs.(i)) order in
   (sorted, order)
 
+(* Decimal digits straight into the buffer: [string_of_int] would
+   allocate three short strings per need, a real cost at the query rate
+   the delta kernel drives this path at. *)
+let rec buf_int buf n =
+  if n < 0 then begin
+    Buffer.add_char buf '-';
+    buf_int buf (-n)
+  end
+  else begin
+    if n >= 10 then buf_int buf (n / 10);
+    Buffer.add_char buf (Char.unsafe_chr (Char.code '0' + (n mod 10)))
+  end
+
 let needs_key ~engine ~node_limit sorted =
   let buf = Buffer.create 64 in
   Buffer.add_char buf (engine_tag engine);
   (match node_limit with
   | None -> Buffer.add_char buf '*'
-  | Some l -> Buffer.add_string buf (string_of_int l));
+  | Some l -> buf_int buf l);
   Array.iter
     (fun (r : Resource.t) ->
       Buffer.add_char buf '|';
-      Buffer.add_string buf (string_of_int r.Resource.clb);
+      buf_int buf r.Resource.clb;
       Buffer.add_char buf '.';
-      Buffer.add_string buf (string_of_int r.Resource.bram);
+      buf_int buf r.Resource.bram;
       Buffer.add_char buf '.';
-      Buffer.add_string buf (string_of_int r.Resource.dsp))
+      buf_int buf r.Resource.dsp)
     sorted;
   Buffer.contents buf
 
@@ -474,7 +493,14 @@ let check t ?(engine = Floorplanner.Backtracking) ?node_limit device needs =
     Floorplanner.check ~engine ?node_limit device needs
   else begin
     let t0 = Unix.gettimeofday () in
-    let dk = device_key device in
+    let dk =
+      match Atomic.get t.dk_memo with
+      | Some (d, k) when d == device -> k
+      | _ ->
+        let k = device_key device in
+        Atomic.set t.dk_memo (Some (device, k));
+        k
+    in
     let sorted, order = canonicalize needs in
     let key = fused_key dk (needs_key ~engine ~node_limit sorted) in
     let l1 = if t.l1_capacity > 0 then Some (get_l1 t) else None in

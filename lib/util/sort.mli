@@ -1,0 +1,23 @@
+(** In-place stable insertion sorts over borrowed scratch segments.
+
+    One shared implementation of the allocation-free sorting loop the
+    scheduler's restart kernel uses wherever it used to [List.sort] per
+    iteration. Both sorts are {e stable}: elements with equal keys keep
+    their input order, exactly like the stdlib's stable merge sorts, so
+    swapping a call site onto this module cannot reorder ties. *)
+
+val by_int_key : int array -> base:int -> len:int -> key:(int -> int) -> unit
+(** [by_int_key arr ~base ~len ~key] stably sorts the segment
+    [arr.(base) .. arr.(base + len - 1)] in place, ascending by
+    [key element]. [key] may be re-evaluated on comparisons; it must be
+    pure for the duration of the call. Elements outside the segment are
+    untouched. *)
+
+val by_float_keys :
+  int array -> float array -> base:int -> len:int -> desc:bool -> unit
+(** [by_float_keys arr keys ~base ~len ~desc] stably sorts the segment
+    [arr.(base) ..] of length [len] by the precomputed parallel keys in
+    [keys.(base) ..] (the caller fills [keys.(j)] with the key of
+    [arr.(j)] before the call), moving the keys alongside the elements.
+    Ascending by default, descending with [desc:true] (ties keep input
+    order in both directions). *)

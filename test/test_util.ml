@@ -372,6 +372,57 @@ let prop_percentile_monotone =
       let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
       Stats.percentile a lo <= Stats.percentile a hi +. 1e-9)
 
+(* --- Sort (the shared in-place insertion sorts) -------------------- *)
+
+(* Elements carry a distinct id next to a many-collision key
+   ([v = key * 1024 + id]) so stability is observable on plain ints. *)
+let prop_sort_by_int_key_segment =
+  QCheck.Test.make ~count:200
+    ~name:"Sort.by_int_key sorts exactly [base, base+len) and is stable"
+    QCheck.(triple (list small_nat) small_nat small_nat)
+    (fun (l, b, len) ->
+      let arr = Array.of_list (List.mapi (fun i k -> ((k mod 5) * 1024) + i) l) in
+      let n = Array.length arr in
+      let base = if n = 0 then 0 else b mod n in
+      let len = Stdlib.min len (n - base) in
+      let before = Array.copy arr in
+      let key v = v / 1024 in
+      let expected =
+        List.stable_sort
+          (fun a b -> compare (key a) (key b))
+          (Array.to_list (Array.sub before base len))
+      in
+      Resched_util.Sort.by_int_key arr ~base ~len ~key;
+      let outside_ok = ref true in
+      for i = 0 to n - 1 do
+        if (i < base || i >= base + len) && arr.(i) <> before.(i) then
+          outside_ok := false
+      done;
+      !outside_ok
+      && List.equal Int.equal expected (Array.to_list (Array.sub arr base len)))
+
+let prop_sort_by_float_keys =
+  QCheck.Test.make ~count:200
+    ~name:"Sort.by_float_keys matches stable_sort, both directions"
+    QCheck.(pair (list small_nat) bool)
+    (fun (l, desc) ->
+      let n = List.length l in
+      let arr = Array.of_list (List.mapi (fun i k -> ((k mod 7) * 1024) + i) l) in
+      let key v = float_of_int (v / 1024) in
+      let keys = Array.map key arr in
+      let expected =
+        List.stable_sort
+          (fun a b ->
+            let c = compare (key a) (key b) in
+            if desc then -c else c)
+          (Array.to_list arr)
+      in
+      Resched_util.Sort.by_float_keys arr keys ~base:0 ~len:n ~desc;
+      (* the key array is permuted alongside the values *)
+      let keys_ok = ref true in
+      Array.iteri (fun i v -> if keys.(i) <> key v then keys_ok := false) arr;
+      !keys_ok && List.equal Int.equal expected (Array.to_list arr))
+
 let () =
   Alcotest.run "util"
     [
@@ -444,6 +495,11 @@ let () =
           Alcotest.test_case "errors and non-finite" `Quick
             test_json_errors_and_nonfinite;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "sort",
+        [
+          QCheck_alcotest.to_alcotest prop_sort_by_int_key_segment;
+          QCheck_alcotest.to_alcotest prop_sort_by_float_keys;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_percentile_monotone ]);
     ]
