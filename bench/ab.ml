@@ -257,6 +257,42 @@ let check_moves ?min_move_speedup v j =
     fail v "moves: no min_speedup recorded but a x%.2f floor was required"
       floor
 
+(* The serve section's robustness contract: under every offered load
+   the admission-queue bound held, no response arrived after its
+   deadline plus the recorded slack, every schedule that left the
+   server validated, and the sequential identity pass matched the
+   offline solver bit-for-bit. Shed counts and tail latencies are
+   informational — overload is supposed to shed, loudly. *)
+let check_serve v j =
+  each_group j ~list_field:"loads" (fun g ->
+      let load = Option.value ~default:(-1) (get_int [ "load" ] g) in
+      (match get_int [ "overruns" ] g with
+      | Some o when o > 0 ->
+        fail v "serve: %d deadline overrun(s) at load %dx" o load
+      | _ -> ());
+      (match get_int [ "invalid_schedules" ] g with
+      | Some i when i > 0 ->
+        fail v "serve: %d invalid schedule(s) served at load %dx" i load
+      | _ -> ());
+      if get_bool [ "queue_bound_ok" ] g = Some false then
+        fail v "serve: admission-queue bound exceeded at load %dx" load;
+      match
+        ( get_int [ "shed"; "queue_full" ] g,
+          get_float [ "p99_ms" ] g )
+      with
+      | Some shed, Some p99 ->
+        note v "serve: load %dx shed %d (queue_full), p99 %.1f ms" load shed
+          p99
+      | _ -> ());
+  if get_bool [ "zero_overruns" ] j <> Some true then
+    fail v "serve: zero_overruns is not true";
+  if get_bool [ "zero_invalid" ] j <> Some true then
+    fail v "serve: zero_invalid is not true";
+  if get_bool [ "queue_bound_ok" ] j <> Some true then
+    fail v "serve: queue_bound_ok is not true";
+  if get_bool [ "identity_ok" ] j <> Some true then
+    fail v "serve: served responses diverged from the offline solver"
+
 (* Sections [check] knows how to audit, with their guard functions.
    Missing sections are skipped with a note (a partial run can still be
    checked) unless [require_all] is set. *)
@@ -266,6 +302,7 @@ let checkable_sections ~min_cores ~min_speedup ~max_minor_words_per_iter
     ("parallel", check_parallel ~min_cores ~min_speedup);
     ("iteration", check_iteration ?max_minor_words_per_iter);
     ("batch", check_batch);
+    ("serve", check_serve);
     ("milp", check_milp);
     ("floorplan", check_floorplan);
     ("faults", check_faults);
@@ -335,6 +372,10 @@ let verdict_flags =
     ("iteration", [ "all_identical" ]);
     ("iteration", [ "never_worse" ]);
     ("batch", [ "all_identical" ]);
+    ("serve", [ "zero_overruns" ]);
+    ("serve", [ "zero_invalid" ]);
+    ("serve", [ "queue_bound_ok" ]);
+    ("serve", [ "identity_ok" ]);
     ("milp", [ "engines_agree" ]);
     ("milp", [ "never_worse" ]);
     ("milp", [ "lp_kernel"; "all_agree" ]);

@@ -41,6 +41,13 @@
                                          comparison (PA-R gets all of it;
                                          the LNS arm splits it half
                                          seeding, half polishing)
+     RESCHED_SERVE_REQUESTS      [24]    requests per offered-load level in
+                                         the serve section
+     RESCHED_SERVE_ITER          [200]   restart budget per serve request
+     RESCHED_SERVE_TASKS         [30]    task count of the serve section's
+                                         instances
+     RESCHED_SERVE_CAPACITY      [8]     admission-queue capacity of the
+                                         bench server
      RESCHED_OUT_DIR             [bench_out] where CSV series and run
                                          directories are written
      RESCHED_BECHAMEL            [unset] set to 1 to also run the Bechamel
@@ -105,6 +112,10 @@ let milp_lp_repeats = Stdlib.max 1 (env_int "RESCHED_MILP_LP_REPEATS" 30)
 let fault_trials = Stdlib.max 1 (env_int "RESCHED_FAULT_TRIALS" 100)
 let moves_per_instance = Stdlib.max 50 (env_int "RESCHED_MOVES_PER_INSTANCE" 400)
 let lns_budget = float_of_int (env_int "RESCHED_LNS_BUDGET_MS" 1000) /. 1000.
+let serve_requests = Stdlib.max 4 (env_int "RESCHED_SERVE_REQUESTS" 24)
+let serve_iter = Stdlib.max 1 (env_int "RESCHED_SERVE_ITER" 200)
+let serve_tasks = Stdlib.max 5 (env_int "RESCHED_SERVE_TASKS" 30)
+let serve_capacity = Stdlib.max 2 (env_int "RESCHED_SERVE_CAPACITY" 8)
 
 let out_dir =
   match Sys.getenv_opt "RESCHED_OUT_DIR" with Some d -> d | None -> "bench_out"

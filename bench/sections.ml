@@ -40,6 +40,10 @@ module Repair = Resched_core.Repair
 module Delta = Resched_core.Delta
 module Lns = Resched_core.Lns
 module Campaign = Resched_sim.Campaign
+module Schedule_io = Resched_core.Schedule_io
+module Plat_io = Resched_platform.Io
+module Serve_protocol = Resched_serve.Protocol
+module Serve_server = Resched_serve.Server
 
 open Bench_env
 
@@ -1501,6 +1505,385 @@ let batch_comparison () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Serve: the resident daemon under 1x/2x/4x offered load              *)
+
+type serve_row = {
+  sv_load : int;
+  sv_interarrival_ms : float;
+  sv_accepted : int;
+  sv_completed : int;
+  sv_failed : int;
+  sv_shed : (string * int) list;  (* reason -> count, protocol order *)
+  sv_degrade : int array;  (* completions per rung 0..2 *)
+  sv_p50_ms : float;
+  sv_p95_ms : float;
+  sv_p99_ms : float;
+  sv_max_ms : float;
+  sv_overruns : int;
+  sv_invalid : int;
+  sv_max_depth : int;
+}
+
+(* The service layer under deterministic overload: one server per
+   offered-load level (1x, 2x, 4x the calibrated service capacity),
+   a paced submitter on pool worker 0 and the remaining workers in
+   [work_loop] — the exact topology of [fpga_sched serve]. The gates
+   downstream ([check]) hold the recorded run to zero deadline
+   overruns, zero invalid schedules, the queue bound, and served =
+   offline bit-identity. *)
+let serve_comparison () =
+  print_endline "";
+  let n = serve_requests in
+  let iters = serve_iter in
+  let capacity = serve_capacity in
+  let jobs = par_jobs in
+  let serving_width = Stdlib.max 1 (jobs - 1) in
+  let rng = Rng.create (seed lxor 0x5e17e) in
+  let insts = Array.init n (fun _ -> Suite.instance rng ~tasks:serve_tasks) in
+  let texts = Array.map Plat_io.to_string insts in
+  Printf.printf
+    "== Serve: %d requests per load at 1x/2x/4x offered load, %d worker(s) \
+     (%d serving), capacity %d, %d restarts/request ==\n"
+    n jobs serving_width capacity iters;
+  let fresh_cache () = Fp_cache.create ~subsumption:false () in
+  (* Calibrate the nominal per-request service time on this host (warm
+     run first: arena growth and code paging stay out of the estimate). *)
+  let offline i =
+    Pa_random.run ~seed:(seed + i) ~min_iterations:iters
+      ~cache:(fresh_cache ()) ~budget_seconds:0. insts.(i)
+  in
+  ignore (offline 0);
+  let service_s =
+    let k = Stdlib.min 4 n in
+    let _, s = timed (fun () -> for i = 0 to k - 1 do ignore (offline i) done) in
+    Float.max 1e-4 (s /. float_of_int k)
+  in
+  (* Deadline: generous against the worst queueing delay the bound
+     allows, so overruns can only come from a broken cancellation
+     contract, not from honest queueing. *)
+  let deadline_s =
+    Float.max 0.25 (service_s *. float_of_int (4 * capacity))
+  in
+  let deadline_ms = int_of_float (Float.ceil (deadline_s *. 1000.)) in
+  Printf.printf "  calibrated service time %.1f ms, deadline %d ms\n%!"
+    (service_s *. 1000.) deadline_ms;
+  let pin = Domain_pool.env_pin_default () in
+  let metric_int path m =
+    Option.value ~default:0 (Option.bind (Json.path path m) Json.get_int)
+  in
+  let run_load load =
+    let responses = ref [] in
+    let resp_lock = Mutex.create () in
+    let srv =
+      Serve_server.create
+        ~respond:(fun r ->
+          Mutex.lock resp_lock;
+          responses := r :: !responses;
+          Mutex.unlock resp_lock)
+        (Serve_server.config ~capacity ~slice:16 ())
+    in
+    let interarrival =
+      service_s /. float_of_int (serving_width * load)
+    in
+    let t_start = Unix.gettimeofday () in
+    let submitter () =
+      for i = 0 to n - 1 do
+        let target = t_start +. (float_of_int i *. interarrival) in
+        let rec pace () =
+          let now = Unix.gettimeofday () in
+          if now < target then begin
+            (* The transport loop's poll tick: expirations are noticed
+               even while every worker is busy. *)
+            ignore (Serve_server.sweep_expired srv : int);
+            Unix.sleepf (Float.min 0.002 (target -. now));
+            pace ()
+          end
+        in
+        pace ();
+        Serve_server.submit srv
+          {
+            Serve_protocol.id = Printf.sprintf "%dx-%d" load i;
+            op =
+              Serve_protocol.Schedule
+                ( Serve_protocol.Inline texts.(i),
+                  {
+                    Serve_protocol.tenant =
+                      (if i land 1 = 0 then "even" else "odd");
+                    seed = Some (seed + i);
+                    min_iterations = Some iters;
+                    budget_ms = None;
+                    deadline_ms = Some deadline_ms;
+                    fail_attempts = 0;
+                    emit_schedule = false;
+                  } )
+          }
+      done;
+      Serve_server.close srv
+    in
+    let pool = Domain_pool.Pool.create ~pin ~jobs () in
+    Fun.protect
+      ~finally:(fun () -> Domain_pool.Pool.shutdown pool)
+      (fun () ->
+        ignore
+          (Domain_pool.Pool.map pool (fun w ->
+               if w = 0 then submitter ();
+               Serve_server.work_loop srv)
+            : unit array));
+    let responses = !responses in
+    let completions =
+      List.filter_map
+        (function Serve_protocol.Completed c -> Some c | _ -> None)
+        responses
+    in
+    let lat =
+      Array.of_list
+        (List.map
+           (fun (c : Serve_protocol.completion) ->
+             c.Serve_protocol.c_latency_s *. 1000.)
+           completions)
+    in
+    let pct p = if Array.length lat = 0 then 0. else Stats.percentile lat p in
+    (* Overrun: a response delivered past deadline + one service time of
+       slack — the "deadline + one slice" contract with a margin far
+       above any real slice. *)
+    let overrun_s = deadline_s +. Float.max 0.05 service_s in
+    let overruns =
+      List.length
+        (List.filter
+           (fun (c : Serve_protocol.completion) ->
+             c.Serve_protocol.c_latency_s > overrun_s)
+           completions)
+    in
+    let m = Serve_server.metrics srv in
+    let row =
+      {
+        sv_load = load;
+        sv_interarrival_ms = interarrival *. 1000.;
+        sv_accepted = metric_int [ "requests"; "accepted" ] m;
+        sv_completed = metric_int [ "requests"; "completed" ] m;
+        sv_failed = metric_int [ "requests"; "failed" ] m;
+        sv_shed =
+          List.map
+            (fun r -> (r, metric_int [ "shed"; r ] m))
+            [ "queue_full"; "tenant_quota"; "expired"; "shutting_down" ];
+        sv_degrade =
+          [| metric_int [ "degrade"; "full" ] m;
+             metric_int [ "degrade"; "reduced" ] m;
+             metric_int [ "degrade"; "heuristic" ] m;
+          |];
+        sv_p50_ms = pct 50.;
+        sv_p95_ms = pct 95.;
+        sv_p99_ms = pct 99.;
+        sv_max_ms = (if Array.length lat = 0 then 0. else Stats.max lat);
+        sv_overruns = overruns;
+        sv_invalid = metric_int [ "invalid_schedules" ] m;
+        sv_max_depth = Serve_server.max_queue_depth srv;
+      }
+    in
+    (* Sanity: one response per submission, none silent. *)
+    if List.length responses <> n then
+      failwith
+        (Printf.sprintf "serve: %d responses for %d requests at load %dx"
+           (List.length responses) n load);
+    row
+  in
+  let rows = List.map run_load [ 1; 2; 4 ] in
+  (* Deterministic identity pass: a sequential server (driven by
+     [drain]) must answer bit-identically to the offline solver at the
+     effective budget it reports, across whatever rungs the backlog
+     triggered. *)
+  let id_n = Stdlib.min 6 n in
+  let id_responses = ref [] in
+  let id_srv =
+    Serve_server.create
+      ~respond:(fun r -> id_responses := r :: !id_responses)
+      (Serve_server.config ~capacity:(Stdlib.max 2 id_n) ())
+  in
+  for i = 0 to id_n - 1 do
+    Serve_server.submit id_srv
+      {
+        Serve_protocol.id = string_of_int i;
+        op =
+          Serve_protocol.Schedule
+            ( Serve_protocol.Inline texts.(i),
+              {
+                Serve_protocol.tenant = "identity";
+                seed = Some (seed + i);
+                min_iterations = Some iters;
+                budget_ms = None;
+                deadline_ms = None;
+                fail_attempts = 0;
+                emit_schedule = true;
+              } )
+      }
+  done;
+  Serve_server.close id_srv;
+  Serve_server.drain id_srv;
+  let identity_ok =
+    List.for_all
+      (fun i ->
+        match
+          List.find_opt
+            (fun r -> Serve_protocol.response_id r = string_of_int i)
+            !id_responses
+        with
+        | Some (Serve_protocol.Completed c) -> (
+          let served_text =
+            Option.value ~default:"" c.Serve_protocol.c_schedule
+          in
+          let valid =
+            match Schedule_io.of_string served_text with
+            | Ok s -> Validate.check s = Ok ()
+            | Error _ -> false
+          in
+          valid
+          &&
+          if c.Serve_protocol.c_degrade = 2 then
+            let s = List_sched.run ~cache:(fresh_cache ()) insts.(i) in
+            c.Serve_protocol.c_makespan = Some (Schedule.makespan s)
+            && served_text = Schedule_io.to_string s
+          else
+            let o =
+              Pa_random.run ~seed:(seed + i)
+                ~min_iterations:c.Serve_protocol.c_effective_min_iterations
+                ~cache:(fresh_cache ()) ~budget_seconds:0. insts.(i)
+            in
+            match o.Pa_random.schedule with
+            | Some s ->
+              c.Serve_protocol.c_iterations = o.Pa_random.iterations
+              && c.Serve_protocol.c_makespan = Some (Schedule.makespan s)
+              && served_text = Schedule_io.to_string s
+            | None -> false)
+        | _ -> false)
+      (List.init id_n (fun i -> i))
+  in
+  let t =
+    Table.create
+      [
+        "load"; "arr ms"; "acc"; "done"; "shed q/t/e"; "rung 0/1/2";
+        "p50 ms"; "p95 ms"; "p99 ms"; "overrun"; "maxq";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          Printf.sprintf "%dx" r.sv_load;
+          Printf.sprintf "%.1f" r.sv_interarrival_ms;
+          string_of_int r.sv_accepted;
+          string_of_int r.sv_completed;
+          Printf.sprintf "%d/%d/%d"
+            (List.assoc "queue_full" r.sv_shed)
+            (List.assoc "tenant_quota" r.sv_shed)
+            (List.assoc "expired" r.sv_shed);
+          Printf.sprintf "%d/%d/%d" r.sv_degrade.(0) r.sv_degrade.(1)
+            r.sv_degrade.(2);
+          Printf.sprintf "%.1f" r.sv_p50_ms;
+          Printf.sprintf "%.1f" r.sv_p95_ms;
+          Printf.sprintf "%.1f" r.sv_p99_ms;
+          string_of_int r.sv_overruns;
+          string_of_int r.sv_max_depth;
+        ])
+    rows;
+  Table.print t;
+  let total_overruns = List.fold_left (fun a r -> a + r.sv_overruns) 0 rows in
+  let total_invalid = List.fold_left (fun a r -> a + r.sv_invalid) 0 rows in
+  let bound_ok = List.for_all (fun r -> r.sv_max_depth <= capacity) rows in
+  Printf.printf
+    "  overruns: %d, invalid schedules: %d, queue bound %s, served = \
+     offline %s (%d checked)\n"
+    total_overruns total_invalid
+    (if bound_ok then "held" else "EXCEEDED")
+    (if identity_ok then "bit-identical" else "DIVERGED")
+    id_n;
+  write_csv "serve.csv"
+    ([
+       "load"; "interarrival_ms"; "requests"; "accepted"; "completed";
+       "shed_queue_full"; "shed_tenant_quota"; "shed_expired"; "p50_ms";
+       "p95_ms"; "p99_ms"; "max_ms"; "overruns"; "invalid"; "max_depth";
+     ]
+    :: List.map
+         (fun r ->
+           [
+             string_of_int r.sv_load;
+             Printf.sprintf "%.3f" r.sv_interarrival_ms;
+             string_of_int n;
+             string_of_int r.sv_accepted;
+             string_of_int r.sv_completed;
+             string_of_int (List.assoc "queue_full" r.sv_shed);
+             string_of_int (List.assoc "tenant_quota" r.sv_shed);
+             string_of_int (List.assoc "expired" r.sv_shed);
+             Printf.sprintf "%.3f" r.sv_p50_ms;
+             Printf.sprintf "%.3f" r.sv_p95_ms;
+             Printf.sprintf "%.3f" r.sv_p99_ms;
+             Printf.sprintf "%.3f" r.sv_max_ms;
+             string_of_int r.sv_overruns;
+             string_of_int r.sv_invalid;
+             string_of_int r.sv_max_depth;
+           ])
+         rows);
+  Run_store.write_section_json ~section:"serve"
+    (Json.Obj
+       [
+         ("schema", Json.String "resched-bench-serve/1");
+         ("seed", Json.Int seed);
+         ("jobs", Json.Int jobs);
+         ("serving_width", Json.Int serving_width);
+         ("capacity", Json.Int capacity);
+         ("min_iterations", Json.Int iters);
+         ("tasks", Json.Int serve_tasks);
+         ("requests_per_load", Json.Int n);
+         ("service_s_estimate", Json.float service_s);
+         ("deadline_ms", Json.Int deadline_ms);
+         ( "loads",
+           Json.List
+             (List.map
+                (fun r ->
+                  Json.Obj
+                    [
+                      ("load", Json.Int r.sv_load);
+                      ("interarrival_ms", Json.float r.sv_interarrival_ms);
+                      ("requests", Json.Int n);
+                      ("accepted", Json.Int r.sv_accepted);
+                      ("completed", Json.Int r.sv_completed);
+                      ("failed", Json.Int r.sv_failed);
+                      ( "shed",
+                        Json.Obj
+                          (List.map
+                             (fun (k, v) -> (k, Json.Int v))
+                             r.sv_shed) );
+                      ( "degrade",
+                        Json.Obj
+                          [
+                            ("full", Json.Int r.sv_degrade.(0));
+                            ("reduced", Json.Int r.sv_degrade.(1));
+                            ("heuristic", Json.Int r.sv_degrade.(2));
+                          ] );
+                      ("p50_ms", Json.float r.sv_p50_ms);
+                      ("p95_ms", Json.float r.sv_p95_ms);
+                      ("p99_ms", Json.float r.sv_p99_ms);
+                      ("max_ms", Json.float r.sv_max_ms);
+                      ("overruns", Json.Int r.sv_overruns);
+                      ("invalid_schedules", Json.Int r.sv_invalid);
+                      ("max_queue_depth", Json.Int r.sv_max_depth);
+                      ( "queue_bound_ok",
+                        Json.Bool (r.sv_max_depth <= capacity) );
+                    ])
+                rows) );
+         ("zero_overruns", Json.Bool (total_overruns = 0));
+         ( "zero_invalid",
+           Json.Bool (total_invalid = 0 && identity_ok) );
+         ("queue_bound_ok", Json.Bool bound_ok);
+         ( "identity",
+           Json.Obj
+             [
+               ("checked", Json.Int id_n);
+               ("ok", Json.Bool identity_ok);
+             ] );
+         ("identity_ok", Json.Bool identity_ok);
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Floorplan oracle: column-interval packer (v2) vs backtracking (v1)  *)
 
 type fp_row = {
@@ -2610,6 +2993,7 @@ let all_sections =
     ("iteration", iteration_comparison);
     ("moves", moves_comparison);
     ("batch", batch_comparison);
+    ("serve", serve_comparison);
     ("floorplan", floorplan_oracle_comparison);
     ("milp", milp_comparison);
     ("ablations", section_ablations);

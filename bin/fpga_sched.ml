@@ -838,6 +838,254 @@ let batch_cmd =
       $ jobs_arg $ slice $ kernel $ out_dir $ stats_out)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+module Server = Resched_serve.Server
+module Serve_protocol = Resched_serve.Protocol
+
+(* Incremental line reader over [in_fd] feeding the server: complete
+   lines are submitted as they arrive, expired queue entries are swept
+   on every poll tick, and with [jobs = 1] the reader itself advances
+   the server one request at a time between polls (event-loop mode — no
+   worker domains exist to do it). Returns on EOF (submitting any
+   unterminated trailing line first, closing the server when
+   [close_on_eof]) or as soon as a shutdown request closed the server:
+   input past a shutdown is never read. *)
+let serve_over_fd srv ~jobs ~close_on_eof in_fd =
+  let chunk = Bytes.create 4096 in
+  let buf = Buffer.create 4096 in
+  let submit_complete_lines () =
+    let s = Buffer.contents buf in
+    let rec go start =
+      match String.index_from_opt s start '\n' with
+      | None ->
+        Buffer.clear buf;
+        Buffer.add_substring buf s start (String.length s - start)
+      | Some i ->
+        let line = String.trim (String.sub s start (i - start)) in
+        if line <> "" then Server.submit_line srv line;
+        go (i + 1)
+    in
+    go 0
+  in
+  let rec loop () =
+    if not (Server.closed srv) then begin
+      ignore (Server.sweep_expired srv : int);
+      let timeout =
+        if jobs > 1 then 0.2
+        else
+          (* Single-domain mode: interleave one unit of server work per
+             poll so requests are answered while input is idle. *)
+          match Server.step srv with
+          | Server.Did_work -> 0.
+          | Server.Backoff d -> Float.max 0.001 (Float.min d 0.05)
+          | Server.Idle | Server.Drained -> 0.2
+      in
+      match Unix.select [ in_fd ] [] [] timeout with
+      | [ _ ], _, _ ->
+        let n = Unix.read in_fd chunk 0 (Bytes.length chunk) in
+        if n = 0 then begin
+          let line = String.trim (Buffer.contents buf) in
+          if line <> "" then Server.submit_line srv line;
+          if close_on_eof then Server.close srv
+        end
+        else begin
+          Buffer.add_subbytes buf chunk 0 n;
+          submit_complete_lines ();
+          loop ()
+        end
+      | _, _, _ -> loop ()
+    end
+  in
+  loop ()
+
+let serve () socket jobs capacity tenant_quota degrade_low degrade_high
+    degrade_factor slice retries backoff_ms deadline_ms min_iterations
+    budget_ms seed allow_faults =
+  let cfg =
+    Server.config ~capacity ?tenant_quota ?degrade_low ?degrade_high
+      ~degrade_factor ~slice ~max_retries:retries
+      ~backoff_s:(float_of_int backoff_ms /. 1000.)
+      ~default_seed:seed ~default_min_iterations:min_iterations
+      ~default_budget_s:(float_of_int budget_ms /. 1000.)
+      ?default_deadline_s:
+        (Option.map (fun d -> float_of_int d /. 1000.) deadline_ms)
+      ~allow_fault_injection:allow_faults ()
+  in
+  (* Responses go to whatever channel is current — stdout, or the live
+     socket connection. Writes to a client that hung up are dropped
+     (there is no one left to answer); the out_lock keeps response
+     lines whole across worker domains and connection swaps. *)
+  let out = ref stdout in
+  let out_lock = Mutex.create () in
+  let respond resp =
+    Resched_util.Domain_pool.with_lock out_lock (fun () ->
+        try
+          output_string !out (Serve_protocol.response_to_line resp);
+          output_char !out '\n';
+          flush !out
+        with Sys_error _ -> ())
+  in
+  let srv = Server.create ~respond cfg in
+  (* The daemon's whole life is one dispatch over one persistent pool:
+     worker 0 (the calling domain) reads and admits, workers 1..jobs-1
+     run the solver loop. When the reader sees EOF or shutdown it
+     closes admission and joins the drain, so every accepted request is
+     answered before the pool is torn down. With [jobs = 1] the single
+     domain alternates reading and solving (see [serve_over_fd]). *)
+  let run_with_readers reader =
+    if jobs = 1 then begin
+      reader ();
+      Server.close srv;
+      Server.drain srv
+    end
+    else begin
+      let pool = Resched_util.Domain_pool.Pool.create ~jobs () in
+      Fun.protect
+        ~finally:(fun () -> Resched_util.Domain_pool.Pool.shutdown pool)
+        (fun () ->
+          ignore
+            (Resched_util.Domain_pool.Pool.map pool (fun i ->
+                 if i = 0 then begin
+                   reader ();
+                   Server.close srv;
+                   Server.work_loop srv
+                 end
+                 else Server.work_loop srv)
+              : unit array))
+    end
+  in
+  (match socket with
+  | None ->
+    run_with_readers (fun () ->
+        serve_over_fd srv ~jobs ~close_on_eof:true Unix.stdin)
+  | Some path ->
+    if Sys.file_exists path then
+      die exit_io "socket path %s already exists" path;
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind sock (Unix.ADDR_UNIX path);
+    Unix.listen sock 8;
+    Printf.eprintf "fpga_sched: serving on %s\n%!" path;
+    (* One client at a time: each accepted connection becomes the
+       response channel until it disconnects or sends shutdown. The
+       shutdown client's channel stays current through the drain so it
+       receives every in-flight response. *)
+    let reader () =
+      let rec accept_next () =
+        if not (Server.closed srv) then begin
+          let conn, _ = Unix.accept sock in
+          let oc = Unix.out_channel_of_descr conn in
+          Resched_util.Domain_pool.with_lock out_lock (fun () -> out := oc);
+          (try serve_over_fd srv ~jobs ~close_on_eof:false conn
+           with Sys_error _ | Unix.Unix_error _ -> ());
+          if not (Server.closed srv) then begin
+            Resched_util.Domain_pool.with_lock out_lock (fun () ->
+                out := stdout);
+            (try close_out oc with Sys_error _ -> ());
+            accept_next ()
+          end
+        end
+      in
+      accept_next ()
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        try Sys.remove path with Sys_error _ -> ())
+      (fun () -> run_with_readers reader));
+  0
+
+let serve_cmd =
+  let socket =
+    let doc =
+      "Serve on a Unix domain socket at PATH (one client at a time) \
+       instead of stdin/stdout."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let capacity =
+    let doc = "Admission queue bound; beyond it requests are shed." in
+    Arg.(value & opt int 64 & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let tenant_quota =
+    let doc =
+      "Max in-flight requests per tenant (default: the queue capacity)."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "tenant-quota" ] ~docv:"N" ~doc)
+  in
+  let degrade_low =
+    let doc =
+      "Queue depth where degradation rung 1 (reduced restarts) starts \
+       (default: capacity/4)."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "degrade-low" ] ~docv:"N" ~doc)
+  in
+  let degrade_high =
+    let doc =
+      "Queue depth where degradation rung 2 (heuristic only) starts \
+       (default: 3*capacity/4)."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "degrade-high" ] ~docv:"N" ~doc)
+  in
+  let degrade_factor =
+    let doc = "Restart-budget divisor at degradation rung 1." in
+    Arg.(value & opt int 8 & info [ "degrade-factor" ] ~docv:"K" ~doc)
+  in
+  let slice =
+    let doc =
+      "Course iterations between cancellation checks (an expired request \
+       stops within one slice)."
+    in
+    Arg.(value & opt int 16 & info [ "slice" ] ~docv:"N" ~doc)
+  in
+  let retries =
+    let doc = "Retries after a failed execution attempt." in
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff =
+    let doc = "Base retry backoff in milliseconds (doubles per attempt)." in
+    Arg.(value & opt int 50 & info [ "backoff-ms" ] ~docv:"MS" ~doc)
+  in
+  let deadline =
+    let doc =
+      "Default per-request deadline in milliseconds for requests that \
+       carry none (default: unlimited)."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let min_iterations =
+    let doc = "Default restart iterations per request." in
+    Arg.(value & opt int 200 & info [ "min-iterations" ] ~docv:"N" ~doc)
+  in
+  let budget =
+    let doc =
+      "Default wall-clock budget per request in milliseconds (0 = exactly \
+       min-iterations restarts)."
+    in
+    Arg.(value & opt int 0 & info [ "budget-ms" ] ~docv:"MS" ~doc)
+  in
+  let allow_faults =
+    let doc =
+      "Honor the protocol's fail_attempts fault-injection test hook."
+    in
+    Arg.(value & flag & info [ "allow-fault-injection" ] ~doc)
+  in
+  let doc =
+    "run the solver stack as a resident jsonl service (admission control, \
+     deadline budgets, graceful degradation)"
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ verbose_arg $ socket $ jobs_arg $ capacity $ tenant_quota
+      $ degrade_low $ degrade_high $ degrade_factor $ slice $ retries
+      $ backoff $ deadline $ min_iterations $ budget $ seed_arg
+      $ allow_faults)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
@@ -848,13 +1096,18 @@ let () =
   let group =
     Cmd.group info
       [ generate_cmd; show_cmd; schedule_cmd; optimize_cmd; replay_cmd;
-        compare_cmd; suite_cmd; batch_cmd ]
+        compare_cmd; suite_cmd; batch_cmd; serve_cmd ]
   in
   (* [~catch:false] so operational failures surface as one-line errors
-     with our exit codes instead of cmdliner's backtrace dump. *)
+     with our exit codes instead of cmdliner's backtrace dump. [Failure]
+     is operational here (raised for malformed inputs and dead sockets
+     across the subcommands); genuine programming errors
+     ([Invalid_argument], [Not_found], ...) still dump a backtrace on
+     purpose — masking those as exit 3 would hide bugs. *)
   exit
     (try Cmd.eval' ~catch:false group with
     | Sys_error msg -> Printf.eprintf "fpga_sched: error: %s\n" msg; exit_io
+    | Failure msg -> Printf.eprintf "fpga_sched: error: %s\n" msg; exit_io
     | Unix.Unix_error (e, fn, arg) ->
       Printf.eprintf "fpga_sched: error: %s: %s%s\n" fn
         (Unix.error_message e)

@@ -7,10 +7,12 @@ type request = {
   seed : int;
   min_iterations : int;
   budget_seconds : float;
+  cancel : (unit -> bool) option;
 }
 
-let request ?(seed = 1) ?(min_iterations = 1) ?(budget_seconds = 0.) instance =
-  { instance; seed; min_iterations; budget_seconds }
+let request ?(seed = 1) ?(min_iterations = 1) ?(budget_seconds = 0.) ?cancel
+    instance =
+  { instance; seed; min_iterations; budget_seconds; cancel }
 
 type stats = {
   jobs : int;
@@ -119,7 +121,7 @@ let run ?config ?cache ?incremental ?kernel ?jobs ?pool ?slice requests =
     Array.map
       (fun r ->
         Pa_random.Course.create ?config ?cache ?incremental ?kernel ~start
-          ~seed:r.seed ~min_iterations:r.min_iterations
+          ?cancel:r.cancel ~seed:r.seed ~min_iterations:r.min_iterations
           ~budget_seconds:r.budget_seconds r.instance)
       requests
   in

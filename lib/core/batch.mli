@@ -37,12 +37,18 @@ type request = {
   budget_seconds : float;
       (** wall-clock budget, counted from batch launch (all courses
           share one time origin) *)
+  cancel : (unit -> bool) option;
+      (** cooperative cancellation hook for this request's course,
+          polled at every slice boundary of the dispatch loop (see
+          {!Pa_random.Course.create}); a fired hook retires the course
+          from the round-robin queue within one slice, outcome keeping
+          the incumbent found so far *)
 }
 
 val request : ?seed:int -> ?min_iterations:int -> ?budget_seconds:float ->
-  Resched_platform.Instance.t -> request
+  ?cancel:(unit -> bool) -> Resched_platform.Instance.t -> request
 (** Defaults: [seed 1], [min_iterations 1], [budget_seconds 0.] (run
-    exactly [min_iterations] restarts). *)
+    exactly [min_iterations] restarts), no [cancel] hook. *)
 
 type stats = {
   jobs : int;  (** worker domains used *)

@@ -138,6 +138,7 @@ module Course = struct
     crs_start : float;
     crs_deadline : float;
     crs_min_iterations : int;
+    crs_cancel : (unit -> bool) option;
     crs_lattice : float array;
     mutable crs_shrink_exp : int;
     mutable crs_iterations : int;
@@ -147,8 +148,8 @@ module Course = struct
   }
 
   let make ?(config = Pa.default_config) ?cache ?(incremental = true)
-      ?(kernel = `Soa) ~shared ~rng ~start ~min_iterations ~budget_seconds
-      inst =
+      ?(kernel = `Soa) ?cancel ~shared ~rng ~start ~min_iterations
+      ~budget_seconds inst =
     {
       crs_inst = inst;
       crs_config = config;
@@ -160,6 +161,7 @@ module Course = struct
       crs_start = start;
       crs_deadline = start +. budget_seconds;
       crs_min_iterations = min_iterations;
+      crs_cancel = cancel;
       (* Virtual FPGA-resource scale for the inner doSchedule. Algorithm
          1 never shrinks, but when the region definition saturates the
          device no random order yields a floorplannable region set;
@@ -176,12 +178,12 @@ module Course = struct
       crs_done = false;
     }
 
-  let create ?config ?cache ?incremental ?kernel ?start ~seed ~min_iterations
-      ~budget_seconds inst =
+  let create ?config ?cache ?incremental ?kernel ?start ?cancel ~seed
+      ~min_iterations ~budget_seconds inst =
     let start =
       match start with Some s -> s | None -> Unix.gettimeofday ()
     in
-    make ?config ?cache ?incremental ?kernel ~shared:(make_shared ())
+    make ?config ?cache ?incremental ?kernel ?cancel ~shared:(make_shared ())
       ~rng:(Rng.create seed) ~start ~min_iterations ~budget_seconds inst
 
   (* Does this course run the struct-of-arrays kernel over a context
@@ -241,6 +243,16 @@ module Course = struct
           ~materialize:(fun () -> candidate)
 
   let run_slice c ~max_iterations =
+    (* Cooperative cancellation: polled once per slice, never inside the
+       iteration loop, so a cancelled stream stops at the next slice
+       boundary (the serve layer's "deadline + one slice" contract) while
+       the hot path stays clock-read-only. A course that never gets
+       cancelled executes the exact iteration stream of one without a
+       cancel hook. *)
+    if
+      (not c.crs_done)
+      && (match c.crs_cancel with Some f -> f () | None -> false)
+    then c.crs_done <- true;
     if c.crs_done || max_iterations <= 0 then 0
     else begin
       (* One restart arena per worker domain: contexts are not

@@ -61,19 +61,31 @@ module Course : sig
   type t
 
   val create : ?config:Pa.config -> ?cache:Resched_floorplan.Fp_cache.t ->
-    ?incremental:bool -> ?kernel:kernel -> ?start:float -> seed:int ->
+    ?incremental:bool -> ?kernel:kernel -> ?start:float ->
+    ?cancel:(unit -> bool) -> seed:int ->
     min_iterations:int -> budget_seconds:float ->
     Resched_platform.Instance.t -> t
   (** A fresh stream with its own incumbent, replaying exactly what
       {!run} with the same arguments would do. [start] (default: now)
       anchors the wall-clock budget and the trace's [elapsed] stamps —
-      the batch engine passes one common origin for all its courses. *)
+      the batch engine passes one common origin for all its courses.
+
+      [cancel] is a cooperative cancellation checkpoint: it is polled
+      once at the start of every {!run_slice} (never inside the
+      iteration loop), and the first [true] finishes the stream
+      immediately — {!outcome} keeps whatever incumbent the stream had.
+      A cancelled course therefore stops within one slice of the
+      cancellation signal, which is how the serve layer enforces
+      per-request deadline budgets without hanging a worker. A hook
+      that never fires leaves the iteration stream bit-identical to a
+      course created without one. *)
 
   val run_slice : t -> max_iterations:int -> int
   (** Advance by at most [max_iterations] restarts on the calling
-      domain; returns how many were executed (0 when already finished).
-      The stream finishes when it has met its [min_iterations] and the
-      budget is exhausted. Slicing is invariant: any partition of the
+      domain; returns how many were executed (0 when already finished
+      or cancelled). The stream finishes when it has met its
+      [min_iterations] and the budget is exhausted, or as soon as its
+      [cancel] hook fires. Slicing is invariant: any partition of the
       iteration budget into slices yields the same outcome as one
       uninterrupted run (property-tested). *)
 

@@ -1,0 +1,74 @@
+module Json = Resched_util.Json
+
+(* Bucket i holds samples in (edge (i-1), edge i]; the last bucket also
+   absorbs everything larger. base 1e-5 s with doubling edges spans
+   10 us .. ~3 h in 40 buckets. *)
+let bucket_count = 40
+
+let base = 1e-5
+
+let edge i = base *. (2. ** float_of_int i)
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable sum : float;
+  mutable max_s : float;
+}
+
+let create () =
+  { counts = Array.make bucket_count 0; total = 0; sum = 0.; max_s = 0. }
+
+let index v =
+  let rec find i =
+    if i >= bucket_count - 1 || v <= edge i then i else find (i + 1)
+  in
+  find 0
+
+let add h v =
+  let v = if v < 0. then 0. else v in
+  h.counts.(index v) <- h.counts.(index v) + 1;
+  h.total <- h.total + 1;
+  h.sum <- h.sum +. v;
+  if v > h.max_s then h.max_s <- v
+
+let count h = h.total
+
+let max_seconds h = h.max_s
+
+let quantile h q =
+  if h.total = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.total)))
+    in
+    let rec walk i acc =
+      let acc = acc + h.counts.(i) in
+      if acc >= rank || i = bucket_count - 1 then
+        Float.min (edge i) h.max_s
+      else walk (i + 1) acc
+    in
+    walk 0 0
+  end
+
+let ms s = Json.float (1000. *. s)
+
+let to_json h =
+  let buckets =
+    Array.to_list h.counts
+    |> List.mapi (fun i n -> (i, n))
+    |> List.filter_map (fun (i, n) ->
+           if n = 0 then None
+           else Some (Json.List [ ms (edge i); Json.Int n ]))
+  in
+  Json.Obj
+    [
+      ("count", Json.Int h.total);
+      ("mean_ms", ms (if h.total = 0 then 0. else h.sum /. float_of_int h.total));
+      ("max_ms", ms h.max_s);
+      ("p50_ms", ms (quantile h 0.5));
+      ("p95_ms", ms (quantile h 0.95));
+      ("p99_ms", ms (quantile h 0.99));
+      ("buckets", Json.List buckets);
+    ]

@@ -1,0 +1,33 @@
+(** Fixed-bucket geometric latency histogram for the serve layer.
+
+    Forty buckets with exponentially growing upper edges cover 10 us to
+    about three hours, so one [add] is an O(buckets) array walk with no
+    allocation — cheap enough to run under the server's state lock on
+    every response. Quantiles are read from the bucket edges, so they
+    are upper bounds with at most one bucket (2x) of resolution error;
+    the serve bench computes its gate-grade percentiles from raw
+    samples and uses this histogram only for the [metrics] endpoint.
+
+    Not thread-safe: the server guards each instance with its state
+    lock. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one latency sample in seconds (negatives clamp to zero). *)
+
+val count : t -> int
+
+val max_seconds : t -> float
+(** Largest sample recorded; 0 when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile h q] with [q] in [0, 1]: the inclusive upper edge of the
+    bucket holding the [ceil (q * count)]-th smallest sample, capped at
+    {!max_seconds}; 0 when empty. *)
+
+val to_json : t -> Resched_util.Json.t
+(** [{count; mean_ms; max_ms; p50_ms; p95_ms; p99_ms; buckets}] with
+    [buckets] the non-empty buckets as [[upper_edge_ms; count]] pairs. *)

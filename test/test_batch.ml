@@ -123,6 +123,86 @@ let test_course_slice_invariance () =
     (outcome_fingerprint (Pa_random.Course.outcome course)
     = outcome_fingerprint whole)
 
+(* Cooperative cancellation: a hook that never fires leaves the stream
+   bit-identical to an unhooked run; one that fires stops the course at
+   the next slice boundary, keeping the incumbent found so far. This is
+   the serve layer's "deadline + one slice" contract at its source. *)
+let test_course_cancellation () =
+  let rng = Rng.create 77 in
+  let inst = Suite.instance rng ~tasks:16 in
+  let with_hook =
+    let c =
+      Pa_random.Course.create
+        ~cancel:(fun () -> false)
+        ~seed:5 ~min_iterations:12 ~budget_seconds:0. inst
+    in
+    while not (Pa_random.Course.finished c) do
+      ignore (Pa_random.Course.run_slice c ~max_iterations:3)
+    done;
+    Pa_random.Course.outcome c
+  in
+  let plain = Pa_random.run ~seed:5 ~min_iterations:12 ~budget_seconds:0. inst in
+  Alcotest.(check bool) "never-firing hook is bit-identical" true
+    (outcome_fingerprint with_hook = outcome_fingerprint plain);
+  let polls = ref 0 in
+  let c =
+    Pa_random.Course.create
+      ~cancel:(fun () ->
+        incr polls;
+        !polls > 2)
+      ~seed:5 ~min_iterations:1_000_000 ~budget_seconds:0. inst
+  in
+  let total = ref 0 in
+  while not (Pa_random.Course.finished c) do
+    total := !total + Pa_random.Course.run_slice c ~max_iterations:4
+  done;
+  Alcotest.(check int) "cancelled after exactly two full slices" 8 !total;
+  Alcotest.(check int) "iterations agree" 8 (Pa_random.Course.iterations c);
+  Alcotest.(check int) "no work after cancellation" 0
+    (Pa_random.Course.run_slice c ~max_iterations:4);
+  (* The cancelled outcome is exactly an offline run truncated at the
+     boundary: same stream, same incumbent. *)
+  let truncated =
+    Pa_random.run ~seed:5 ~min_iterations:8 ~budget_seconds:0. inst
+  in
+  Alcotest.(check bool) "outcome = offline run truncated at the boundary" true
+    (outcome_fingerprint (Pa_random.Course.outcome c)
+    = outcome_fingerprint truncated)
+
+(* A cancelled request inside a batch retires without perturbing its
+   neighbours' streams. *)
+let test_batch_cancelled_request () =
+  let rng = Rng.create 99 in
+  let insts = Array.init 3 (fun _ -> Suite.instance rng ~tasks:12) in
+  let requests =
+    [|
+      Batch.request ~seed:3 ~min_iterations:10 insts.(0);
+      Batch.request ~seed:4 ~min_iterations:1_000_000
+        ~cancel:(fun () -> true)
+        insts.(1);
+      Batch.request ~seed:5 ~min_iterations:10 insts.(2);
+    |]
+  in
+  let outcomes, _ =
+    Batch.run
+      ~cache:(Fp_cache.create ~subsumption:false ())
+      ~jobs:2 ~slice:2 requests
+  in
+  Alcotest.(check int) "cancelled request ran no iterations" 0
+    outcomes.(1).Pa_random.iterations;
+  List.iter
+    (fun (i, seed) ->
+      let offline =
+        Pa_random.run
+          ~cache:(Fp_cache.create ~subsumption:false ())
+          ~seed ~min_iterations:10 ~budget_seconds:0. insts.(i)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "request %d unaffected by its cancelled neighbour" i)
+        true
+        (outcome_fingerprint outcomes.(i) = outcome_fingerprint offline))
+    [ (0, 3); (2, 5) ]
+
 (* Allocation regression guard: the SoA kernel must allocate far less
    than the boxed oracle per restart, and stay under an absolute
    ceiling that a reintroduced per-iteration List.sort/List.map rebuild
@@ -202,6 +282,9 @@ let () =
         [
           Alcotest.test_case "slice invariance" `Quick
             test_course_slice_invariance;
+          Alcotest.test_case "cancellation" `Quick test_course_cancellation;
+          Alcotest.test_case "cancelled batch request" `Quick
+            test_batch_cancelled_request;
         ] );
       ( "allocation",
         [

@@ -293,6 +293,51 @@ let test_pool_failure_and_shutdown () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+(* Crash containment, the property the serve layer builds on: a task
+   that raises fails only its own cell — every sibling in the same
+   generation still runs to completion — and the pool keeps serving
+   generation after generation afterwards. *)
+let test_pool_crash_containment () =
+  let jobs = 3 in
+  let p = Domain_pool.Pool.create ~jobs () in
+  let ran = Array.init jobs (fun _ -> Atomic.make 0) in
+  Alcotest.check_raises "poisoned task re-raised" (Failure "poison")
+    (fun () ->
+      ignore
+        (Domain_pool.Pool.map p (fun i ->
+             Atomic.incr ran.(i);
+             if i = 1 then failwith "poison";
+             i)));
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int)
+        (Printf.sprintf "task %d of the poisoned generation still ran" i)
+        1 (Atomic.get c))
+    ran;
+  (* Several healthy generations after the failure, including the
+     chunked dispatch path — the pool state fully recovered. *)
+  for gen = 1 to 3 do
+    Alcotest.(check (array int))
+      (Printf.sprintf "generation %d after the failure" gen)
+      [| 0; gen; 2 * gen |]
+      (Domain_pool.Pool.map p (fun i -> gen * i))
+  done;
+  let sum = Atomic.make 0 in
+  Domain_pool.Pool.run_chunked p ~n:100 (fun i ->
+      ignore (Atomic.fetch_and_add sum i));
+  Alcotest.(check int) "run_chunked after a failed generation" 4950
+    (Atomic.get sum);
+  (* A second poisoned generation doesn't accumulate damage either. *)
+  Alcotest.check_raises "second poisoned generation" (Failure "again")
+    (fun () ->
+      ignore
+        (Domain_pool.Pool.map p (fun i ->
+             if i = 2 then failwith "again" else i)));
+  Alcotest.(check (array int)) "still alive after the second failure"
+    [| 0; 1; 2 |]
+    (Domain_pool.Pool.map p (fun i -> i));
+  Domain_pool.Pool.shutdown p
+
 let test_pool_run_chunked () =
   let p = Domain_pool.Pool.create ~jobs:3 () in
   let n = 1003 in
@@ -486,6 +531,8 @@ let () =
             test_pool_map_reuses_domains;
           Alcotest.test_case "failure and shutdown" `Quick
             test_pool_failure_and_shutdown;
+          Alcotest.test_case "crash containment" `Quick
+            test_pool_crash_containment;
           Alcotest.test_case "run_chunked covers all items" `Quick
             test_pool_run_chunked;
         ] );
