@@ -293,6 +293,58 @@ let check_serve v j =
   if get_bool [ "identity_ok" ] j <> Some true then
     fail v "serve: served responses diverged from the offline solver"
 
+(* The serve_concurrency section's contract (ISSUE 10): dispatch is
+   fair across simultaneous clients (max/min goodput <= 2 at 4
+   clients), a flooding connection never head-of-line-blocks a sparse
+   one, transport responses stay bit-identical to the offline solver,
+   no client saw an error, and — on hosts with at least 2 serving
+   workers — 4 concurrent clients clear the recorded throughput floor
+   over 1 client. *)
+let check_serve_concurrency v j =
+  each_group j ~list_field:"levels" (fun g ->
+      let clients = Option.value ~default:(-1) (get_int [ "clients" ] g) in
+      (match get_int [ "errors" ] g with
+      | Some e when e > 0 ->
+        fail v "serve_concurrency: %d client error(s) at %d client(s)" e
+          clients
+      | _ -> ());
+      match
+        (get_float [ "throughput_rps" ] g, get_float [ "fairness_ratio" ] g)
+      with
+      | Some tput, Some fair ->
+        note v "serve_concurrency: %d client(s) %.1f req/s, fairness %.2f"
+          clients tput fair
+      | _ -> ());
+  if get_bool [ "fairness_ok" ] j <> Some true then
+    fail v "serve_concurrency: per-client goodput ratio exceeded 2 at 4 \
+            clients";
+  if get_bool [ "no_holb" ] j <> Some true then
+    fail v "serve_concurrency: sparse client was head-of-line-blocked (%d \
+            dispatches)"
+      (Option.value ~default:(-1) (get_int [ "holb_dispatches" ] j));
+  if get_bool [ "identity_ok" ] j <> Some true then
+    fail v "serve_concurrency: transport responses diverged from the \
+            offline solver";
+  match
+    ( get_bool [ "concurrency_measurable" ] j,
+      get_bool [ "throughput_ok" ] j,
+      get_float [ "speedup_4c_over_1c" ] j,
+      get_float [ "throughput_floor" ] j )
+  with
+  | Some true, ok, Some s, Some floor ->
+    if ok <> Some true then
+      fail v
+        "serve_concurrency: 4-client speedup x%.2f below the x%.2f floor" s
+        floor
+    else
+      note v "serve_concurrency: 4-client speedup x%.2f (floor x%.2f)" s
+        floor
+  | Some false, _, _, _ ->
+    note v
+      "serve_concurrency: single-worker host, throughput gate waived \
+       (fairness/HOLB/identity still enforced)"
+  | _ -> fail v "serve_concurrency: missing measurability or speedup fields"
+
 (* Sections [check] knows how to audit, with their guard functions.
    Missing sections are skipped with a note (a partial run can still be
    checked) unless [require_all] is set. *)
@@ -303,6 +355,7 @@ let checkable_sections ~min_cores ~min_speedup ~max_minor_words_per_iter
     ("iteration", check_iteration ?max_minor_words_per_iter);
     ("batch", check_batch);
     ("serve", check_serve);
+    ("serve_concurrency", check_serve_concurrency);
     ("milp", check_milp);
     ("floorplan", check_floorplan);
     ("faults", check_faults);
@@ -376,6 +429,10 @@ let verdict_flags =
     ("serve", [ "zero_invalid" ]);
     ("serve", [ "queue_bound_ok" ]);
     ("serve", [ "identity_ok" ]);
+    ("serve_concurrency", [ "fairness_ok" ]);
+    ("serve_concurrency", [ "no_holb" ]);
+    ("serve_concurrency", [ "identity_ok" ]);
+    ("serve_concurrency", [ "throughput_ok" ]);
     ("milp", [ "engines_agree" ]);
     ("milp", [ "never_worse" ]);
     ("milp", [ "lp_kernel"; "all_agree" ]);

@@ -48,6 +48,12 @@
                                          instances
      RESCHED_SERVE_CAPACITY      [8]     admission-queue capacity of the
                                          bench server
+     RESCHED_SERVE_CONC_REQUESTS [16]    requests per client in the
+                                         serve_concurrency sweep
+     RESCHED_SERVE_CONC_ITER     [120]   restart budget per request in the
+                                         serve_concurrency sweep
+     RESCHED_SERVE_CONC_TASKS    [24]    task count of the
+                                         serve_concurrency instances
      RESCHED_OUT_DIR             [bench_out] where CSV series and run
                                          directories are written
      RESCHED_BECHAMEL            [unset] set to 1 to also run the Bechamel
@@ -116,6 +122,12 @@ let serve_requests = Stdlib.max 4 (env_int "RESCHED_SERVE_REQUESTS" 24)
 let serve_iter = Stdlib.max 1 (env_int "RESCHED_SERVE_ITER" 200)
 let serve_tasks = Stdlib.max 5 (env_int "RESCHED_SERVE_TASKS" 30)
 let serve_capacity = Stdlib.max 2 (env_int "RESCHED_SERVE_CAPACITY" 8)
+
+let serve_conc_requests =
+  Stdlib.max 4 (env_int "RESCHED_SERVE_CONC_REQUESTS" 16)
+
+let serve_conc_iter = Stdlib.max 1 (env_int "RESCHED_SERVE_CONC_ITER" 120)
+let serve_conc_tasks = Stdlib.max 5 (env_int "RESCHED_SERVE_CONC_TASKS" 24)
 
 let out_dir =
   match Sys.getenv_opt "RESCHED_OUT_DIR" with Some d -> d | None -> "bench_out"

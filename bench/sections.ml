@@ -44,6 +44,7 @@ module Schedule_io = Resched_core.Schedule_io
 module Plat_io = Resched_platform.Io
 module Serve_protocol = Resched_serve.Protocol
 module Serve_server = Resched_serve.Server
+module Serve_transport = Resched_serve.Transport
 
 open Bench_env
 
@@ -1884,6 +1885,397 @@ let serve_comparison () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Serve concurrency: the multiplexing transport under 1/2/4/8 clients *)
+
+type conc_row = {
+  cc_clients : int;
+  cc_wall_s : float;
+  cc_throughput : float;  (* completed requests / s, aggregate *)
+  cc_p50_ms : float;
+  cc_p95_ms : float;
+  cc_p99_ms : float;
+  cc_rates : float array;  (* per-client goodput, requests / s *)
+  cc_fairness : float;  (* max rate / min rate *)
+  cc_errors : int;
+}
+
+(* The ISSUE 10 concurrency sweep: closed-loop jsonl clients on real
+   socketpairs through the real [Transport] event loop, workers on the
+   persistent pool — the exact [fpga_sched serve --socket] topology.
+   Records aggregate throughput, per-client latency percentiles and the
+   max/min per-client goodput ratio per client count, plus two
+   deterministic probes (no head-of-line blocking; transport responses
+   bit-identical to the offline solver). [check] downstream gates
+   fairness <= 2 at 4 clients, the HOLB bound, identity, and — when
+   this host has enough workers to make concurrency measurable — a
+   floor on the 4-client speedup over 1 client. *)
+let serve_concurrency () =
+  print_endline "";
+  let n = serve_conc_requests in
+  let iters = serve_conc_iter in
+  let jobs = par_jobs in
+  let serving_width = if jobs = 1 then 1 else jobs - 1 in
+  let measurable = serving_width >= 2 in
+  let rng = Rng.create (seed lxor 0xc11e27) in
+  let n_inst = 8 in
+  let insts =
+    Array.init n_inst (fun _ -> Suite.instance rng ~tasks:serve_conc_tasks)
+  in
+  let texts = Array.map Plat_io.to_string insts in
+  Printf.printf
+    "== Serve concurrency: %d requests/client at 1/2/4/8 clients, %d \
+     worker(s) (%d serving), %d restarts/request ==\n%!"
+    n jobs serving_width iters;
+  let fresh_cache () = Fp_cache.create ~subsumption:false () in
+  let req_line ~client ~i ~emit =
+    String.trim
+    @@ Json.to_string ~indent:0
+         (Json.Obj
+            [
+              ("op", Json.String "schedule");
+              ("id", Json.String (Printf.sprintf "c%d-%d" client i));
+              ("instance", Json.String texts.((client + i) mod n_inst));
+              ("seed", Json.Int (seed + (1000 * client) + i));
+              ("min_iterations", Json.Int iters);
+              ("emit_schedule", Json.Bool emit);
+            ])
+  in
+  let write_all fd s =
+    let b = Bytes.of_string (s ^ "\n") in
+    let len = Bytes.length b in
+    let rec go off =
+      if off < len then go (off + Unix.write fd b off (len - off))
+    in
+    go 0
+  in
+  (* Nonblocking line reads for the single-threaded probes. *)
+  let recv_lines buf fd =
+    let chunk = Bytes.create 4096 in
+    (try
+       let rec slurp () =
+         let k = Unix.read fd chunk 0 4096 in
+         if k > 0 then begin
+           Buffer.add_subbytes buf chunk 0 k;
+           slurp ()
+         end
+       in
+       slurp ()
+     with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ());
+    let s = Buffer.contents buf in
+    let rec split start acc =
+      match String.index_from_opt s start '\n' with
+      | None ->
+        Buffer.clear buf;
+        Buffer.add_substring buf s start (String.length s - start);
+        List.rev acc
+      | Some i -> split (i + 1) (String.sub s start (i - start) :: acc)
+    in
+    split 0 []
+  in
+  let pin = Domain_pool.env_pin_default () in
+  (* One sweep level: [nc] closed-loop client domains, each on its own
+     socketpair, a closer domain that shuts the server down when every
+     client is done, and the serve topology (event loop + work_loops)
+     on the pool. Degradation is pinned off so the per-request cost is
+     identical at every client count. *)
+  let run_clients nc =
+    let srv =
+      Serve_server.create
+        ~respond:(fun _ -> ())
+        (Serve_server.config ~capacity:64 ~degrade_low:1_000_000
+           ~degrade_high:1_000_001 ~slice:16 ())
+    in
+    let tr =
+      Serve_transport.create ~max_clients:(Stdlib.max 8 nc)
+        ~drive_server:(jobs = 1) srv
+    in
+    let pairs =
+      Array.init nc (fun _ -> Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0)
+    in
+    Array.iter (fun (near, _) -> Serve_transport.add_socket tr near) pairs;
+    let lat = Array.make_matrix nc n 0. in
+    let rates = Array.make nc 0. in
+    let errors = Atomic.make 0 in
+    let client c far () =
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let read_line () =
+        let rec frame () =
+          let s = Buffer.contents buf in
+          match String.index_opt s '\n' with
+          | Some i ->
+            Buffer.clear buf;
+            Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
+            String.sub s 0 i
+          | None ->
+            let k = Unix.read far chunk 0 4096 in
+            if k = 0 then failwith "server closed the connection";
+            Buffer.add_subbytes buf chunk 0 k;
+            frame ()
+        in
+        frame ()
+      in
+      let t_c0 = Unix.gettimeofday () in
+      for i = 0 to n - 1 do
+        let t0 = Unix.gettimeofday () in
+        write_all far (req_line ~client:c ~i ~emit:false);
+        let resp = read_line () in
+        lat.(c).(i) <- (Unix.gettimeofday () -. t0) *. 1000.;
+        match Json.parse resp with
+        | Ok j
+          when Option.bind (Json.member "status" j) Json.get_string
+               = Some "ok" ->
+          ()
+        | _ -> Atomic.incr errors
+      done;
+      rates.(c) <- float_of_int n /. (Unix.gettimeofday () -. t_c0);
+      Unix.close far
+    in
+    let t0 = Unix.gettimeofday () in
+    let clients =
+      Array.mapi (fun c (_, far) -> Domain.spawn (client c far)) pairs
+    in
+    let wall = ref 0. in
+    let closer =
+      Domain.spawn (fun () ->
+          Array.iter Domain.join clients;
+          wall := Unix.gettimeofday () -. t0;
+          Serve_server.close srv)
+    in
+    (if jobs = 1 then Serve_transport.run tr
+     else begin
+       let pool = Domain_pool.Pool.create ~pin ~jobs () in
+       Fun.protect
+         ~finally:(fun () -> Domain_pool.Pool.shutdown pool)
+         (fun () ->
+           ignore
+             (Domain_pool.Pool.map pool (fun w ->
+                  if w = 0 then Serve_transport.run tr
+                  else Serve_server.work_loop srv)
+               : unit array))
+     end);
+    Domain.join closer;
+    let pooled = Array.concat (Array.to_list lat) in
+    let pct p =
+      if Array.length pooled = 0 then 0. else Stats.percentile pooled p
+    in
+    let rmin = Array.fold_left Float.min Float.infinity rates in
+    let rmax = Array.fold_left Float.max 0. rates in
+    {
+      cc_clients = nc;
+      cc_wall_s = !wall;
+      cc_throughput = float_of_int (nc * n) /. Float.max 1e-9 !wall;
+      cc_p50_ms = pct 50.;
+      cc_p95_ms = pct 95.;
+      cc_p99_ms = pct 99.;
+      cc_rates = rates;
+      cc_fairness = (if rmin > 0. then rmax /. rmin else Float.infinity);
+      cc_errors = Atomic.get errors;
+    }
+  in
+  let rows = List.map run_clients [ 1; 2; 4; 8 ] in
+  (* Deterministic HOLB probe: a flooding connection queues 10 requests
+     before a sparse one queues its single request; under DRR the
+     sparse client must be answered within 2 dispatches. Driven
+     single-threaded (poll + step) so the bound is exact, not a race. *)
+  let no_holb, holb_steps =
+    let srv =
+      Serve_server.create
+        ~respond:(fun _ -> ())
+        (Serve_server.config ~capacity:16 ~degrade_low:1_000_000
+           ~degrade_high:1_000_001 ())
+    in
+    let tr = Serve_transport.create srv in
+    let mk () =
+      let near, far = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Serve_transport.add_socket tr near;
+      Unix.set_nonblock far;
+      (far, Buffer.create 256)
+    in
+    let flood, _ = mk () in
+    let sparse_fd, sparse_buf = mk () in
+    for i = 0 to 9 do
+      write_all flood (req_line ~client:90 ~i ~emit:false)
+    done;
+    write_all sparse_fd (req_line ~client:91 ~i:0 ~emit:false);
+    let polls = ref 0 in
+    while Serve_server.queue_depth srv < 11 && !polls < 500 do
+      Serve_transport.poll tr ~timeout_s:0.;
+      incr polls
+    done;
+    let steps = ref 0 in
+    let got = ref false in
+    while (not !got) && !steps < 11 do
+      ignore (Serve_server.step srv : Serve_server.step_result);
+      incr steps;
+      Serve_transport.poll tr ~timeout_s:0.;
+      if recv_lines sparse_buf sparse_fd <> [] then got := true
+    done;
+    Unix.close flood;
+    Unix.close sparse_fd;
+    Serve_server.close srv;
+    Serve_server.drain srv;
+    Serve_transport.poll tr ~timeout_s:0.;
+    (!got && !steps <= 2, !steps)
+  in
+  (* Identity through the real transport: responses (schedule text,
+     makespan, iterations) bit-identical to the offline solver at the
+     same seed and budget. *)
+  let id_n = Stdlib.min 6 n in
+  let identity_ok =
+    let srv = Serve_server.create ~respond:(fun _ -> ()) (Serve_server.config ()) in
+    let tr = Serve_transport.create srv in
+    let near, far = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Serve_transport.add_socket tr near;
+    Unix.set_nonblock far;
+    let buf = Buffer.create 1024 in
+    for i = 0 to id_n - 1 do
+      write_all far (req_line ~client:0 ~i ~emit:true)
+    done;
+    let polls = ref 0 in
+    while Serve_server.queue_depth srv < id_n && !polls < 500 do
+      Serve_transport.poll tr ~timeout_s:0.;
+      incr polls
+    done;
+    let lines = ref [] in
+    let steps = ref 0 in
+    while List.length !lines < id_n && !steps < 4 * id_n do
+      ignore (Serve_server.step srv : Serve_server.step_result);
+      incr steps;
+      Serve_transport.poll tr ~timeout_s:0.;
+      lines := !lines @ recv_lines buf far
+    done;
+    Unix.close far;
+    Serve_server.close srv;
+    Serve_server.drain srv;
+    Serve_transport.poll tr ~timeout_s:0.;
+    List.length !lines = id_n
+    && List.for_all
+         (fun line ->
+           match Json.parse line with
+           | Error _ -> false
+           | Ok j -> (
+             let str k = Option.bind (Json.member k j) Json.get_string in
+             let int k = Option.bind (Json.member k j) Json.get_int in
+             match str "id" with
+             | Some id
+               when String.length id > 3 && String.sub id 0 3 = "c0-" -> (
+               let i = int_of_string (String.sub id 3 (String.length id - 3)) in
+               let o =
+                 Pa_random.run
+                   ~seed:(seed + i)
+                   ~min_iterations:iters ~cache:(fresh_cache ())
+                   ~budget_seconds:0.
+                   insts.(i mod n_inst)
+               in
+               str "status" = Some "ok"
+               && int "iterations" = Some o.Pa_random.iterations
+               &&
+               match o.Pa_random.schedule with
+               | Some s ->
+                 int "makespan" = Some (Schedule.makespan s)
+                 && str "schedule" = Some (Schedule_io.to_string s)
+               | None -> false)
+             | _ -> false))
+         !lines
+  in
+  let row nc = List.find (fun r -> r.cc_clients = nc) rows in
+  let speedup = (row 4).cc_throughput /. Float.max 1e-9 (row 1).cc_throughput in
+  let floor = if serving_width >= 3 then 2.0 else 1.6 in
+  let fairness_ok = (row 4).cc_fairness <= 2.0 in
+  let throughput_ok = (not measurable) || speedup >= floor in
+  let errors_total = List.fold_left (fun a r -> a + r.cc_errors) 0 rows in
+  let t =
+    Table.create
+      [ "clients"; "wall s"; "req/s"; "p50 ms"; "p95 ms"; "p99 ms"; "fair" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          string_of_int r.cc_clients;
+          Printf.sprintf "%.2f" r.cc_wall_s;
+          Printf.sprintf "%.1f" r.cc_throughput;
+          Printf.sprintf "%.1f" r.cc_p50_ms;
+          Printf.sprintf "%.1f" r.cc_p95_ms;
+          Printf.sprintf "%.1f" r.cc_p99_ms;
+          Printf.sprintf "%.2f" r.cc_fairness;
+        ])
+    rows;
+  Table.print t;
+  Printf.printf
+    "  4-client speedup %.2fx over 1 client (%s; floor %.1f), fairness \
+     %.2f, HOLB answered in %d dispatch(es), identity %s, errors %d\n"
+    speedup
+    (if measurable then "measurable"
+     else "NOT measurable on this host, gate waived")
+    floor (row 4).cc_fairness holb_steps
+    (if identity_ok then "bit-identical" else "DIVERGED")
+    errors_total;
+  write_csv "serve_concurrency.csv"
+    ([
+       "clients"; "requests_total"; "wall_s"; "throughput_rps"; "p50_ms";
+       "p95_ms"; "p99_ms"; "fairness_ratio"; "errors";
+     ]
+    :: List.map
+         (fun r ->
+           [
+             string_of_int r.cc_clients;
+             string_of_int (r.cc_clients * n);
+             Printf.sprintf "%.4f" r.cc_wall_s;
+             Printf.sprintf "%.3f" r.cc_throughput;
+             Printf.sprintf "%.3f" r.cc_p50_ms;
+             Printf.sprintf "%.3f" r.cc_p95_ms;
+             Printf.sprintf "%.3f" r.cc_p99_ms;
+             Printf.sprintf "%.4f" r.cc_fairness;
+             string_of_int r.cc_errors;
+           ])
+         rows);
+  Run_store.write_section_json ~section:"serve_concurrency"
+    (Json.Obj
+       [
+         ("schema", Json.String "resched-bench-serve-concurrency/1");
+         ("seed", Json.Int seed);
+         ("jobs", Json.Int jobs);
+         ("serving_width", Json.Int serving_width);
+         ("requests_per_client", Json.Int n);
+         ("min_iterations", Json.Int iters);
+         ("tasks", Json.Int serve_conc_tasks);
+         ( "levels",
+           Json.List
+             (List.map
+                (fun r ->
+                  Json.Obj
+                    [
+                      ("clients", Json.Int r.cc_clients);
+                      ("wall_s", Json.float r.cc_wall_s);
+                      ("throughput_rps", Json.float r.cc_throughput);
+                      ("p50_ms", Json.float r.cc_p50_ms);
+                      ("p95_ms", Json.float r.cc_p95_ms);
+                      ("p99_ms", Json.float r.cc_p99_ms);
+                      ( "client_rates_rps",
+                        Json.List
+                          (Array.to_list
+                             (Array.map Json.float r.cc_rates)) );
+                      ("fairness_ratio", Json.float r.cc_fairness);
+                      ("errors", Json.Int r.cc_errors);
+                    ])
+                rows) );
+         ("speedup_4c_over_1c", Json.float speedup);
+         ("throughput_floor", Json.float floor);
+         ("concurrency_measurable", Json.Bool measurable);
+         ("throughput_ok", Json.Bool throughput_ok);
+         ("fairness_ok", Json.Bool fairness_ok);
+         ("holb_dispatches", Json.Int holb_steps);
+         ("no_holb", Json.Bool no_holb);
+         ( "identity",
+           Json.Obj
+             [ ("checked", Json.Int id_n); ("ok", Json.Bool identity_ok) ] );
+         ("identity_ok", Json.Bool identity_ok);
+         ("errors", Json.Int errors_total);
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Floorplan oracle: column-interval packer (v2) vs backtracking (v1)  *)
 
 type fp_row = {
@@ -2994,6 +3386,7 @@ let all_sections =
     ("moves", moves_comparison);
     ("batch", batch_comparison);
     ("serve", serve_comparison);
+    ("serve_concurrency", serve_concurrency);
     ("floorplan", floorplan_oracle_comparison);
     ("milp", milp_comparison);
     ("ablations", section_ablations);

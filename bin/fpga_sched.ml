@@ -842,66 +842,11 @@ let batch_cmd =
 
 module Server = Resched_serve.Server
 module Serve_protocol = Resched_serve.Protocol
-
-(* Incremental line reader over [in_fd] feeding the server: complete
-   lines are submitted as they arrive, expired queue entries are swept
-   on every poll tick, and with [jobs = 1] the reader itself advances
-   the server one request at a time between polls (event-loop mode — no
-   worker domains exist to do it). Returns on EOF (submitting any
-   unterminated trailing line first, closing the server when
-   [close_on_eof]) or as soon as a shutdown request closed the server:
-   input past a shutdown is never read. *)
-let serve_over_fd srv ~jobs ~close_on_eof in_fd =
-  let chunk = Bytes.create 4096 in
-  let buf = Buffer.create 4096 in
-  let submit_complete_lines () =
-    let s = Buffer.contents buf in
-    let rec go start =
-      match String.index_from_opt s start '\n' with
-      | None ->
-        Buffer.clear buf;
-        Buffer.add_substring buf s start (String.length s - start)
-      | Some i ->
-        let line = String.trim (String.sub s start (i - start)) in
-        if line <> "" then Server.submit_line srv line;
-        go (i + 1)
-    in
-    go 0
-  in
-  let rec loop () =
-    if not (Server.closed srv) then begin
-      ignore (Server.sweep_expired srv : int);
-      let timeout =
-        if jobs > 1 then 0.2
-        else
-          (* Single-domain mode: interleave one unit of server work per
-             poll so requests are answered while input is idle. *)
-          match Server.step srv with
-          | Server.Did_work -> 0.
-          | Server.Backoff d -> Float.max 0.001 (Float.min d 0.05)
-          | Server.Idle | Server.Drained -> 0.2
-      in
-      match Unix.select [ in_fd ] [] [] timeout with
-      | [ _ ], _, _ ->
-        let n = Unix.read in_fd chunk 0 (Bytes.length chunk) in
-        if n = 0 then begin
-          let line = String.trim (Buffer.contents buf) in
-          if line <> "" then Server.submit_line srv line;
-          if close_on_eof then Server.close srv
-        end
-        else begin
-          Buffer.add_subbytes buf chunk 0 n;
-          submit_complete_lines ();
-          loop ()
-        end
-      | _, _, _ -> loop ()
-    end
-  in
-  loop ()
+module Serve_transport = Resched_serve.Transport
 
 let serve () socket jobs capacity tenant_quota degrade_low degrade_high
     degrade_factor slice retries backoff_ms deadline_ms min_iterations
-    budget_ms seed allow_faults =
+    budget_ms seed allow_faults max_clients max_line_bytes =
   let cfg =
     Server.config ~capacity ?tenant_quota ?degrade_low ?degrade_high
       ~degrade_factor ~slice ~max_retries:retries
@@ -912,33 +857,24 @@ let serve () socket jobs capacity tenant_quota degrade_low degrade_high
         (Option.map (fun d -> float_of_int d /. 1000.) deadline_ms)
       ~allow_fault_injection:allow_faults ()
   in
-  (* Responses go to whatever channel is current — stdout, or the live
-     socket connection. Writes to a client that hung up are dropped
-     (there is no one left to answer); the out_lock keeps response
-     lines whole across worker domains and connection swaps. *)
-  let out = ref stdout in
-  let out_lock = Mutex.create () in
-  let respond resp =
-    Resched_util.Domain_pool.with_lock out_lock (fun () ->
-        try
-          output_string !out (Serve_protocol.response_to_line resp);
-          output_char !out '\n';
-          flush !out
-        with Sys_error _ -> ())
+  (* Every request is answered through its own connection's writer; the
+     server-wide responder is only a backstop and has nowhere sensible
+     to send a line, so it drops it. *)
+  let srv = Server.create ~respond:(fun _ -> ()) cfg in
+  let transport =
+    Serve_transport.create ~max_clients ~max_line_bytes
+      ~drive_server:(jobs = 1) srv
   in
-  let srv = Server.create ~respond cfg in
   (* The daemon's whole life is one dispatch over one persistent pool:
-     worker 0 (the calling domain) reads and admits, workers 1..jobs-1
-     run the solver loop. When the reader sees EOF or shutdown it
-     closes admission and joins the drain, so every accepted request is
-     answered before the pool is torn down. With [jobs = 1] the single
-     domain alternates reading and solving (see [serve_over_fd]). *)
-  let run_with_readers reader =
-    if jobs = 1 then begin
-      reader ();
-      Server.close srv;
-      Server.drain srv
-    end
+     worker 0 (the calling domain) runs the multiplexing event loop,
+     workers 1..jobs-1 run the solver loop. The event loop returns once
+     the server is closed (EOF in pipe mode, a shutdown request in
+     either mode), drained, and every response has been flushed, so
+     every accepted request is answered before the pool is torn down.
+     With [jobs = 1] the event loop itself advances the server one
+     request at a time between polls. *)
+  let run_transport () =
+    if jobs = 1 then Serve_transport.run transport
     else begin
       let pool = Resched_util.Domain_pool.Pool.create ~jobs () in
       Fun.protect
@@ -946,60 +882,35 @@ let serve () socket jobs capacity tenant_quota degrade_low degrade_high
         (fun () ->
           ignore
             (Resched_util.Domain_pool.Pool.map pool (fun i ->
-                 if i = 0 then begin
-                   reader ();
-                   Server.close srv;
-                   Server.work_loop srv
-                 end
+                 if i = 0 then Serve_transport.run transport
                  else Server.work_loop srv)
               : unit array))
     end
   in
   (match socket with
   | None ->
-    run_with_readers (fun () ->
-        serve_over_fd srv ~jobs ~close_on_eof:true Unix.stdin)
+    Serve_transport.add_channel transport ~close_server_on_eof:true
+      ~owns_fds:false ~in_fd:Unix.stdin ~out_fd:Unix.stdout ();
+    run_transport ()
   | Some path ->
     if Sys.file_exists path then
       die exit_io "socket path %s already exists" path;
     let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Unix.bind sock (Unix.ADDR_UNIX path);
-    Unix.listen sock 8;
+    Unix.listen sock (Stdlib.max 8 max_clients);
     Printf.eprintf "fpga_sched: serving on %s\n%!" path;
-    (* One client at a time: each accepted connection becomes the
-       response channel until it disconnects or sends shutdown. The
-       shutdown client's channel stays current through the drain so it
-       receives every in-flight response. *)
-    let reader () =
-      let rec accept_next () =
-        if not (Server.closed srv) then begin
-          let conn, _ = Unix.accept sock in
-          let oc = Unix.out_channel_of_descr conn in
-          Resched_util.Domain_pool.with_lock out_lock (fun () -> out := oc);
-          (try serve_over_fd srv ~jobs ~close_on_eof:false conn
-           with Sys_error _ | Unix.Unix_error _ -> ());
-          if not (Server.closed srv) then begin
-            Resched_util.Domain_pool.with_lock out_lock (fun () ->
-                out := stdout);
-            (try close_out oc with Sys_error _ -> ());
-            accept_next ()
-          end
-        end
-      in
-      accept_next ()
-    in
+    Serve_transport.listen transport sock;
     Fun.protect
-      ~finally:(fun () ->
-        (try Unix.close sock with Unix.Unix_error _ -> ());
-        try Sys.remove path with Sys_error _ -> ())
-      (fun () -> run_with_readers reader));
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      run_transport);
   0
 
 let serve_cmd =
   let socket =
     let doc =
-      "Serve on a Unix domain socket at PATH (one client at a time) \
-       instead of stdin/stdout."
+      "Serve on a Unix domain socket at PATH instead of stdin/stdout; up \
+       to $(b,--max-clients) connections are multiplexed concurrently on \
+       one event loop."
     in
     Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
   in
@@ -1074,16 +985,35 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "allow-fault-injection" ] ~doc)
   in
+  let max_clients =
+    let doc =
+      "Max simultaneously connected clients; past it new connections wait \
+       in the kernel accept backlog."
+    in
+    Arg.(value & opt int 32 & info [ "max-clients" ] ~docv:"N" ~doc)
+  in
+  let max_line_bytes =
+    let doc =
+      "Max request line length in bytes; longer lines are answered with a \
+       structured rejected/line_too_long response and discarded without \
+       dropping the connection."
+    in
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "max-line-bytes" ] ~docv:"BYTES" ~doc)
+  in
   let doc =
-    "run the solver stack as a resident jsonl service (admission control, \
-     deadline budgets, graceful degradation)"
+    "run the solver stack as a resident jsonl service (multiplexed \
+     concurrent clients, admission control, deadline budgets, graceful \
+     degradation)"
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const serve $ verbose_arg $ socket $ jobs_arg $ capacity $ tenant_quota
       $ degrade_low $ degrade_high $ degrade_factor $ slice $ retries
       $ backoff $ deadline $ min_iterations $ budget $ seed_arg
-      $ allow_faults)
+      $ allow_faults $ max_clients $ max_line_bytes)
 
 (* ------------------------------------------------------------------ *)
 

@@ -59,13 +59,21 @@ let parse_request line =
     | Some other -> Error (Printf.sprintf "unknown op %S" other)
     | None -> Error "missing \"op\"")
 
-type reject_reason = Queue_full | Tenant_quota | Expired | Shutting_down
+type reject_reason =
+  | Queue_full
+  | Tenant_quota
+  | Expired
+  | Shutting_down
+  | Parse_error
+  | Line_too_long
 
 let reject_reason_name = function
   | Queue_full -> "queue_full"
   | Tenant_quota -> "tenant_quota"
   | Expired -> "expired"
   | Shutting_down -> "shutting_down"
+  | Parse_error -> "parse_error"
+  | Line_too_long -> "line_too_long"
 
 type completion = {
   c_id : string;

@@ -61,7 +61,16 @@ val parse_request : string -> (request, string) result
 (** Parse one request line. [id] may be a JSON string or integer and
     defaults to [""]; unknown fields are ignored. *)
 
-type reject_reason = Queue_full | Tenant_quota | Expired | Shutting_down
+type reject_reason =
+  | Queue_full
+  | Tenant_quota
+  | Expired
+  | Shutting_down
+  | Parse_error  (** the request line was not a valid request *)
+  | Line_too_long
+      (** the request line exceeded the transport's maximum line
+          length; the oversized line is discarded but the connection
+          stays open *)
 
 val reject_reason_name : reject_reason -> string
 

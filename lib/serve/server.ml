@@ -25,13 +25,14 @@ type config = {
   default_budget_s : float;
   default_deadline_s : float option;
   allow_fault_injection : bool;
+  drr_quantum : int;
 }
 
 let config ?(capacity = 64) ?tenant_quota ?degrade_low ?degrade_high
     ?(degrade_factor = 8) ?(slice = 16) ?(max_retries = 2)
     ?(backoff_s = 0.05) ?(default_seed = 1) ?(default_min_iterations = 200)
     ?(default_budget_s = 0.) ?default_deadline_s
-    ?(allow_fault_injection = false) () =
+    ?(allow_fault_injection = false) ?(drr_quantum = 1) () =
   if capacity < 1 then
     invalid_arg (Printf.sprintf "Server.config: capacity=%d" capacity);
   if slice < 1 then
@@ -39,6 +40,8 @@ let config ?(capacity = 64) ?tenant_quota ?degrade_low ?degrade_high
   if degrade_factor < 1 then
     invalid_arg
       (Printf.sprintf "Server.config: degrade_factor=%d" degrade_factor);
+  if drr_quantum < 1 then
+    invalid_arg (Printf.sprintf "Server.config: drr_quantum=%d" drr_quantum);
   let tenant_quota =
     match tenant_quota with Some q -> Stdlib.max 1 q | None -> capacity
   in
@@ -66,6 +69,7 @@ let config ?(capacity = 64) ?tenant_quota ?degrade_low ?degrade_high
     default_budget_s = Float.max 0. default_budget_s;
     default_deadline_s;
     allow_fault_injection;
+    drr_quantum;
   }
 
 let default_config = config ()
@@ -74,7 +78,9 @@ let default_config = config ()
 (* State                                                               *)
 
 (* One admitted schedule request. [e_attempt] is the attempt about to
-   run (1-based); [e_not_before] gates a retry behind its backoff. *)
+   run (1-based); [e_not_before] gates a retry behind its backoff.
+   [e_respond] is the responder the answer must go back through — with
+   a multiplexing transport, the connection that submitted it. *)
 type entry = {
   e_id : string;
   e_tenant : string;
@@ -86,28 +92,49 @@ type entry = {
   e_submitted : float;
   e_fail_attempts : int;
   e_emit : bool;
+  e_respond : Protocol.response -> unit;
   mutable e_attempt : int;
   mutable e_not_before : float;
+}
+
+(* One dispatch source (a connection, or a tenant when the caller does
+   not distinguish connections). Admitted entries queue per-source;
+   the deficit-round-robin scan in [take_locked] serves the sources in
+   rotation so no single flooding source can head-of-line-block the
+   rest. [s_in_rotation] means the source is in [rotation] or is the
+   current deficit holder. *)
+type src = {
+  s_key : string;
+  s_q : entry Queue.t;
+  mutable s_deficit : int;
+  mutable s_in_rotation : bool;
+  mutable s_enqueued : int;  (* admitted, cumulative *)
+  mutable s_dispatched : int;  (* handed to a worker, cumulative *)
 }
 
 type t = {
   cfg : config;
   clock : unit -> float;
   cache : Fp_cache.t;
-  respond : Protocol.response -> unit;
+  respond : Protocol.response -> unit;  (* default responder *)
   lock : Mutex.t;
   work : Condition.t;
-  pending : entry Queue.t;  (* admission queue, bounded by capacity *)
+  sources : (string, src) Hashtbl.t;
+  rotation : src Queue.t;  (* active sources, DRR order *)
+  mutable drr_current : src option;  (* source whose deficit is draining *)
+  mutable pending_total : int;  (* admitted entries across sources *)
   mutable retrying : entry list;  (* backed-off retries, outside the bound *)
   tenants : (string, int) Hashtbl.t;  (* in-flight count per tenant *)
   mutable running : int;
   mutable is_closed : bool;
+  mutable conn_stats : (unit -> Json.t) option;
   (* counters, all guarded by [lock] *)
   mutable submitted : int;
   mutable accepted : int;
   mutable completed : int;
   mutable failed : int;
   mutable parse_errors : int;
+  mutable oversized_lines : int;
   mutable shed_queue_full : int;
   mutable shed_quota : int;
   mutable shed_expired : int;
@@ -138,16 +165,21 @@ let create ?clock ?cache ~respond cfg =
     respond;
     lock = Mutex.create ();
     work = Condition.create ();
-    pending = Queue.create ();
+    sources = Hashtbl.create 16;
+    rotation = Queue.create ();
+    drr_current = None;
+    pending_total = 0;
     retrying = [];
     tenants = Hashtbl.create 16;
     running = 0;
     is_closed = false;
+    conn_stats = None;
     submitted = 0;
     accepted = 0;
     completed = 0;
     failed = 0;
     parse_errors = 0;
+    oversized_lines = 0;
     shed_queue_full = 0;
     shed_quota = 0;
     shed_expired = 0;
@@ -166,11 +198,11 @@ let cache t = t.cache
 (* Responses are serialized under their own lock so lines never
    interleave, and delivery failures (a client that hung up) never
    poison the request that produced them. *)
-let deliver t resp =
+let deliver t ~via resp =
   Mutex.lock t.resp_lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.resp_lock)
-    (fun () -> try t.respond resp with _ -> ())
+    (fun () -> try via resp with _ -> ())
 
 let tenant_inflight t tenant =
   Option.value (Hashtbl.find_opt t.tenants tenant) ~default:0
@@ -180,7 +212,7 @@ let tenant_add t tenant d =
   if v <= 0 then Hashtbl.remove t.tenants tenant
   else Hashtbl.replace t.tenants tenant v
 
-let depth_locked t = Queue.length t.pending + List.length t.retrying
+let depth_locked t = t.pending_total + List.length t.retrying
 
 let with_lock t f =
   Mutex.lock t.lock;
@@ -192,10 +224,104 @@ let max_queue_depth t = with_lock t (fun () -> t.max_depth)
 
 let closed t = with_lock t (fun () -> t.is_closed)
 
+let drained t =
+  with_lock t (fun () ->
+      t.is_closed && t.pending_total = 0 && t.retrying = [] && t.running = 0)
+
 let close t =
   with_lock t (fun () ->
       t.is_closed <- true;
       Condition.broadcast t.work)
+
+let set_connection_stats t f =
+  with_lock t (fun () -> t.conn_stats <- Some f)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch sources                                                    *)
+
+let source_of_locked t key =
+  match Hashtbl.find_opt t.sources key with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        s_key = key;
+        s_q = Queue.create ();
+        s_deficit = 0;
+        s_in_rotation = false;
+        s_enqueued = 0;
+        s_dispatched = 0;
+      }
+    in
+    Hashtbl.add t.sources key s;
+    s
+
+(* Idle sources keep their cumulative fairness counters in the table
+   (the metrics endpoint reports them); only past this many known
+   sources does connection churn start evicting empty idle ones, so a
+   long-lived daemon stays bounded. *)
+let max_idle_sources = 1024
+
+let maybe_prune_locked t src =
+  if
+    Hashtbl.length t.sources > max_idle_sources
+    && Queue.is_empty src.s_q
+    && not src.s_in_rotation
+  then Hashtbl.remove t.sources src.s_key
+
+let enqueue_locked t src e =
+  Queue.push e src.s_q;
+  src.s_enqueued <- src.s_enqueued + 1;
+  t.pending_total <- t.pending_total + 1;
+  if not src.s_in_rotation then begin
+    src.s_in_rotation <- true;
+    Queue.push src t.rotation
+  end
+
+let deactivate_locked t src =
+  src.s_in_rotation <- false;
+  src.s_deficit <- 0;
+  maybe_prune_locked t src
+
+(* Deficit round robin over the active sources; every request costs
+   one unit, each visit grants [drr_quantum] units. With the default
+   quantum of 1 this is exact per-source round robin. Only called when
+   [pending_total > 0], which guarantees the rotation holds a
+   non-empty source. *)
+let rec take_locked t =
+  match t.drr_current with
+  | Some src when (not (Queue.is_empty src.s_q)) && src.s_deficit >= 1 ->
+    let e = Queue.pop src.s_q in
+    src.s_deficit <- src.s_deficit - 1;
+    src.s_dispatched <- src.s_dispatched + 1;
+    t.pending_total <- t.pending_total - 1;
+    if Queue.is_empty src.s_q then begin
+      t.drr_current <- None;
+      deactivate_locked t src
+    end
+    else if src.s_deficit < 1 then begin
+      t.drr_current <- None;
+      Queue.push src t.rotation
+    end;
+    e
+  | current ->
+    (match current with
+    | Some src ->
+      (* Deficit spent (or the sweeper emptied the queue): rotate. *)
+      t.drr_current <- None;
+      if Queue.is_empty src.s_q then deactivate_locked t src
+      else Queue.push src t.rotation
+    | None -> ());
+    let src = Queue.pop t.rotation in
+    if Queue.is_empty src.s_q then begin
+      deactivate_locked t src;
+      take_locked t
+    end
+    else begin
+      src.s_deficit <- src.s_deficit + t.cfg.drr_quantum;
+      t.drr_current <- Some src;
+      take_locked t
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -229,51 +355,96 @@ let cache_json c =
       );
     ]
 
+let dispatch_json_locked t =
+  let srcs = Hashtbl.fold (fun _ s acc -> s :: acc) t.sources [] in
+  let srcs = List.sort (fun a b -> compare a.s_key b.s_key) srcs in
+  let served = List.filter (fun s -> s.s_dispatched > 0) srcs in
+  let dmax = List.fold_left (fun m s -> Stdlib.max m s.s_dispatched) 0 served in
+  let dmin =
+    match served with
+    | [] -> 0
+    | _ -> List.fold_left (fun m s -> Stdlib.min m s.s_dispatched) max_int served
+  in
+  Json.Obj
+    [
+      ("quantum", Json.Int t.cfg.drr_quantum);
+      ( "active_sources",
+        Json.Int (List.length (List.filter (fun s -> s.s_in_rotation) srcs)) );
+      ("known_sources", Json.Int (List.length srcs));
+      ("dispatched_max", Json.Int dmax);
+      ("dispatched_min", Json.Int dmin);
+      ( "sources",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("source", Json.String s.s_key);
+                   ("queued", Json.Int (Queue.length s.s_q));
+                   ("deficit", Json.Int s.s_deficit);
+                   ("enqueued", Json.Int s.s_enqueued);
+                   ("dispatched", Json.Int s.s_dispatched);
+                 ])
+             srcs) );
+    ]
+
 let metrics t =
   with_lock t (fun () ->
       Json.Obj
-        [
-          ("schema", Json.String "resched-serve-metrics/1");
-          ( "queue",
-            Json.Obj
-              [
-                ("depth", Json.Int (depth_locked t));
-                ("pending", Json.Int (Queue.length t.pending));
-                ("retrying", Json.Int (List.length t.retrying));
-                ("running", Json.Int t.running);
-                ("capacity", Json.Int t.cfg.capacity);
-                ("max_depth", Json.Int t.max_depth);
-              ] );
-          ( "requests",
-            Json.Obj
-              [
-                ("submitted", Json.Int t.submitted);
-                ("accepted", Json.Int t.accepted);
-                ("completed", Json.Int t.completed);
-                ("failed", Json.Int t.failed);
-                ("parse_errors", Json.Int t.parse_errors);
-              ] );
-          ( "shed",
-            Json.Obj
-              [
-                ("queue_full", Json.Int t.shed_queue_full);
-                ("tenant_quota", Json.Int t.shed_quota);
-                ("expired", Json.Int t.shed_expired);
-                ("shutting_down", Json.Int t.shed_shutdown);
-              ] );
-          ( "degrade",
-            Json.Obj
-              [
-                ("full", Json.Int t.degrade_counts.(0));
-                ("reduced", Json.Int t.degrade_counts.(1));
-                ("heuristic", Json.Int t.degrade_counts.(2));
-              ] );
-          ("deadline_hits", Json.Int t.deadline_hits);
-          ("retries", Json.Int t.retries);
-          ("invalid_schedules", Json.Int t.invalid_schedules);
-          ("latency", Histogram.to_json t.latency);
-          ("fp_cache", cache_json t.cache);
-        ])
+        ([
+           ("schema", Json.String "resched-serve-metrics/2");
+           ( "queue",
+             Json.Obj
+               [
+                 ("depth", Json.Int (depth_locked t));
+                 ("pending", Json.Int t.pending_total);
+                 ("retrying", Json.Int (List.length t.retrying));
+                 ("running", Json.Int t.running);
+                 ("capacity", Json.Int t.cfg.capacity);
+                 ("max_depth", Json.Int t.max_depth);
+               ] );
+           ( "requests",
+             Json.Obj
+               [
+                 ("submitted", Json.Int t.submitted);
+                 ("accepted", Json.Int t.accepted);
+                 ("completed", Json.Int t.completed);
+                 ("failed", Json.Int t.failed);
+                 ("parse_errors", Json.Int t.parse_errors);
+                 ("oversized_lines", Json.Int t.oversized_lines);
+               ] );
+           ( "shed",
+             Json.Obj
+               [
+                 ("queue_full", Json.Int t.shed_queue_full);
+                 ("tenant_quota", Json.Int t.shed_quota);
+                 ("expired", Json.Int t.shed_expired);
+                 ("shutting_down", Json.Int t.shed_shutdown);
+               ] );
+           ( "degrade",
+             Json.Obj
+               [
+                 ("full", Json.Int t.degrade_counts.(0));
+                 ("reduced", Json.Int t.degrade_counts.(1));
+                 ("heuristic", Json.Int t.degrade_counts.(2));
+               ] );
+           ("dispatch", dispatch_json_locked t);
+           ( "tenants",
+             Json.Obj
+               (List.sort compare
+                  (Hashtbl.fold
+                     (fun k v acc -> (k, Json.Int v) :: acc)
+                     t.tenants [])) );
+           ("deadline_hits", Json.Int t.deadline_hits);
+           ("retries", Json.Int t.retries);
+           ("invalid_schedules", Json.Int t.invalid_schedules);
+           ("latency", Histogram.to_json t.latency);
+           ("fp_cache", cache_json t.cache);
+         ]
+        @
+        match t.conn_stats with
+        | Some f -> [ ("connections", (try f () with _ -> Json.Null)) ]
+        | None -> []))
 
 (* ------------------------------------------------------------------ *)
 (* Admission                                                           *)
@@ -285,25 +456,27 @@ let load_instance source =
     | Protocol.Path p -> Io.load p
   with Sys_error m -> Error m
 
-let reject t ~id ~reason ~depth =
-  deliver t (Protocol.Rejected { id; reason; queue_depth = depth })
+let reject t ~via ~id ~reason ~depth =
+  deliver t ~via (Protocol.Rejected { id; reason; queue_depth = depth })
 
-let submit t (req : Protocol.request) =
+let submit ?respond ?source t (req : Protocol.request) =
+  let via = match respond with Some r -> r | None -> t.respond in
   match req.Protocol.op with
   | Protocol.Metrics ->
-    deliver t (Protocol.Metrics_reply { id = req.Protocol.id; body = metrics t })
+    deliver t ~via
+      (Protocol.Metrics_reply { id = req.Protocol.id; body = metrics t })
   | Protocol.Shutdown ->
     close t;
-    deliver t (Protocol.Shutdown_ack { id = req.Protocol.id })
-  | Protocol.Schedule (source, p) -> (
+    deliver t ~via (Protocol.Shutdown_ack { id = req.Protocol.id })
+  | Protocol.Schedule (src_spec, p) -> (
     (* Parse/load the instance before touching server state, so a
        malformed request costs admission nothing. *)
-    match load_instance source with
+    match load_instance src_spec with
     | Error e ->
       with_lock t (fun () ->
           t.submitted <- t.submitted + 1;
           t.parse_errors <- t.parse_errors + 1);
-      deliver t
+      deliver t ~via
         (Protocol.Failed
            {
              id = req.Protocol.id;
@@ -312,6 +485,11 @@ let submit t (req : Protocol.request) =
            })
     | Ok inst ->
       let now = t.clock () in
+      let skey =
+        match source with
+        | Some s -> s
+        | None -> "tenant:" ^ p.Protocol.tenant
+      in
       let verdict =
         with_lock t (fun () ->
             t.submitted <- t.submitted + 1;
@@ -319,7 +497,7 @@ let submit t (req : Protocol.request) =
               t.shed_shutdown <- t.shed_shutdown + 1;
               `Reject (Protocol.Shutting_down, depth_locked t)
             end
-            else if Queue.length t.pending >= t.cfg.capacity then begin
+            else if t.pending_total >= t.cfg.capacity then begin
               t.shed_queue_full <- t.shed_queue_full + 1;
               `Reject (Protocol.Queue_full, depth_locked t)
             end
@@ -355,13 +533,14 @@ let submit t (req : Protocol.request) =
                        p.Protocol.fail_attempts
                      else 0);
                   e_emit = p.Protocol.emit_schedule;
+                  e_respond = via;
                   e_attempt = 1;
                   e_not_before = 0.;
                 }
               in
               t.accepted <- t.accepted + 1;
               tenant_add t p.Protocol.tenant 1;
-              Queue.push e t.pending;
+              enqueue_locked t (source_of_locked t skey) e;
               let d = depth_locked t in
               if d > t.max_depth then t.max_depth <- d;
               Condition.signal t.work;
@@ -371,22 +550,40 @@ let submit t (req : Protocol.request) =
       (match verdict with
       | `Accepted -> ()
       | `Reject (reason, depth) ->
-        reject t ~id:req.Protocol.id ~reason ~depth))
+        reject t ~via ~id:req.Protocol.id ~reason ~depth))
 
-let submit_line t line =
+let submit_line ?respond ?source t line =
+  let via = match respond with Some r -> r | None -> t.respond in
   match Protocol.parse_request line with
-  | Ok req -> submit t req
-  | Error msg ->
-    with_lock t (fun () -> t.parse_errors <- t.parse_errors + 1);
-    deliver t (Protocol.Failed { id = ""; message = msg; attempts = 0 })
+  | Ok req -> submit ~respond:via ?source t req
+  | Error _ ->
+    let depth =
+      with_lock t (fun () ->
+          t.parse_errors <- t.parse_errors + 1;
+          depth_locked t)
+    in
+    reject t ~via ~id:"" ~reason:Protocol.Parse_error ~depth
+
+(* Transport hook: a line exceeded the framing limit and was discarded
+   before it could even be parsed — answer with a structured rejection
+   on the connection that sent it, keeping the connection alive. *)
+let reject_oversized ?respond t =
+  let via = match respond with Some r -> r | None -> t.respond in
+  let depth =
+    with_lock t (fun () ->
+        t.oversized_lines <- t.oversized_lines + 1;
+        depth_locked t)
+  in
+  reject t ~via ~id:"" ~reason:Protocol.Line_too_long ~depth
 
 (* ------------------------------------------------------------------ *)
 (* Deadline sweeping                                                   *)
 
 (* Requests whose deadline passed while still queued are shed here, not
    at dispatch, so their [rejected]/[expired] line goes out as soon as a
-   sweeper notices — workers sweep before picking work, and the CLI's
-   reader loop sweeps on every poll tick. *)
+   sweeper notices — workers sweep before picking work, and the
+   transport sweeps on every poll tick. Sources left empty by the sweep
+   are deactivated lazily by the next [take_locked] scan. *)
 let sweep_expired t =
   let expired =
     with_lock t (fun () ->
@@ -394,13 +591,24 @@ let sweep_expired t =
         let live e =
           match e.e_deadline with Some d -> now < d | None -> true
         in
-        let keep = Queue.create () in
         let dead = ref [] in
-        Queue.iter
-          (fun e -> if live e then Queue.push e keep else dead := e :: !dead)
-          t.pending;
-        Queue.clear t.pending;
-        Queue.transfer keep t.pending;
+        Hashtbl.iter
+          (fun _ src ->
+            if not (Queue.is_empty src.s_q) then begin
+              let before = Queue.length src.s_q in
+              let keep = Queue.create () in
+              Queue.iter
+                (fun e ->
+                  if live e then Queue.push e keep else dead := e :: !dead)
+                src.s_q;
+              if Queue.length keep <> before then begin
+                t.pending_total <-
+                  t.pending_total - (before - Queue.length keep);
+                Queue.clear src.s_q;
+                Queue.transfer keep src.s_q
+              end
+            end)
+          t.sources;
         let keep_r, dead_r = List.partition live t.retrying in
         t.retrying <- keep_r;
         let dead = List.rev !dead @ dead_r in
@@ -413,7 +621,7 @@ let sweep_expired t =
   in
   List.iter
     (fun (e, depth) ->
-      reject t ~id:e.e_id ~reason:Protocol.Expired ~depth)
+      reject t ~via:e.e_respond ~id:e.e_id ~reason:Protocol.Expired ~depth)
     expired;
   List.length expired
 
@@ -498,7 +706,7 @@ let complete t e ~level ~eff_iters (makespan, iterations, sched_text, hit) =
         Histogram.add t.latency lat;
         lat)
   in
-  deliver t
+  deliver t ~via:e.e_respond
     (Protocol.Completed
        {
          Protocol.c_id = e.e_id;
@@ -542,7 +750,7 @@ let handle_failure t e exn =
         end)
   in
   if not retry then
-    deliver t
+    deliver t ~via:e.e_respond
       (Protocol.Failed { id = e.e_id; message = msg; attempts = e.e_attempt })
 
 let process_entry t e ~depth =
@@ -554,7 +762,7 @@ let process_entry t e ~depth =
     with_lock t (fun () ->
         tenant_add t e.e_tenant (-1);
         t.shed_expired <- t.shed_expired + 1);
-    reject t ~id:e.e_id ~reason:Protocol.Expired ~depth
+    reject t ~via:e.e_respond ~id:e.e_id ~reason:Protocol.Expired ~depth
   | _ -> (
     let level = degrade_level t.cfg ~depth in
     let eff_iters, eff_budget = effective_budget t.cfg e ~level in
@@ -586,9 +794,9 @@ let pick_locked t =
     t.retrying <- rest @ waiting;
     P_entry (e, depth)
   | [] ->
-    if not (Queue.is_empty t.pending) then begin
+    if t.pending_total > 0 then begin
       let depth = depth_locked t in
-      P_entry (Queue.pop t.pending, depth)
+      P_entry (take_locked t, depth)
     end
     else if waiting <> [] then
       P_backoff

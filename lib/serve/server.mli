@@ -28,6 +28,11 @@
       restarts cut by [degrade_factor], 2 heuristic-only) is picked
       from the queue depth at dispatch — counting the request being
       dispatched — and reported in the response.
+    - Dispatch is fair across sources: admitted requests queue per
+      [source] (per connection under the multiplexing transport,
+      per tenant otherwise) and workers drain the sources
+      deficit-round-robin, so a source flooding the admission queue
+      delays its own requests, not everyone else's.
 
     {b Determinism.} The engine shares one verdict-transparent
     {!Resched_floorplan.Fp_cache} across requests, so a completed
@@ -53,6 +58,9 @@ type config = {
       (** deadline for requests that do not carry one; [None] = none *)
   allow_fault_injection : bool;
       (** honor the protocol's [fail_attempts] test hook *)
+  drr_quantum : int;
+      (** deficit-round-robin units granted per source visit (requests
+          are unit cost, so 1 = exact per-source round robin) *)
 }
 
 val config :
@@ -69,15 +77,16 @@ val config :
   ?default_budget_s:float ->
   ?default_deadline_s:float ->
   ?allow_fault_injection:bool ->
+  ?drr_quantum:int ->
   unit ->
   config
 (** Defaults: capacity 64, quota = capacity (no per-tenant limit),
     rungs at capacity/4 and 3*capacity/4, factor 8, slice 16, 2
     retries from 50 ms backoff, seed 1, 200 restarts, no wall-clock
-    budget, no default deadline, fault injection off. Out-of-range
-    values are clamped ([degrade_high >= degrade_low >= 1]);
-    [capacity < 1], [slice < 1] and [degrade_factor < 1] raise
-    [Invalid_argument]. *)
+    budget, no default deadline, fault injection off, DRR quantum 1.
+    Out-of-range values are clamped ([degrade_high >= degrade_low >=
+    1]); [capacity < 1], [slice < 1], [degrade_factor < 1] and
+    [drr_quantum < 1] raise [Invalid_argument]. *)
 
 val default_config : config
 
@@ -101,15 +110,34 @@ val create :
 
 val cache : t -> Resched_floorplan.Fp_cache.t
 
-val submit : t -> Protocol.request -> unit
+val submit :
+  ?respond:(Protocol.response -> unit) ->
+  ?source:string ->
+  t ->
+  Protocol.request ->
+  unit
 (** Admit (or shed) one request. [Metrics] and [Shutdown] are answered
     inline on the calling thread; [Schedule] requests are parsed,
     admission-checked and either enqueued or answered with a
-    structured rejection immediately. Thread-safe. *)
+    structured rejection immediately. Thread-safe.
 
-val submit_line : t -> string -> unit
+    [respond] overrides the server-wide responder for every response
+    this request produces — a multiplexing transport passes the
+    submitting connection's writer. [source] names the
+    deficit-round-robin dispatch queue the request joins (default
+    ["tenant:<tenant>"]); a transport passes a per-connection key so
+    one flooding connection cannot head-of-line-block the others. *)
+
+val submit_line :
+  ?respond:(Protocol.response -> unit) -> ?source:string -> t -> string -> unit
 (** {!Protocol.parse_request} + {!submit}; malformed lines get a
-    [Failed] response with an empty id. *)
+    structured [Rejected] response with reason [parse_error] and an
+    empty id (the connection stays usable). *)
+
+val reject_oversized : ?respond:(Protocol.response -> unit) -> t -> unit
+(** Transport hook: count and answer (reason [line_too_long], empty
+    id) a request line that exceeded the framing limit and was
+    discarded unread. *)
 
 val close : t -> unit
 (** Stop admitting [Schedule] requests (they shed as [Shutting_down]);
@@ -117,6 +145,17 @@ val close : t -> unit
     return once closed {e and} drained. *)
 
 val closed : t -> bool
+
+val drained : t -> bool
+(** Closed, with every accepted request answered and no worker mid-
+    request — the condition under which {!work_loop}s return and a
+    transport may stop flushing. *)
+
+val set_connection_stats : t -> (unit -> Resched_util.Json.t) -> unit
+(** Register a transport's connection-stats provider; its result is
+    embedded as the ["connections"] object of {!metrics}. The callback
+    runs on whatever thread serves the metrics request and must not
+    call back into this module. *)
 
 val work_loop : t -> unit
 (** Blocking worker body: repeatedly sweep expired queue entries, pick
@@ -149,8 +188,11 @@ val sweep_expired : t -> int
 val metrics : t -> Resched_util.Json.t
 (** The [metrics] response body: queue gauges, request/shed/degrade
     counters, retry and deadline counts, the completed-request latency
-    histogram ({!Histogram.to_json}) and floorplan-cache stripe hit
-    rates. *)
+    histogram ({!Histogram.to_json}), floorplan-cache stripe hit
+    rates, the DRR dispatch table (per-source queued/enqueued/
+    dispatched fairness counters and their max/min), per-tenant
+    in-flight occupancy, and — when a transport registered
+    {!set_connection_stats} — per-connection transport counters. *)
 
 val queue_depth : t -> int
 

@@ -1,0 +1,193 @@
+(* Reusable line-framing buffers for jsonl transports.  See the mli
+   for the contract; the invariants maintained here:
+
+   Reader: live bytes occupy [start, start+len); [scanned] counts the
+   prefix of the live region already searched for '\n' (so refills
+   never rescan); [discard >= 0] means we are inside an oversized line
+   that has already been reported, counting dropped bytes until the
+   next terminator. *)
+
+let chunk = 4096
+
+module Reader = struct
+  type t = {
+    mutable buf : Bytes.t;
+    mutable start : int;
+    mutable len : int;
+    mutable scanned : int;
+    max_line : int;
+    mutable discard : int; (* -1 when framing normally *)
+  }
+
+  let create ?(capacity = chunk) ~max_line () =
+    {
+      buf = Bytes.create (max 64 capacity);
+      start = 0;
+      len = 0;
+      scanned = 0;
+      max_line = max 1 max_line;
+      discard = -1;
+    }
+
+  let buffered t = t.len
+  let capacity t = Bytes.length t.buf
+
+  (* Ensure [n] free bytes after the live region, compacting first and
+     growing geometrically only when compaction is not enough.  Growth
+     is bounded in practice: [next] caps the live region at [max_line]
+     before switching to discard mode, so the buffer settles at no
+     more than max_line + one chunk. *)
+  let reserve t n =
+    if Bytes.length t.buf - t.start - t.len < n then begin
+      if t.start > 0 then begin
+        Bytes.blit t.buf t.start t.buf 0 t.len;
+        t.start <- 0
+      end;
+      if Bytes.length t.buf - t.len < n then begin
+        let cap = ref (Bytes.length t.buf) in
+        while !cap - t.len < n do
+          cap := !cap * 2
+        done;
+        let nb = Bytes.create !cap in
+        Bytes.blit t.buf 0 nb 0 t.len;
+        t.buf <- nb
+      end
+    end
+
+  let fill t f =
+    reserve t chunk;
+    let n = f t.buf (t.start + t.len) (Bytes.length t.buf - t.start - t.len) in
+    if n > 0 then t.len <- t.len + n;
+    n
+
+  let take_line t i =
+    (* Live bytes [start, start+i) form a line; consume i+1. *)
+    let stop =
+      if i > 0 && Bytes.get t.buf (t.start + i - 1) = '\r' then i - 1 else i
+    in
+    let line = Bytes.sub_string t.buf t.start stop in
+    t.start <- t.start + i + 1;
+    t.len <- t.len - (i + 1);
+    t.scanned <- 0;
+    if t.len = 0 then t.start <- 0;
+    line
+
+  let rec next t =
+    if t.discard >= 0 then begin
+      (* Drop until the terminator of the already-reported long line. *)
+      let found = ref (-1) in
+      let i = ref 0 in
+      while !found < 0 && !i < t.len do
+        if Bytes.get t.buf (t.start + !i) = '\n' then found := !i;
+        incr i
+      done;
+      match !found with
+      | -1 ->
+          t.discard <- t.discard + t.len;
+          t.start <- 0;
+          t.len <- 0;
+          t.scanned <- 0;
+          `Pending
+      | i ->
+          t.discard <- -1;
+          t.start <- t.start + i + 1;
+          t.len <- t.len - (i + 1);
+          t.scanned <- 0;
+          if t.len = 0 then t.start <- 0;
+          next t
+    end
+    else begin
+      let found = ref (-1) in
+      let i = ref t.scanned in
+      while !found < 0 && !i < t.len do
+        if Bytes.get t.buf (t.start + !i) = '\n' then found := !i;
+        incr i
+      done;
+      match !found with
+      | -1 ->
+          t.scanned <- t.len;
+          if t.len > t.max_line then begin
+            (* One partial line already longer than allowed: report it
+               once, then swallow the rest silently. *)
+            let n = t.len in
+            t.discard <- n;
+            t.start <- 0;
+            t.len <- 0;
+            t.scanned <- 0;
+            `Overflow n
+          end
+          else `Pending
+      | i when i > t.max_line ->
+          let n = i in
+          t.start <- t.start + i + 1;
+          t.len <- t.len - (i + 1);
+          t.scanned <- 0;
+          if t.len = 0 then t.start <- 0;
+          `Overflow n
+      | i -> `Line (take_line t i)
+    end
+
+  let pending_line t =
+    if t.discard >= 0 || t.len = 0 then None
+    else begin
+      let line = Bytes.sub_string t.buf t.start t.len in
+      t.start <- 0;
+      t.len <- 0;
+      t.scanned <- 0;
+      Some line
+    end
+end
+
+module Writer = struct
+  type t = { mutable buf : Bytes.t; mutable start : int; mutable len : int }
+
+  let create ?(capacity = chunk) () =
+    { buf = Bytes.create (max 64 capacity); start = 0; len = 0 }
+
+  let length t = t.len
+  let is_empty t = t.len = 0
+  let capacity t = Bytes.length t.buf
+
+  let clear t =
+    t.start <- 0;
+    t.len <- 0
+
+  let reserve t n =
+    if Bytes.length t.buf - t.start - t.len < n then begin
+      if t.start > 0 then begin
+        Bytes.blit t.buf t.start t.buf 0 t.len;
+        t.start <- 0
+      end;
+      if Bytes.length t.buf - t.len < n then begin
+        let cap = ref (Bytes.length t.buf) in
+        while !cap - t.len < n do
+          cap := !cap * 2
+        done;
+        let nb = Bytes.create !cap in
+        Bytes.blit t.buf 0 nb 0 t.len;
+        t.buf <- nb
+      end
+    end
+
+  let add_line ?max t s =
+    let n = String.length s + 1 in
+    match max with
+    | Some m when t.len + n > m -> false
+    | _ ->
+        reserve t n;
+        Bytes.blit_string s 0 t.buf (t.start + t.len) (String.length s);
+        Bytes.set t.buf (t.start + t.len + String.length s) '\n';
+        t.len <- t.len + n;
+        true
+
+  let write_with t f =
+    if t.len = 0 then 0
+    else begin
+      let n = f t.buf t.start t.len in
+      let n = if n < 0 then 0 else min n t.len in
+      t.start <- t.start + n;
+      t.len <- t.len - n;
+      if t.len = 0 then t.start <- 0;
+      n
+    end
+end

@@ -1,0 +1,86 @@
+(** Reusable line-framing buffers for jsonl transports.
+
+    Both halves are deliberately fd-free: they exchange bytes with the
+    outside world through caller-supplied callbacks, so the module has
+    no [unix] dependency and can be driven from tests with plain
+    in-memory sources.  A connection allocates one {!Reader.t} and one
+    {!Writer.t} at accept time and reuses them for every request — the
+    steady state neither allocates per-request buffers nor copies a
+    byte more than once on either path (socket -> ring -> line string;
+    response string -> ring -> socket). *)
+
+module Reader : sig
+  (** Compacting ring buffer with in-place newline scanning and a
+      bounded maximum line length.
+
+      The buffer grows geometrically up to [max_line] plus one fill
+      chunk and then stabilises; a line longer than [max_line] bytes
+      is reported once as [`Overflow] and the remainder of that line
+      is discarded silently up to the next ['\n'], after which framing
+      resumes.  The scan position is remembered across fills, so each
+      input byte is examined exactly once no matter how a line is
+      split across reads. *)
+
+  type t
+
+  val create : ?capacity:int -> max_line:int -> unit -> t
+  (** [create ?capacity ~max_line ()] makes a reader whose lines may
+      span at most [max_line] bytes (exclusive of the terminator).
+      [capacity] (default 4096) is the initial buffer size. *)
+
+  val fill : t -> (Bytes.t -> int -> int -> int) -> int
+  (** [fill t f] makes room for one chunk and calls [f buf pos len] to
+      deposit up to [len] fresh bytes at [pos].  Returns [f]'s result
+      (number of bytes deposited; 0 conventionally means EOF).  [f]
+      must not retain [buf].  Exceptions from [f] propagate with the
+      buffer unchanged. *)
+
+  val next : t -> [ `Line of string | `Overflow of int | `Pending ]
+  (** [next t] extracts the next complete line ([`Line], terminator
+      and an optional trailing ['\r'] stripped), reports an oversized
+      line ([`Overflow n] where [n] is the bytes seen of it so far —
+      returned once per oversized line, at detection), or [`Pending]
+      when no full line is buffered.  Call until [`Pending] after each
+      {!fill}. *)
+
+  val pending_line : t -> string option
+  (** [pending_line t] consumes and returns a final unterminated line
+      (for EOF flushes).  [None] if the buffer is empty or mid-discard
+      of an oversized line. *)
+
+  val buffered : t -> int
+  (** Bytes currently buffered and not yet consumed. *)
+
+  val capacity : t -> int
+  (** Current backing-buffer size (tests assert it stabilises). *)
+end
+
+module Writer : sig
+  (** Coalescing response buffer: many [add_line]s drain through
+      single contiguous writes. *)
+
+  type t
+
+  val create : ?capacity:int -> unit -> t
+
+  val add_line : ?max:int -> t -> string -> bool
+  (** [add_line ?max t s] appends [s] followed by ['\n'].  When [max]
+      is given and the buffered total would exceed it, the buffer is
+      left unchanged and [false] is returned (slow-consumer guard);
+      otherwise [true]. *)
+
+  val write_with : t -> (Bytes.t -> int -> int -> int) -> int
+  (** [write_with t f] offers the buffered bytes as one contiguous
+      [f buf pos len] call and consumes however many bytes [f] reports
+      written (short writes leave the rest buffered).  Returns the
+      consumed count; 0 when nothing is buffered.  Exceptions from [f]
+      propagate with the buffer unchanged. *)
+
+  val length : t -> int
+  val is_empty : t -> bool
+
+  val clear : t -> unit
+  (** Drop all buffered bytes (used when abandoning a dead peer). *)
+
+  val capacity : t -> int
+end

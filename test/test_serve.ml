@@ -594,16 +594,16 @@ let test_metrics_and_parse_errors () =
   let sim = make_sim (Server.config ~capacity:4 ()) in
   Server.submit_line sim.srv "this is not json";
   (match find_response sim "" with
-  | Protocol.Failed { attempts = 0; _ } -> ()
+  | Protocol.Rejected { reason = Protocol.Parse_error; _ } -> ()
   | r ->
-    Alcotest.failf "expected parse failure, got %s"
+    Alcotest.failf "expected parse_error rejection, got %s"
       (Protocol.response_to_line r));
   submit_inst sim ~id:"ok" inst (params ~seed:9 ~min_iterations:5 ());
   Server.submit sim.srv { Protocol.id = "m"; op = Protocol.Metrics };
   (match find_response sim "m" with
   | Protocol.Metrics_reply { body; _ } ->
     Alcotest.(check (option string)) "metrics schema"
-      (Some "resched-serve-metrics/1")
+      (Some "resched-serve-metrics/2")
       (Option.bind (Json.member "schema" body) Json.get_string);
     Alcotest.(check (option int)) "parse error counted" (Some 1)
       (Option.bind (Json.path [ "requests"; "parse_errors" ] body)
@@ -618,6 +618,334 @@ let test_metrics_and_parse_errors () =
     Alcotest.(check (option int)) "latency histogram counts completions"
       (Some 1) (Json.get_int v)
   | None -> Alcotest.fail "metrics missing latency histogram"
+
+(* ------------------------------------------------------------------ *)
+(* Multiplexing transport: concurrent clients over socketpairs         *)
+
+module Transport = Resched_serve.Transport
+
+(* A transport-backed sim: the server's default responder must never
+   fire (every request belongs to a connection), so it records strays
+   for the final assertion. Polls run with a zero timeout and work is
+   advanced by [Server.step] — fully deterministic, virtual clock. *)
+type tsim = {
+  tsrv : Server.t;
+  tr : Transport.t;
+  tclock : float ref;
+  strays : Protocol.response list ref;
+}
+
+let make_tsim ?(max_line_bytes = 1 lsl 20) cfg =
+  let tclock = ref 0. in
+  let strays = ref [] in
+  let tsrv =
+    Server.create
+      ~clock:(fun () -> !tclock)
+      ~respond:(fun r -> strays := r :: !strays)
+      cfg
+  in
+  let tr = Transport.create ~max_line_bytes tsrv in
+  { tsrv; tr; tclock; strays }
+
+(* One connected client: the far end of a socketpair whose near end the
+   transport multiplexes. *)
+type tclient = { fd : Unix.file_descr; rbuf : Buffer.t }
+
+let add_client sim =
+  let near, far = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Transport.add_socket sim.tr near;
+  Unix.set_nonblock far;
+  { fd = far; rbuf = Buffer.create 256 }
+
+let send c line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let n = Unix.write c.fd b 0 (Bytes.length b) in
+  Alcotest.(check int) "request fully written" (Bytes.length b) n
+
+(* Drain whatever responses have been flushed to this client, returning
+   complete lines (partials stay buffered). *)
+let recv c =
+  let chunk = Bytes.create 4096 in
+  let rec slurp () =
+    match Unix.read c.fd chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes c.rbuf chunk 0 n;
+      slurp ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  in
+  slurp ();
+  let s = Buffer.contents c.rbuf in
+  let rec split start acc =
+    match String.index_from_opt s start '\n' with
+    | None ->
+      Buffer.clear c.rbuf;
+      Buffer.add_substring c.rbuf s start (String.length s - start);
+      List.rev acc
+    | Some i -> split (i + 1) (String.sub s start (i - start) :: acc)
+  in
+  split 0 []
+
+let response_of_line line =
+  match Json.parse line with
+  | Error e -> Alcotest.failf "unparseable response %S: %s" line e
+  | Ok j ->
+    let str k = Option.bind (Json.member k j) Json.get_string in
+    ( Option.value (str "id") ~default:"",
+      Option.value (str "status") ~default:"",
+      j )
+
+let poll_until sim ~what pred =
+  let rec go n =
+    if not (pred ()) then
+      if n = 0 then Alcotest.failf "%s: polling did not converge" what
+      else begin
+        Transport.poll sim.tr ~timeout_s:0.;
+        go (n - 1)
+      end
+  in
+  go 500
+
+let sched_line ~id ~seed ~iters ?deadline_ms inst =
+  String.trim
+  @@ Json.to_string ~indent:0
+    (Json.Obj
+       ([
+          ("op", Json.String "schedule");
+          ("id", Json.String id);
+          ("instance", Json.String (Io.to_string inst));
+          ("seed", Json.Int seed);
+          ("min_iterations", Json.Int iters);
+          ("emit_schedule", Json.Bool true);
+        ]
+       @
+       match deadline_ms with
+       | Some d -> [ ("deadline_ms", Json.Int d) ]
+       | None -> []))
+
+(* Step the server [n] times, flushing responses between steps. *)
+let step_n sim n =
+  for _ = 1 to n do
+    (match Server.step sim.tsrv with
+    | Server.Did_work -> ()
+    | r ->
+      Alcotest.failf "expected Did_work, got %s"
+        (match r with
+        | Server.Backoff _ -> "Backoff"
+        | Server.Idle -> "Idle"
+        | Server.Drained -> "Drained"
+        | Server.Did_work -> assert false));
+    Transport.poll sim.tr ~timeout_s:0.
+  done
+
+(* Two interleaved clients, scripted bursts, virtual clock. Asserts the
+   ISSUE 10 trio: no head-of-line blocking (a flooding client's backlog
+   does not delay the sparse client), per-request results identical to
+   the offline sequential oracle, and the queue bound respected. *)
+let test_transport_concurrent_clients () =
+  let inst_a = instance 31 ~tasks:8 in
+  let inst_b = instance 32 ~tasks:8 in
+  let sim =
+    make_tsim
+      (Server.config ~capacity:16 ~degrade_low:50 ~degrade_high:60 ())
+  in
+  let a = add_client sim in
+  let b = add_client sim in
+  (* Burst 1: A floods four requests, then B sends one. *)
+  for j = 0 to 3 do
+    send a (sched_line ~id:(Printf.sprintf "a%d" j) ~seed:(100 + j) ~iters:4 inst_a)
+  done;
+  send b (sched_line ~id:"b0" ~seed:200 ~iters:4 inst_b);
+  poll_until sim ~what:"burst 1 admitted" (fun () ->
+      Server.queue_depth sim.tsrv = 5);
+  (* DRR: the first two dispatches must serve both sources — B's lone
+     request completes after at most two steps despite A's backlog. *)
+  step_n sim 2;
+  let b_lines = recv b in
+  Alcotest.(check int) "sparse client answered within 2 dispatches" 1
+    (List.length b_lines);
+  let a_lines_early = recv a in
+  Alcotest.(check bool) "flood client got at most one of its four" true
+    (List.length a_lines_early <= 1);
+  step_n sim 3;
+  let a_lines = a_lines_early @ recv a in
+  Alcotest.(check int) "flood client fully answered" 4 (List.length a_lines);
+  (* Every completion is bit-identical to the offline oracle. *)
+  let verify inst lines =
+    List.iter
+      (fun line ->
+        let id, status, j = response_of_line line in
+        Alcotest.(check string) (id ^ ": ok") "ok" status;
+        let seed =
+          match id.[0] with
+          | 'a' -> 100 + int_of_string (String.sub id 1 (String.length id - 1))
+          | _ -> 200
+        in
+        let iters =
+          Option.get (Option.bind (Json.member "iterations" j) Json.get_int)
+        in
+        let o = offline inst ~seed ~min_iterations:4 in
+        Alcotest.(check int) (id ^ ": iterations = offline")
+          o.Pa_random.iterations iters;
+        let mk = Option.bind (Json.member "makespan" j) Json.get_int in
+        let text = Option.bind (Json.member "schedule" j) Json.get_string in
+        match (o.Pa_random.schedule, mk, text) with
+        | Some s, Some m, Some text ->
+          Alcotest.(check int) (id ^ ": makespan = offline")
+            (Schedule.makespan s) m;
+          Alcotest.(check string) (id ^ ": schedule bit-identical")
+            (Schedule_io.to_string s) text
+        | None, None, None -> ()
+        | _ -> Alcotest.failf "%s: schedule presence mismatch" id)
+      lines
+  in
+  verify inst_a a_lines;
+  verify inst_b b_lines;
+  (* Burst 2: deadlines are per-request even across connections — A's
+     two expire while queued, B's (no deadline) survives the same
+     virtual-clock jump. *)
+  send a (sched_line ~id:"a4" ~seed:110 ~iters:4 ~deadline_ms:1000 inst_a);
+  send a (sched_line ~id:"a5" ~seed:111 ~iters:4 ~deadline_ms:1000 inst_a);
+  send b (sched_line ~id:"b1" ~seed:201 ~iters:4 inst_b);
+  poll_until sim ~what:"burst 2 admitted" (fun () ->
+      Server.queue_depth sim.tsrv = 3);
+  sim.tclock := !(sim.tclock) +. 2.;
+  (* The sweep on the next poll sheds the expired pair. *)
+  poll_until sim ~what:"expiry swept" (fun () ->
+      Server.queue_depth sim.tsrv = 1);
+  step_n sim 1;
+  let a_tail = recv a in
+  Alcotest.(check int) "both deadlined requests answered" 2
+    (List.length a_tail);
+  List.iter
+    (fun line ->
+      let id, status, j = response_of_line line in
+      Alcotest.(check string) (id ^ ": rejected") "rejected" status;
+      Alcotest.(check (option string)) (id ^ ": expired") (Some "expired")
+        (Option.bind (Json.member "reason" j) Json.get_string))
+    a_tail;
+  (match recv b with
+  | [ line ] ->
+    let id, status, _ = response_of_line line in
+    Alcotest.(check string) "b1 survived the clock jump" "ok" status;
+    Alcotest.(check string) "b1 id" "b1" id
+  | ls -> Alcotest.failf "expected one b response, got %d" (List.length ls));
+  Alcotest.(check bool) "queue bound respected" true
+    (Server.max_queue_depth sim.tsrv <= 16);
+  Alcotest.(check int) "no responses leaked to the default responder" 0
+    (List.length !(sim.strays))
+
+(* Framing guards: an oversized line and a malformed line are both
+   answered with structured rejections and the connection keeps
+   serving; connection + dispatch counters surface in metrics. *)
+let test_transport_framing_guards () =
+  let inst = instance 33 ~tasks:8 in
+  let sim = make_tsim ~max_line_bytes:8192 (Server.config ~capacity:8 ()) in
+  let c = add_client sim in
+  send c (String.make 20_000 'x');
+  send c "this is not json";
+  (* Both guard responses arrive; then the connection still works. *)
+  let collected = ref [] in
+  poll_until sim ~what:"framing rejections flushed" (fun () ->
+      collected := !collected @ recv c;
+      List.length !collected >= 2);
+  let guard_lines = !collected in
+  let reasons =
+    List.map
+      (fun l ->
+        let _, status, j = response_of_line l in
+        Alcotest.(check string) "rejected" "rejected" status;
+        Option.value
+          (Option.bind (Json.member "reason" j) Json.get_string)
+          ~default:"?")
+      guard_lines
+  in
+  Alcotest.(check (list string)) "guard reasons in arrival order"
+    [ "line_too_long"; "parse_error" ] reasons;
+  send c (sched_line ~id:"ok" ~seed:7 ~iters:3 inst);
+  poll_until sim ~what:"valid request admitted" (fun () ->
+      Server.queue_depth sim.tsrv = 1);
+  step_n sim 1;
+  (match recv c with
+  | [ line ] ->
+    let id, status, _ = response_of_line line in
+    Alcotest.(check string) "connection survived the bad lines" "ok" status;
+    Alcotest.(check string) "id" "ok" id
+  | ls -> Alcotest.failf "expected one completion, got %d" (List.length ls));
+  (* Connection and dispatch counters in the metrics body. *)
+  let m = Server.metrics sim.tsrv in
+  let get_int path = Option.bind (Json.path path m) Json.get_int in
+  Alcotest.(check (option int)) "one active connection" (Some 1)
+    (get_int [ "connections"; "active" ]);
+  Alcotest.(check (option int)) "accepted connections" (Some 1)
+    (get_int [ "connections"; "accepted" ]);
+  Alcotest.(check (option int)) "oversized lines counted (transport)"
+    (Some 1)
+    (get_int [ "connections"; "oversized_lines" ]);
+  Alcotest.(check (option int)) "oversized lines counted (server)" (Some 1)
+    (get_int [ "requests"; "oversized_lines" ]);
+  Alcotest.(check bool) "bytes flowed both ways" true
+    (match
+       (get_int [ "connections"; "bytes_in" ],
+        get_int [ "connections"; "bytes_out" ])
+     with
+    | Some i, Some o -> i > 0 && o > 0
+    | _ -> false);
+  Alcotest.(check (option int)) "dispatch served this connection" (Some 1)
+    (match Json.path [ "dispatch"; "sources" ] m with
+    | Some (Json.List (Json.Obj _ :: _ as srcs)) ->
+      List.find_map
+        (fun s ->
+          match Json.member "source" s with
+          | Some (Json.String "conn:0") ->
+            Option.bind (Json.member "dispatched" s) Json.get_int
+          | _ -> None)
+        srcs
+    | _ -> None);
+  Alcotest.(check int) "no stray responses" 0 (List.length !(sim.strays))
+
+(* The DRR quantum is honored: with quantum 2 the rotation serves two
+   per source before moving on; with the default 1 it alternates. *)
+let test_drr_quantum () =
+  let inst = instance 34 ~tasks:6 in
+  let order_of ~quantum =
+    let sim =
+      make_sim
+        (Server.config ~capacity:16 ~degrade_low:50 ~degrade_high:60
+           ~drr_quantum:quantum ())
+    in
+    List.iter
+      (fun (src, id, seed) ->
+        Server.submit ~source:src sim.srv
+          {
+            Protocol.id;
+            op =
+              Protocol.Schedule
+                ( Protocol.Inline (Io.to_string inst),
+                  params ~seed ~min_iterations:2 ~emit:false () );
+          })
+      [
+        ("A", "a0", 1); ("A", "a1", 2); ("A", "a2", 3); ("A", "a3", 4);
+        ("B", "b0", 5); ("B", "b1", 6); ("B", "b2", 7); ("B", "b3", 8);
+      ];
+    for _ = 1 to 8 do
+      match Server.step sim.srv with
+      | Server.Did_work -> ()
+      | _ -> Alcotest.fail "expected work"
+    done;
+    List.rev
+      (List.filter_map
+         (function
+           | Protocol.Completed c -> Some c.Protocol.c_id
+           | _ -> None)
+         !(sim.responses))
+  in
+  Alcotest.(check (list string)) "quantum 1 alternates"
+    [ "a0"; "b0"; "a1"; "b1"; "a2"; "b2"; "a3"; "b3" ]
+    (order_of ~quantum:1);
+  Alcotest.(check (list string)) "quantum 2 serves pairs"
+    [ "a0"; "a1"; "b0"; "b1"; "a2"; "a3"; "b2"; "b3" ]
+    (order_of ~quantum:2)
 
 let () =
   Alcotest.run "serve"
@@ -657,5 +985,13 @@ let () =
         [
           Alcotest.test_case "counters and parse errors" `Quick
             test_metrics_and_parse_errors;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "concurrent clients, no HOLB, oracle identity"
+            `Quick test_transport_concurrent_clients;
+          Alcotest.test_case "framing guards keep the connection" `Quick
+            test_transport_framing_guards;
+          Alcotest.test_case "DRR quantum" `Quick test_drr_quantum;
         ] );
     ]

@@ -406,6 +406,175 @@ let test_json_accessors () =
     Alcotest.(check (option (float 1e-9))) "int widens to float" (Some 1.)
       (Json.get_float (List.nth xs 0))
 
+(* --- Lineio (reusable jsonl framing buffers) ----------------------- *)
+
+module Lineio = Resched_util.Lineio
+
+(* A fill callback that deposits bytes from an in-memory source string,
+   [chunk] bytes at a time. *)
+let feeder ?(chunk = max_int) s =
+  let pos = ref 0 in
+  fun buf off len ->
+    let n = Stdlib.min (Stdlib.min len chunk) (String.length s - !pos) in
+    Bytes.blit_string s !pos buf off n;
+    pos := !pos + n;
+    n
+
+let drain_reader r =
+  let rec go acc =
+    match Lineio.Reader.next r with
+    | `Line l -> go (`Line l :: acc)
+    | `Overflow n -> go (`Overflow n :: acc)
+    | `Pending -> List.rev acc
+  in
+  go []
+
+let test_lineio_split_fills () =
+  let r = Lineio.Reader.create ~capacity:8 ~max_line:64 () in
+  (* One logical stream arriving in awkward 3-byte reads: lines split
+     across fills, CRLF termination, and a final unterminated tail. *)
+  let f = feeder ~chunk:3 "hello\nwor" in
+  let rec pump f = if Lineio.Reader.fill r f > 0 then pump f in
+  pump f;
+  Alcotest.(check int) "first line framed" 1
+    (List.length
+       (List.filter (function `Line "hello" -> true | _ -> false)
+          (drain_reader r)));
+  Alcotest.(check int) "partial line buffered" 3 (Lineio.Reader.buffered r);
+  pump (feeder ~chunk:3 "ld\r\nlast");
+  (match drain_reader r with
+  | [ `Line "world" ] -> ()
+  | _ -> Alcotest.fail "expected exactly [world] with CRLF stripped");
+  Alcotest.(check (option string)) "EOF flush returns the tail"
+    (Some "last")
+    (Lineio.Reader.pending_line r);
+  Alcotest.(check int) "empty after pending_line" 0 (Lineio.Reader.buffered r)
+
+let test_lineio_overflow_and_resume () =
+  let r = Lineio.Reader.create ~capacity:8 ~max_line:5 () in
+  let pump s =
+    let f = feeder s in
+    let rec go () = if Lineio.Reader.fill r f > 0 then go () in
+    go ()
+  in
+  (* Exactly max_line is fine. *)
+  pump "12345\n";
+  (match drain_reader r with
+  | [ `Line "12345" ] -> ()
+  | _ -> Alcotest.fail "exact-limit line should frame");
+  (* One byte over, terminated: a single overflow report, no line. *)
+  pump "123456\n";
+  (match drain_reader r with
+  | [ `Overflow 6 ] -> ()
+  | _ -> Alcotest.fail "expected one overflow for a 6-byte line");
+  (* Unterminated flood: overflow reported once at detection, the rest
+     of the line discarded silently, then framing resumes. *)
+  pump "xxxxxxxxxx";
+  (match drain_reader r with
+  | [ `Overflow _ ] -> ()
+  | _ -> Alcotest.fail "expected a single overflow report for the flood");
+  pump "xxxx";
+  Alcotest.(check int) "mid-discard bytes are silent" 0
+    (List.length (drain_reader r));
+  Alcotest.(check (option string)) "pending_line hides a discarded tail"
+    None
+    (Lineio.Reader.pending_line r);
+  pump "xxx\nok\n";
+  (match drain_reader r with
+  | [ `Line "ok" ] -> ()
+  | _ -> Alcotest.fail "framing should resume after the discarded line")
+
+let test_lineio_writer () =
+  let w = Lineio.Writer.create ~capacity:8 () in
+  Alcotest.(check bool) "starts empty" true (Lineio.Writer.is_empty w);
+  Alcotest.(check bool) "add a" true (Lineio.Writer.add_line w "aa");
+  Alcotest.(check bool) "add b" true (Lineio.Writer.add_line w "bb");
+  Alcotest.(check bool) "add c" true (Lineio.Writer.add_line w "cc");
+  Alcotest.(check int) "coalesced length" 9 (Lineio.Writer.length w);
+  (* The whole backlog is offered as one contiguous write. *)
+  let seen = ref "" in
+  let n =
+    Lineio.Writer.write_with w (fun buf pos len ->
+        seen := Bytes.sub_string buf pos len;
+        (* short write: only 4 bytes go out *)
+        4)
+  in
+  Alcotest.(check int) "short write consumed" 4 n;
+  Alcotest.(check string) "offered contiguously" "aa\nbb\ncc\n" !seen;
+  Alcotest.(check int) "remainder stays buffered" 5 (Lineio.Writer.length w);
+  let n =
+    Lineio.Writer.write_with w (fun buf pos len ->
+        seen := Bytes.sub_string buf pos len;
+        len)
+  in
+  Alcotest.(check int) "rest flushed" 5 n;
+  Alcotest.(check string) "tail preserved across short writes" "b\ncc\n" !seen;
+  Alcotest.(check bool) "empty again" true (Lineio.Writer.is_empty w);
+  (* Slow-consumer guard: a cap violation leaves the buffer unchanged. *)
+  Alcotest.(check bool) "within cap" true
+    (Lineio.Writer.add_line ~max:8 w "12345");
+  Alcotest.(check bool) "cap refused" false
+    (Lineio.Writer.add_line ~max:8 w "12345");
+  Alcotest.(check int) "refused add left buffer intact" 6
+    (Lineio.Writer.length w);
+  Lineio.Writer.clear w;
+  Alcotest.(check bool) "clear empties" true (Lineio.Writer.is_empty w)
+
+(* The zero-copy steady-state claim from ISSUE 10, measured: once the
+   ring has grown to fit the traffic, pushing a line through
+   Reader.fill/next and echoing it through Writer.add_line/write_with
+   allocates only the line string itself (plus a few words of variant
+   and closure plumbing) — no per-request buffers.  The budget of 64
+   minor words per round trip is ~3x the line string's own size; a
+   per-line buffer allocation (4096 bytes = 512+ words) blows it by an
+   order of magnitude.  Capacities must also have stabilised. *)
+let test_lineio_steady_state_alloc () =
+  let line = String.make 100 'j' in
+  let request = line ^ "\n" in
+  let r = Lineio.Reader.create ~max_line:1024 () in
+  let w = Lineio.Writer.create () in
+  let pos = ref 0 in
+  let fill_fn buf off len =
+    let n = Stdlib.min len (String.length request - !pos) in
+    Bytes.blit_string request !pos buf off n;
+    pos := !pos + n;
+    n
+  in
+  let sink _ _ len = len in
+  let cycle () =
+    pos := 0;
+    while Lineio.Reader.fill r fill_fn > 0 do
+      ()
+    done;
+    (match Lineio.Reader.next r with
+    | `Line l ->
+      if not (Lineio.Writer.add_line w l) then Alcotest.fail "writer refused"
+    | _ -> Alcotest.fail "expected a line");
+    (match Lineio.Reader.next r with
+    | `Pending -> ()
+    | _ -> Alcotest.fail "expected pending");
+    ignore (Lineio.Writer.write_with w sink : int)
+  in
+  for _ = 1 to 100 do
+    cycle ()
+  done;
+  let rcap = Lineio.Reader.capacity r and wcap = Lineio.Writer.capacity w in
+  let rounds = 1_000 in
+  let before = Gc.minor_words () in
+  for _ = 1 to rounds do
+    cycle ()
+  done;
+  let per_line = (Gc.minor_words () -. before) /. float_of_int rounds in
+  Alcotest.(check bool)
+    (Printf.sprintf "steady state allocates no buffers (%.1f words/line)"
+       per_line)
+    true
+    (per_line <= 64.);
+  Alcotest.(check int) "reader capacity stabilised" rcap
+    (Lineio.Reader.capacity r);
+  Alcotest.(check int) "writer capacity stabilised" wcap
+    (Lineio.Writer.capacity w)
+
 let prop_percentile_monotone =
   QCheck.Test.make ~count:200 ~name:"percentile monotone in p"
     QCheck.(
@@ -542,6 +711,17 @@ let () =
           Alcotest.test_case "errors and non-finite" `Quick
             test_json_errors_and_nonfinite;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "lineio",
+        [
+          Alcotest.test_case "lines split across fills" `Quick
+            test_lineio_split_fills;
+          Alcotest.test_case "overflow, discard, resume" `Quick
+            test_lineio_overflow_and_resume;
+          Alcotest.test_case "writer coalesces and guards" `Quick
+            test_lineio_writer;
+          Alcotest.test_case "steady state allocates no buffers" `Quick
+            test_lineio_steady_state_alloc;
         ] );
       ( "sort",
         [
